@@ -1,0 +1,73 @@
+"""Ablation: placement quality vs NoC traffic and communication energy.
+
+DESIGN.md calls out placement as the design choice that trades function
+for hops: this bench quantifies row-major vs connectivity-aware
+placement of a composed vision pipeline in wirelength, routed hops, and
+communication energy per tick.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_table
+from repro.apps.haar import build_haar_pipeline
+from repro.apps.transduction import transduce_video
+from repro.apps.video import static_pattern
+from repro.corelets.placement import (
+    place_connectivity_aware,
+    place_row_major,
+    total_wirelength,
+)
+from repro.hardware.energy import E_HOP_J
+from repro.hardware.simulator import TrueNorthSimulator
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return build_haar_pipeline(16, 16, 4)
+
+
+class TestPlacementAblation:
+    def test_wirelength_comparison(self, benchmark, pipeline):
+        net = pipeline.compiled.network
+
+        def run():
+            return (
+                total_wirelength(net, place_row_major(net)),
+                total_wirelength(net, place_connectivity_aware(net)),
+            )
+
+        naive, aware = benchmark(run)
+        emit(render_table(
+            ["placement", "wirelength (hops)"],
+            [["row-major", float(naive)], ["connectivity-aware BFS", float(aware)]],
+            title="ABLATION: placement wirelength (Haar 16x16 pipeline)",
+        ))
+        assert aware <= naive
+
+    def test_routed_hops_and_energy(self, benchmark, pipeline):
+        net = pipeline.compiled.network
+        frames = static_pattern(16, 16, "noise", seed=2)[None]
+        ins = transduce_video(frames, pipeline.pixel_pins, ticks_per_frame=10)
+
+        def run():
+            results = {}
+            for name, placer in (
+                ("row-major", place_row_major),
+                ("connectivity-aware", place_connectivity_aware),
+            ):
+                sim = TrueNorthSimulator(net, placement=placer(net))
+                rec = sim.run(12, ins)
+                results[name] = rec.counters.hops
+            return results
+
+        hops = benchmark.pedantic(run, rounds=1, iterations=1)
+        rows = [
+            [name, float(h), h * E_HOP_J * 1e9]
+            for name, h in hops.items()
+        ]
+        emit(render_table(
+            ["placement", "routed hops", "comm energy (nJ)"],
+            rows, title="ABLATION: routed hops and communication energy",
+        ))
+        assert hops["connectivity-aware"] <= hops["row-major"]

@@ -1,0 +1,78 @@
+"""Compass-implementation scaling: this repository's own simulator.
+
+The paper's Compass demonstrated "outstanding weak and strong scaling";
+this bench measures the *Python* Compass expression's wall-clock
+behaviour on this machine: tick throughput vs. simulated rank count
+(more ranks add messaging overhead in-process — the communication
+structure is simulated, the compute is shared), and the vectorized
+Compass speedup over the scalar reference kernel.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.apps.recurrent import probabilistic_recurrent_network
+from repro.compass.simulator import CompassSimulator
+from repro.core.kernel import ReferenceKernel
+
+N_TICKS = 15
+
+
+@pytest.fixture(scope="module")
+def network():
+    return probabilistic_recurrent_network(
+        120.0, 24, grid_side=4, neurons_per_core=64, coupling="balanced", seed=7
+    )
+
+
+class TestCompassImplementationScaling:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 4, 8])
+    def test_rank_sweep(self, benchmark, network, n_ranks):
+        def run():
+            sim = CompassSimulator(network, n_ranks=n_ranks)
+            for _ in range(N_TICKS):
+                sim.step()
+            return sim
+
+        sim = benchmark(run)
+        emit(
+            f"COMPASS-IMPL: {n_ranks} ranks: "
+            f"{sim.mpi.messages_sent} aggregated messages, "
+            f"{sim.counters.synaptic_events} synaptic events over {N_TICKS} ticks"
+        )
+        assert sim.counters.ticks == N_TICKS
+
+    def test_vectorized_speedup_over_reference(self, benchmark):
+        net = probabilistic_recurrent_network(
+            120.0, 16, grid_side=2, neurons_per_core=32, coupling="balanced", seed=3
+        )
+
+        def timed(runner):
+            start = time.perf_counter()
+            runner()
+            return time.perf_counter() - start
+
+        def compass():
+            sim = CompassSimulator(net)
+            for _ in range(N_TICKS):
+                sim.step()
+
+        def reference():
+            kernel = ReferenceKernel(net)
+            for _ in range(N_TICKS):
+                kernel.step()
+
+        t_compass = min(timed(compass) for _ in range(3))
+        t_reference = timed(reference)
+        speedup = t_reference / t_compass
+        benchmark(compass)
+        emit(
+            f"COMPASS-IMPL: vectorized Compass is {speedup:.1f}x faster than "
+            f"the scalar reference kernel ({t_reference * 1e3:.0f} ms vs "
+            f"{t_compass * 1e3:.0f} ms for {N_TICKS} ticks of 4 cores x 32 neurons)"
+        )
+        # identical function was proven elsewhere; here we check the
+        # optimization actually pays (guides: measure, don't guess)
+        assert speedup > 3.0

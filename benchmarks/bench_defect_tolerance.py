@@ -1,0 +1,34 @@
+"""Defect-tolerance bench: route-around cost vs defect density.
+
+"The architecture is robust to core defects: if a core fails, we
+disable it and route spike events around it" (paper Section III-C) —
+this bench sweeps router-defect density and reports the functional
+outcome (always identical spikes) and the hop/energy overhead paid.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_table
+from repro.experiments.defects import defect_sweep
+
+
+class TestDefectTolerance:
+    def test_yield_sweep(self, benchmark):
+        sweep = benchmark.pedantic(
+            defect_sweep,
+            kwargs=dict(fractions=(0.0, 0.05, 0.1, 0.2), n_cores=9, n_ticks=20),
+            rounds=1, iterations=1,
+        )
+        rows = [
+            [f"{p.defect_fraction:.0%}", p.n_disabled_routers,
+             "yes" if p.functional_match else "NO",
+             float(p.baseline_hops), float(p.defective_hops),
+             p.hop_overhead, p.energy_overhead_j * 1e12]
+            for p in sweep
+        ]
+        emit(render_table(
+            ["defects", "routers off", "spikes match", "base hops",
+             "detour hops", "overhead", "extra pJ"],
+            rows, title="DEFECTS: route-around cost vs density",
+        ))
+        assert all(p.functional_match for p in sweep)
+        assert sweep[-1].defective_hops >= sweep[0].baseline_hops

@@ -1,0 +1,63 @@
+"""EQ1/EQ2: one-to-one equivalence regressions (paper Section VI-A).
+
+EQ1: the three kernel expressions agree spike-for-spike over randomized
+single-core, multi-core, and coupled-recurrent regressions (the paper's
+413k+7.5k regressions, scaled to CI time — "not a single spike
+mismatch").  EQ2: the 100M-tick regression wall clock, 27.7 hours on
+TrueNorth vs ~74 days on the 8-thread x86 server.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import equivalence
+
+
+class TestEQ1Regressions:
+    def test_single_core_suite(self, benchmark):
+        report = benchmark.pedantic(
+            equivalence.single_core_regressions,
+            kwargs=dict(n_networks=6, n_ticks=30), rounds=1, iterations=1,
+        )
+        emit(
+            f"EQ1 single-core: {report.n_regressions} regressions, "
+            f"{report.total_spikes_compared} spikes compared, "
+            f"{report.n_mismatches} mismatches (paper: 0)"
+        )
+        assert report.all_matched
+
+    def test_multi_core_suite(self, benchmark):
+        report = benchmark.pedantic(
+            equivalence.multi_core_regressions,
+            kwargs=dict(n_networks=3, n_ticks=30), rounds=1, iterations=1,
+        )
+        emit(
+            f"EQ1 multi-core: {report.n_regressions} regressions, "
+            f"{report.total_spikes_compared} spikes compared, "
+            f"{report.n_mismatches} mismatches (paper: 0)"
+        )
+        assert report.all_matched
+
+    def test_chaotic_recurrent_suite(self, benchmark):
+        report = benchmark.pedantic(
+            equivalence.recurrent_network_regressions,
+            kwargs=dict(n_ticks=50), rounds=1, iterations=1,
+        )
+        emit(
+            f"EQ1 coupled recurrent: {report.n_regressions} regressions, "
+            f"{report.total_spikes_compared} spikes compared, "
+            f"{report.n_mismatches} mismatches (paper: 0)"
+        )
+        assert report.all_matched
+
+
+class TestEQ2WallClock:
+    def test_regression_time_ratio(self, benchmark):
+        wc = benchmark(equivalence.regression_wall_clock)
+        emit(
+            "EQ2: 100M-tick regression: "
+            f"TrueNorth {wc['truenorth_hours']:.1f} h (paper: 27.7 h) vs "
+            f"x86 legacy {wc['x86_legacy_days']:.1f} days (paper: ~74 days)"
+        )
+        assert wc["truenorth_hours"] == pytest.approx(27.8, abs=0.2)
+        assert 55 <= wc["x86_legacy_days"] <= 95

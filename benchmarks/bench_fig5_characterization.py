@@ -1,0 +1,75 @@
+"""FIG5: TrueNorth characterization contours (paper Fig. 5(a)-(f)).
+
+Regenerates all six panels from the calibrated models, prints them as
+ASCII contours, and validates the analytic grid against an actually
+simulated recurrent network (scaled, per DESIGN.md substitution #5).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_contour
+from repro.experiments import fig5
+
+
+class TestFig5Panels:
+    def test_fig5a_gsops(self, benchmark):
+        grid = benchmark(fig5.fig5a_gsops)
+        emit(render_contour(grid, log_scale=False))
+        assert grid.corner(True, True) == pytest.approx(200 * 256 * 2**20 / 1e9)
+        assert grid.monotone_rows() and grid.monotone_cols()
+
+    def test_fig5b_max_frequency(self, benchmark):
+        grid = benchmark(fig5.fig5b_max_frequency)
+        emit(render_contour(grid))
+        # Faster-than-real-time when load is light; ~1 kHz headroom at the
+        # heavy corner (paper Fig. 5(b)).
+        assert grid.corner(False, False) > 5.0
+        assert grid.corner(True, True) >= 1.0
+
+    def test_fig5c_frequency_vs_voltage(self, benchmark):
+        grid = benchmark(fig5.fig5c_frequency_vs_voltage)
+        emit(render_contour(grid))
+        # Maximum execution speed increases with voltage (paper Fig. 5(c)).
+        assert grid.monotone_rows(increasing=True)
+
+    def test_fig5d_energy_per_tick(self, benchmark):
+        grid = benchmark(fig5.fig5d_energy_per_tick)
+        emit(render_contour(grid))
+        assert grid.monotone_rows() and grid.monotone_cols()
+
+    def test_fig5e_efficiency(self, benchmark):
+        grid = benchmark(fig5.fig5e_efficiency)
+        emit(render_contour(grid))
+        # A large fraction of the design space exceeds 100 GSOPS/W.
+        frac_above_100 = (grid.values > 100.0).mean()
+        assert frac_above_100 > 0.3
+        assert grid.corner(True, True) > 400.0
+
+    def test_fig5f_efficiency_vs_voltage(self, benchmark):
+        grid = benchmark(fig5.fig5f_efficiency_vs_voltage)
+        emit(render_contour(grid))
+        # SOPS/W is maximized at lower voltages (paper Fig. 5(f)).
+        assert grid.monotone_rows(increasing=False)
+
+
+class TestFig5EmpiricalValidation:
+    def test_simulated_network_matches_analytic_grid(self, benchmark):
+        result = benchmark.pedantic(
+            fig5.empirical_validation,
+            kwargs=dict(rate_hz=100.0, active_synapses=8, grid_side=3,
+                        neurons_per_core=32, n_ticks=120),
+            rounds=1, iterations=1,
+        )
+        emit(
+            "FIG5 empirical validation (simulated vs analytic, per tick):\n"
+            f"  syn events: {result['measured_syn_events_per_tick']:.1f} vs "
+            f"{result['analytic_syn_events_per_tick']:.1f}\n"
+            f"  spikes:     {result['measured_spikes_per_tick']:.1f} vs "
+            f"{result['analytic_spikes_per_tick']:.1f}\n"
+            f"  rate:       {result['measured_rate_hz']:.1f} Hz vs "
+            f"{result['target_rate_hz']:.1f} Hz target"
+        )
+        assert result["measured_syn_events_per_tick"] == pytest.approx(
+            result["analytic_syn_events_per_tick"], rel=0.2
+        )

@@ -1,0 +1,55 @@
+"""FIG6: TrueNorth vs Compass on BG/Q and x86 (paper Fig. 6(a)-(d)).
+
+Speedup and energy-improvement contours over the characterization
+space; the paper's claims — 1 order speedup vs 32-host BG/Q, 2-3 orders
+vs dual-socket x86, ~5 orders energy vs both — are asserted as bands.
+"""
+
+import numpy as np
+from benchmarks.conftest import emit
+from repro.analysis.report import render_contour
+from repro.experiments import fig6
+
+
+class TestFig6Panels:
+    def test_fig6a_speedup_vs_bgq(self, benchmark):
+        grid = benchmark(fig6.fig6a_speedup_vs_bgq)
+        emit(render_contour(grid, log_scale=True))
+        # "one order of magnitude speedup of execution time vs 32 host BG/Q"
+        assert 1.0 <= np.log10(grid.min) <= 2.0
+        assert np.log10(grid.max) <= 2.0
+
+    def test_fig6b_energy_vs_bgq(self, benchmark):
+        grid = benchmark(fig6.fig6b_energy_vs_bgq)
+        emit(render_contour(grid, log_scale=True))
+        # "five orders of magnitude reduction in energy vs 32 host BG/Q"
+        assert 5.0 <= np.log10(grid.min)
+        assert np.log10(grid.max) <= 6.2
+
+    def test_fig6c_speedup_vs_x86(self, benchmark):
+        grid = benchmark(fig6.fig6c_speedup_vs_x86)
+        emit(render_contour(grid, log_scale=True))
+        # "two to three orders of magnitude speedup vs dual socket x86"
+        assert 1.5 <= np.log10(grid.min)
+        assert np.log10(grid.max) <= 3.2
+
+    def test_fig6d_energy_vs_x86(self, benchmark):
+        grid = benchmark(fig6.fig6d_energy_vs_x86)
+        emit(render_contour(grid, log_scale=True))
+        # "five orders of magnitude reduction in energy vs dual socket x86"
+        assert 5.0 <= np.log10(grid.min)
+        assert np.log10(grid.max) <= 6.2
+
+    def test_fig6_summary_table(self, benchmark):
+        summary = benchmark(fig6.fig6_summary)
+        from repro.analysis.report import render_table
+
+        rows = [
+            [name, s["min"], s["max"], s["orders_min"], s["orders_max"]]
+            for name, s in summary.items()
+        ]
+        emit(render_table(
+            ["panel", "min", "max", "orders(min)", "orders(max)"], rows,
+            title="FIG6 summary: TrueNorth advantage over Compass",
+        ))
+        assert summary["energy_bgq"]["orders_min"] >= 5.0

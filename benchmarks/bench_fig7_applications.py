@@ -1,0 +1,50 @@
+"""FIG7: five vision applications, TrueNorth vs Compass (paper Fig. 7).
+
+(a) speedup vs power-improvement points per application/platform;
+(b) energy-improvement bars.  The applications are Neovision, Haar,
+LBP, Saccade, Saliency at the paper's full-scale network statistics
+(Section IV-B).
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_table
+from repro.experiments import fig7
+
+
+class TestFig7:
+    def test_fig7a_speedup_vs_power(self, benchmark):
+        points = benchmark(fig7.fig7_points)
+        rows = [
+            [p.app, p.platform, p.speedup, p.power_improvement, p.energy_improvement]
+            for p in points
+        ]
+        emit(render_table(
+            ["application", "platform", "speedup", "x power", "x energy"],
+            rows, title="FIG7(a): TrueNorth vs Compass on five vision applications",
+        ))
+        bgq = [p for p in points if p.platform == "BG/Q"]
+        x86 = [p for p in points if p.platform == "x86"]
+        # "speedup of one and two orders of magnitude, respectively"
+        assert all(5 <= p.speedup for p in bgq)
+        assert all(20 <= p.speedup for p in x86)
+        # "four and three orders of magnitude less power, respectively"
+        assert all(1e4 <= p.power_improvement < 1e5 for p in bgq)
+        assert all(1e3 <= p.power_improvement < 1e4 for p in x86)
+
+    def test_fig7b_energy_bars(self, benchmark):
+        bars = benchmark(fig7.fig7b_energy_bars)
+        rows = [[app, platform, v] for (app, platform), v in sorted(bars.items())]
+        emit(render_table(
+            ["application", "platform", "x energy improvement"], rows,
+            title="FIG7(b): energy improvement per application",
+        ))
+        # "over five orders of magnitude less energy per time step"
+        assert min(bars.values()) > 1e5
+
+    def test_fig7_consistent_with_fig6(self, benchmark):
+        # "These speedups and energy improvements are in line with those
+        # of the probabilistically-generated recurrent networks" (paper).
+        summary = benchmark(fig7.fig7_summary)
+        assert summary["min_energy_improvement"] > 1e5
+        assert summary["bgq_speedup_range"][1] < 100
+        assert summary["x86_speedup_range"][1] < 1000

@@ -1,0 +1,54 @@
+"""FIG8: Compass strong scaling on BG/Q for Neovision (paper Fig. 8).
+
+Run time (s/tick) vs power over hosts x threads, with the x86
+reference curve; asserts the paper's two headline observations.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_table
+from repro.experiments import fig8
+
+
+class TestFig8:
+    def test_bgq_grid(self, benchmark):
+        points = benchmark(fig8.fig8_bgq_points)
+        rows = [
+            [p.hosts, p.threads, p.time_per_tick_s, p.power_w,
+             p.power_per_spike_w * 1e6]
+            for p in points
+        ]
+        emit(render_table(
+            ["hosts", "threads", "s/tick", "power (W)", "uW/spike"],
+            rows, title="FIG8: Neovision on BG/Q (strong scaling)",
+        ))
+        # more hosts at fixed threads is always faster
+        by_threads = {}
+        for p in points:
+            by_threads.setdefault(p.threads, []).append((p.hosts, p.time_per_tick_s))
+        for series in by_threads.values():
+            series.sort()
+            times = [t for _, t in series]
+            assert times == sorted(times, reverse=True)
+
+    def test_best_point_12x_slower_than_real_time(self, benchmark):
+        summary = benchmark(fig8.fig8_summary)
+        emit(
+            "FIG8 summary: best BG/Q point "
+            f"{summary['best_hosts']} hosts x {summary['best_threads']} threads = "
+            f"{summary['best_slowdown_vs_real_time']:.1f}x slower than real time "
+            "(paper: ~12x)"
+        )
+        assert 8 <= summary["best_slowdown_vs_real_time"] <= 16
+        # "a single host is the most power-efficient but slowest; 32
+        # hosts is the fastest but requires more power"
+        assert summary["most_efficient_hosts"] == 1
+        assert summary["best_hosts"] == 32
+
+    def test_x86_reference_curve(self, benchmark):
+        points = benchmark(fig8.fig8_x86_points)
+        rows = [[p.threads, p.time_per_tick_s, p.power_w] for p in points]
+        emit(render_table(
+            ["threads", "s/tick", "power (W)"], rows,
+            title="FIG8: x86 reference curve (1 host)",
+        ))
+        assert points[-1].time_per_tick_s < points[0].time_per_tick_s

@@ -1,0 +1,63 @@
+"""TAB2: future large-scale systems (paper Section VII).
+
+The 16-chip board power breakdown, the tier capacity table, and the
+rat-scale (6,400x) and 1%-human-scale (128,000x) energy-to-solution
+projections.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_table
+from repro.experiments import future_systems
+
+
+class TestTab2:
+    def test_16_chip_board_power(self, benchmark):
+        board = future_systems.BoardModel()
+        total = benchmark(board.total_power_w)
+        emit(
+            f"TAB2: 16-chip board: array {board.array_power_w():.2f} W "
+            f"(paper: 2.5 W) + support {board.support_power_w:.1f} W "
+            f"= {total:.2f} W total (paper: 7.2 W); "
+            f"{board.n_neurons / 1e6:.0f}M neurons, "
+            f"{board.n_synapses / 1e9:.0f}B synapses"
+        )
+        assert total == pytest.approx(7.2, rel=0.15)
+        assert board.n_neurons == 16 * 2**20
+
+    def test_tier_capacity_table(self, benchmark):
+        rows_data = benchmark(future_systems.tier_table)
+        rows = [
+            [r["tier"], r["chips"], float(r["neurons"]), float(r["synapses"]),
+             r["power_w"], r["synapses_per_watt"]]
+            for r in rows_data
+        ]
+        emit(render_table(
+            ["tier", "chips", "neurons", "synapses", "power (W)", "synapses/W"],
+            rows, title="TAB2: projected system tiers (paper Fig. 1(h-j), Section VII)",
+        ))
+        rack = [r for r in rows_data if r["tier"] == "rack"][0]
+        assert rack["chips"] == 4096 and rack["power_w"] == 4000
+
+    def test_rat_scale_projection(self, benchmark):
+        ratio = benchmark(future_systems.rat_scale_energy_ratio)
+        emit(f"TAB2: rat-scale energy-to-solution ratio = {ratio:.0f}x (paper: 6,400x)")
+        assert ratio == pytest.approx(6400, rel=0.02)
+
+    def test_human1pct_projection(self, benchmark):
+        ratio = benchmark(future_systems.human1pct_energy_ratio)
+        emit(
+            f"TAB2: 1%-human-scale energy-to-solution ratio = {ratio:.0f}x "
+            "(paper: 128,000x)"
+        )
+        assert ratio == pytest.approx(128_000, rel=0.02)
+
+    def test_human_scale_synapse_count(self, benchmark):
+        h = benchmark(future_systems.human_scale_system)
+        emit(
+            f"TAB2: human-scale system: {h['racks']} racks, {h['n_chips']} chips, "
+            f"{h['n_synapses']:.2e} synapses (paper: 100 trillion), "
+            f"{h['power_w'] / 1e3:.0f} kW"
+        )
+        assert h["n_synapses"] >= 1e14

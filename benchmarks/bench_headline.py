@@ -1,0 +1,51 @@
+"""TAB1: the paper's headline operating points (abstract + Section VI-B).
+
+* 65 mW total power, 46 GSOPS/W at 20 Hz x 128 synapses, real time;
+* 81 GSOPS/W running that network ~5x faster;
+* >400 GSOPS/W at 200 Hz x 256 synapses;
+* ~20 mW/cm^2 power density (vs ~100 W/cm^2 for a modern CPU);
+* measurement-pipeline emulation within the instrument's 3% calibration.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_table
+from repro.experiments import fig5
+from repro.hardware.energy import EnergyModel
+from repro.hardware.power import measure_power
+
+
+class TestHeadline:
+    def test_headline_operating_points(self, benchmark):
+        h = benchmark(fig5.headline_points)
+        rows = [
+            ["power @20Hz/128syn (mW)", h["power_mw_20hz_128syn"], "65 mW"],
+            ["GSOPS/W real time", h["gsops_per_watt_real_time"], "46"],
+            ["GSOPS/W at 5x", h["gsops_per_watt_5x"], "81"],
+            ["GSOPS/W @200Hz/256syn", h["gsops_per_watt_200hz_256syn"], ">400"],
+            ["power density (mW/cm^2)", h["power_density_mw_per_cm2"], "~20"],
+        ]
+        emit(render_table(["metric", "measured", "paper"], rows,
+                          title="TAB1: headline operating points"))
+        assert 50 <= h["power_mw_20hz_128syn"] <= 70
+        assert 43 <= h["gsops_per_watt_real_time"] <= 50
+        assert 76 <= h["gsops_per_watt_5x"] <= 86
+        assert h["gsops_per_watt_200hz_256syn"] > 400
+        assert h["power_density_mw_per_cm2"] < 50
+
+    def test_measured_power_through_adc_pipeline(self, benchmark):
+        model = EnergyModel()
+        counts = model.workload_counts_per_tick(20.0, 128.0)
+        active = model.active_energy_per_tick_j(
+            counts["synaptic_events"], counts["neuron_updates"],
+            counts["spikes"], counts["hops"],
+        )
+        meas = benchmark(
+            measure_power, active, model.passive_power_w, 1000
+        )
+        true_power = active * 1000.0 + model.passive_power_w
+        emit(
+            f"TAB1: ADC-pipeline measured power = {meas.mean_power_w * 1e3:.1f} mW "
+            f"(model truth {true_power * 1e3:.1f} mW, "
+            f"{meas.n_samples} samples over {meas.n_ticks_averaged} ticks)"
+        )
+        assert abs(meas.mean_power_w - true_power) / true_power < 0.03

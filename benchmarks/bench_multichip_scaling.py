@@ -1,0 +1,56 @@
+"""Multi-chip scaling bench: boundary traffic across the paper's boards.
+
+Measures merge/split boundary-link traffic for the 4x1 and 4x4 board
+geometries (Section VII-B/C) and evaluates the locality argument that
+makes rack-scale tiling viable.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_table
+from repro.apps.workloads import ANCHOR_A, ANCHOR_C
+from repro.experiments.multichip import array_sweep, full_scale_link_load
+
+
+class TestMultichipScaling:
+    def test_board_sweep(self, benchmark):
+        points = benchmark.pedantic(
+            array_sweep, kwargs=dict(n_packets=250), rounds=1, iterations=1
+        )
+        rows = [
+            [f"{p.chips_x}x{p.chips_y}", p.packets, float(p.total_hops),
+             p.boundary_crossings, p.crossing_fraction,
+             p.peak_link_utilization]
+            for p in points
+        ]
+        emit(render_table(
+            ["array", "packets", "hops", "crossings", "crossing frac",
+             "peak link util"],
+            rows, title="MULTICHIP: boundary traffic vs array size",
+        ))
+        frac = {(p.chips_x, p.chips_y): p.crossing_fraction for p in points}
+        assert frac[(1, 1)] == 0.0
+        assert frac[(4, 4)] > frac[(2, 1)]
+
+    def test_full_scale_locality_argument(self, benchmark):
+        def run():
+            return {
+                "A uniform": full_scale_link_load(ANCHOR_A, 4, 4),
+                "C uniform": full_scale_link_load(ANCHOR_C, 4, 4),
+                "C 5% long-range": full_scale_link_load(
+                    ANCHOR_C, 4, 4, long_range_fraction=0.05
+                ),
+            }
+
+        loads = benchmark(run)
+        rows = [
+            [name, load["per_link_load_per_tick"], load["link_utilization"],
+             "yes" if load["saturated"] else "no"]
+            for name, load in loads.items()
+        ]
+        emit(render_table(
+            ["traffic", "pkts/link/tick", "utilization", "saturated"],
+            rows, title="MULTICHIP: the locality argument (16-chip board)",
+        ))
+        assert not loads["A uniform"]["saturated"]
+        assert loads["C uniform"]["saturated"]  # why locality matters
+        assert not loads["C 5% long-range"]["saturated"]

@@ -1,0 +1,78 @@
+"""Streaming-runtime bench: software real-time factor per expression.
+
+Measures this host's wall-clock per tick while streaming video through
+a saliency network on each executor, and reports the real-time factor —
+the quantity the silicon expression fixes at >= 1 by construction while
+software expressions fall far below it at scale (the paper's
+time-to-solution story at desktop scale).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_table
+from repro.apps.saliency import build_saliency_pipeline
+from repro.apps.video import generate_scene
+from repro.compass.fast import FastCompassSimulator
+from repro.compass.simulator import CompassSimulator
+from repro.hardware.simulator import TrueNorthSimulator
+from repro.hardware.timing import TimingModel
+from repro.runtime import SceneSource, StreamingRuntime
+
+
+@pytest.fixture(scope="module")
+def setup():
+    pipeline = build_saliency_pipeline(16, 24, patch=4)
+    scene = generate_scene(16, 24, n_frames=3, n_objects=2, seed=5)
+    return pipeline, scene
+
+
+class TestStreamingThroughput:
+    @pytest.mark.parametrize(
+        "name,factory",
+        [
+            ("truenorth-sim", lambda net: TrueNorthSimulator(net)),
+            ("compass", lambda net: CompassSimulator(net, n_ranks=2)),
+            ("fast-compass", lambda net: FastCompassSimulator(net)),
+        ],
+    )
+    def test_expression_throughput(self, benchmark, setup, name, factory):
+        pipeline, scene = setup
+
+        def run():
+            runtime = StreamingRuntime(
+                factory(pipeline.compiled.network),
+                pipeline.pixel_pins,
+                ticks_per_frame=10,
+            )
+            return runtime.run(SceneSource(scene))
+
+        report = benchmark.pedantic(run, rounds=2, iterations=1)
+        emit(
+            f"STREAM {name}: {report.ticks} ticks in "
+            f"{report.wall_seconds * 1e3:.0f} ms -> real-time factor "
+            f"{report.real_time_factor:.2f}x"
+        )
+        assert report.output_spikes > 0
+
+    def test_chip_model_projection(self, benchmark, setup):
+        pipeline, scene = setup
+        runtime = StreamingRuntime(
+            TrueNorthSimulator(pipeline.compiled.network),
+            pipeline.pixel_pins,
+            ticks_per_frame=10,
+        )
+        report = benchmark.pedantic(
+            lambda: runtime.run(SceneSource(scene)), rounds=1, iterations=1
+        )
+        max_khz = TimingModel().max_frequency_for_run_khz(
+            runtime.simulator.counters
+        )
+        emit(render_table(
+            ["target", "real-time factor"],
+            [["this host (software)", report.real_time_factor],
+             ["TrueNorth chip model", max_khz]],
+            title="STREAM: software vs chip real-time factor",
+        ))
+        # the chip sustains more-than-real-time for this light load
+        assert max_khz > 1.0

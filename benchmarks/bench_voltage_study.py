@@ -1,0 +1,41 @@
+"""Voltage operating-point bench: the DVFS consequence of Fig. 5(c,f).
+
+For each workload, find the minimum feasible supply voltage at real
+time and report the energy saved vs. nominal and maximum supplies —
+the quantitative version of "SOPS/W is maximized at lower voltages,
+limited only by the minimum voltage that can still ensure correct
+operation".
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_table
+from repro.apps.workloads import ANCHOR_A, ANCHOR_C, characterization_workload
+from repro.experiments.voltage import voltage_study
+
+
+class TestVoltageStudy:
+    def test_operating_point_table(self, benchmark):
+        workloads = [
+            ANCHOR_A,
+            characterization_workload(100.0, 128.0),
+            ANCHOR_C,
+            characterization_workload(1000.0, 256.0),  # absolute worst case
+        ]
+        rows_data = benchmark(voltage_study, workloads)
+        rows = [
+            [r["workload"], r["optimal_voltage"], r["optimal_gsops_per_watt"],
+             r["nominal_gsops_per_watt"], r["saving_vs_nominal"], r["saving_vs_max"]]
+            for r in rows_data if r["feasible"]
+        ]
+        emit(render_table(
+            ["workload", "V_min", "GSOPS/W @V_min", "GSOPS/W @0.75V",
+             "saving vs 0.75V", "saving vs 1.05V"],
+            rows, title="VOLTAGE: minimum-energy operating points at real time",
+        ))
+        assert all(r["feasible"] for r in rows_data)
+        # light loads close timing at the functional floor; the worst
+        # case needs a higher supply (Fig. 5(c) shape)
+        voltages = [r["optimal_voltage"] for r in rows_data]
+        assert voltages[0] < voltages[-1]
+        # energy saving vs. the maximum supply is substantial everywhere
+        assert all(r["saving_vs_max"] > 0.3 for r in rows_data)

@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one paper table/figure (see the
+experiment index in DESIGN.md) and prints the rows/series the paper
+reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def emit(text: str) -> None:
+    """Print a benchmark artifact block (visible with -s / in CI logs)."""
+    print()
+    print(text)

@@ -1,0 +1,46 @@
+"""Neovision-style multi-object detection and classification.
+
+Trains the What network offline (ternary perceptron — the "Compass for
+off-line training" role), deploys it as a spiking corelet, runs the
+What/Where system on fresh synthetic scenes, and reports
+precision/recall (paper: 0.85 / 0.80 on Neovision2 Tower).
+
+Run:  python examples/neovision_detection.py
+"""
+
+from repro.apps.neovision import NeovisionSystem, match_detections, precision_recall
+from repro.apps.video import generate_scene
+
+
+def main() -> None:
+    system = NeovisionSystem(height=32, width=48, seed=0)
+    print(f"Where network: {system._where.compiled.network.n_cores} cores "
+          "(paper full scale: 4,018 cores / 660,009 neurons)")
+
+    print("training What classifier offline (ternary perceptron)...")
+    system.train(n_scenes=16)
+    w = system.weights
+    print(f"deployed ternary weights: {w.shape}, "
+          f"{(w != 0).mean() * 100:.0f}% non-zero")
+
+    scene = generate_scene(32, 48, n_frames=2, n_objects=2,
+                           classes=system.classes, seed=777)
+    print("\nground truth:")
+    for box in scene.boxes[-1]:
+        print(f"  {box.label:8s} at ({box.y:2d},{box.x:2d}) size {box.h}x{box.w}")
+
+    detections = system.detect(scene)
+    print("\ndetections (What/Where bound into labeled boxes):")
+    for det in detections:
+        print(f"  {det.label:8s} at ({det.y:2d},{det.x:2d}) size {det.h}x{det.w}")
+    tp, fp, fn = match_detections(detections, scene.boxes[-1])
+    print(f"matches: {tp} true positives, {fp} false positives, {fn} misses")
+
+    print("\nevaluating on 5 fresh test scenes...")
+    precision, recall = precision_recall(system, n_scenes=5)
+    print(f"precision {precision:.2f} / recall {recall:.2f} "
+          "(paper: 0.85 / 0.80 on Neovision2 Tower)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Recurrent-network characterization: a desktop-scale Fig. 5 / Fig. 6.
+
+Generates a slice of the paper's 88 probabilistic recurrent networks at
+reduced scale, simulates them on the TrueNorth expression, validates
+the measured event counts against the analytic models, and prints the
+characterization contours plus the TrueNorth-vs-Compass comparison.
+
+Run:  python examples/recurrent_characterization.py
+"""
+
+from repro.analysis.report import render_contour, render_table
+from repro.apps.recurrent import chip_placement, probabilistic_recurrent_network
+from repro.apps.workloads import characterization_workload
+from repro.experiments import fig5, fig6
+from repro.hardware.energy import EnergyModel
+from repro.hardware.simulator import TrueNorthSimulator
+from repro.machines.cost import compare_truenorth_vs_compass
+from repro.machines.specs import BGQ, X86
+
+
+def main() -> None:
+    # --- 1. Simulate a few networks from the sweep (scaled) ---------------
+    print("simulating scaled characterization networks (grid 3x3, 32 n/core):")
+    rows = []
+    model = EnergyModel()
+    for rate, k in [(50.0, 8), (100.0, 16), (200.0, 24)]:
+        net = probabilistic_recurrent_network(
+            rate, k, grid_side=3, neurons_per_core=32, seed=1
+        )
+        sim = TrueNorthSimulator(net, placement=chip_placement(3))
+        rec = sim.run(150)
+        c = rec.counters
+        rows.append([
+            f"{rate:g} Hz x {k}",
+            c.mean_firing_rate_hz,
+            c.mean_active_synapses,
+            c.synaptic_events / c.ticks,
+            model.energy_for_run_j(c) / c.ticks * 1e6,
+        ])
+    print(render_table(
+        ["target", "measured Hz", "fan-out", "SOPs/tick", "uJ/tick (model)"],
+        rows,
+    ))
+
+    # --- 2. The full-chip analytic contours (Fig. 5) ----------------------
+    print("\nFig. 5(e): computation per energy, GSOPS/W @0.75 V:")
+    print(render_contour(fig5.fig5e_efficiency(n=7)))
+    print("\nFig. 5(b): maximum tick frequency (kHz):")
+    print(render_contour(fig5.fig5b_max_frequency(n=7)))
+    h = fig5.headline_points()
+    print(f"\nheadline: {h['power_mw_20hz_128syn']:.1f} mW and "
+          f"{h['gsops_per_watt_real_time']:.1f} GSOPS/W at 20 Hz x 128 syn "
+          "(paper: 65 mW, 46 GSOPS/W)")
+
+    # --- 3. TrueNorth vs Compass on the reference machines (Fig. 6) -------
+    print("\nFig. 6: TrueNorth vs Compass at the 20 Hz x 128 syn point:")
+    w = characterization_workload(20.0, 128.0)
+    rows = []
+    for spec in (BGQ, X86):
+        cmp = compare_truenorth_vs_compass(w, spec)
+        rows.append([
+            spec.name, cmp.speedup, cmp.power_improvement, cmp.energy_improvement
+        ])
+    print(render_table(["platform", "speedup", "x power", "x energy"], rows))
+    print("\nFig. 6(d): energy improvement vs x86 over the sweep:")
+    print(render_contour(fig6.fig6d_energy_vs_x86(), log_scale=True))
+
+
+if __name__ == "__main__":
+    main()

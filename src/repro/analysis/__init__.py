@@ -1,0 +1,57 @@
+"""Measurement analysis: metrics, sweep grids, and report rendering."""
+
+from repro.analysis.contour import (
+    SweepGrid,
+    default_rate_axis,
+    default_synapse_axis,
+    default_voltage_axis,
+    sweep,
+)
+from repro.analysis.compare import DivergenceReport, compare_records, divergence_horizon
+from repro.analysis.stats import SpikeTrainStats, raster, summarize
+from repro.analysis.metrics import (
+    energy_improvement,
+    gsops,
+    gsops_per_watt,
+    orders_of_magnitude,
+    power_improvement,
+    sops,
+    sops_from_counters,
+    speedup,
+    within_band,
+)
+from repro.analysis.report import (
+    format_value,
+    render_contour,
+    render_markdown_table,
+    render_series,
+    render_table,
+)
+
+__all__ = [
+    "SweepGrid",
+    "default_rate_axis",
+    "default_synapse_axis",
+    "default_voltage_axis",
+    "sweep",
+    "DivergenceReport",
+    "compare_records",
+    "divergence_horizon",
+    "SpikeTrainStats",
+    "raster",
+    "summarize",
+    "energy_improvement",
+    "gsops",
+    "gsops_per_watt",
+    "orders_of_magnitude",
+    "power_improvement",
+    "sops",
+    "sops_from_counters",
+    "speedup",
+    "within_band",
+    "format_value",
+    "render_contour",
+    "render_markdown_table",
+    "render_series",
+    "render_table",
+]

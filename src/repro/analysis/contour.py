@@ -1,0 +1,94 @@
+"""Parameter-sweep grids for the Fig. 5/6 contour plots.
+
+A :class:`SweepGrid` holds a 2D array of values over named axes, with
+helpers for monotonicity checks (the shape properties the reproduction
+asserts) and corner lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass
+class SweepGrid:
+    """Values of one metric over a 2D parameter sweep."""
+
+    row_name: str
+    col_name: str
+    rows: np.ndarray  # row-axis values (e.g. firing rates)
+    cols: np.ndarray  # column-axis values (e.g. active synapses)
+    values: np.ndarray  # (len(rows), len(cols))
+    metric: str = ""
+
+    def __post_init__(self) -> None:
+        assert self.values.shape == (self.rows.size, self.cols.size)
+
+    def at(self, row_value: float, col_value: float) -> float:
+        """Value at the grid point nearest to (row_value, col_value)."""
+        ri = int(np.abs(self.rows - row_value).argmin())
+        ci = int(np.abs(self.cols - col_value).argmin())
+        return float(self.values[ri, ci])
+
+    @property
+    def min(self) -> float:
+        """Smallest value on the grid."""
+        return float(self.values.min())
+
+    @property
+    def max(self) -> float:
+        """Largest value on the grid."""
+        return float(self.values.max())
+
+    def corner(self, row_high: bool, col_high: bool) -> float:
+        """Value at one of the four grid corners."""
+        return float(self.values[-1 if row_high else 0, -1 if col_high else 0])
+
+    def monotone_rows(self, increasing: bool = True, tol: float = 1e-12) -> bool:
+        """True if every column is monotone along the row axis."""
+        d = np.diff(self.values, axis=0)
+        return bool((d >= -tol).all() if increasing else (d <= tol).all())
+
+    def monotone_cols(self, increasing: bool = True, tol: float = 1e-12) -> bool:
+        """True if every row is monotone along the column axis."""
+        d = np.diff(self.values, axis=1)
+        return bool((d >= -tol).all() if increasing else (d <= tol).all())
+
+
+def sweep(
+    row_name: str,
+    rows: np.ndarray,
+    col_name: str,
+    cols: np.ndarray,
+    fn: Callable[[float, float], float],
+    metric: str = "",
+) -> SweepGrid:
+    """Evaluate ``fn(row_value, col_value)`` over the full grid."""
+    rows = np.asarray(rows, dtype=np.float64)
+    cols = np.asarray(cols, dtype=np.float64)
+    values = np.empty((rows.size, cols.size))
+    for i, r in enumerate(rows):
+        for j, c in enumerate(cols):
+            values[i, j] = fn(float(r), float(c))
+    return SweepGrid(
+        row_name=row_name, col_name=col_name, rows=rows, cols=cols,
+        values=values, metric=metric,
+    )
+
+
+def default_rate_axis(n: int = 9) -> np.ndarray:
+    """Firing-rate axis 0..200 Hz (Fig. 5 x axes)."""
+    return np.linspace(0.0, 200.0, n)
+
+
+def default_synapse_axis(n: int = 9) -> np.ndarray:
+    """Active-synapse axis 0..256 (Fig. 5 y axes)."""
+    return np.linspace(0.0, 256.0, n)
+
+
+def default_voltage_axis(n: int = 8) -> np.ndarray:
+    """Supply-voltage axis 0.70..1.05 V (Fig. 5(c,f))."""
+    return np.linspace(0.70, 1.05, n)

@@ -1,0 +1,67 @@
+"""Metric definitions used throughout the evaluation (paper Section V).
+
+All ratios follow the paper's conventions:
+
+* ``Speedup = T_proc / T_TrueNorth``
+* ``xImprovement_power = P_proc / P_TrueNorth``
+* ``xImprovement_energy = E_proc / E_TrueNorth`` (per simulation tick)
+* ``SOPS = avg_firing_rate x avg_active_synapses x neurons``
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import params
+from repro.core.counters import EventCounters
+
+
+def sops(rate_hz: float, active_synapses: float, n_neurons: int) -> float:
+    """Synaptic operations per second at real-time operation."""
+    return rate_hz * active_synapses * n_neurons
+
+
+def gsops(rate_hz: float, active_synapses: float, n_neurons: int) -> float:
+    """Giga synaptic operations per second."""
+    return sops(rate_hz, active_synapses, n_neurons) / 1e9
+
+
+def gsops_per_watt(sops_value: float, power_w: float) -> float:
+    """Computation per energy in GSOPS/W."""
+    if power_w <= 0:
+        return 0.0
+    return sops_value / power_w / 1e9
+
+
+def sops_from_counters(counters: EventCounters, tick_frequency_hz: float = params.REAL_TIME_HZ) -> float:
+    """Measured SOPS of a simulated run at a given tick frequency."""
+    if counters.ticks == 0:
+        return 0.0
+    return counters.synaptic_events / counters.ticks * tick_frequency_hz
+
+
+def speedup(t_proc_s: float, t_truenorth_s: float) -> float:
+    """Time-to-solution ratio (paper Section VI-C)."""
+    return t_proc_s / t_truenorth_s
+
+
+def power_improvement(p_proc_w: float, p_truenorth_w: float) -> float:
+    """Power ratio."""
+    return p_proc_w / p_truenorth_w
+
+
+def energy_improvement(e_proc_j: float, e_truenorth_j: float) -> float:
+    """Energy-to-solution ratio."""
+    return e_proc_j / e_truenorth_j
+
+
+def orders_of_magnitude(ratio: float) -> float:
+    """log10 of a ratio — the paper reports improvements in orders."""
+    if ratio <= 0:
+        return float("-inf")
+    return math.log10(ratio)
+
+
+def within_band(value: float, low: float, high: float) -> bool:
+    """Band check used by the reproduction assertions."""
+    return low <= value <= high

@@ -1,0 +1,91 @@
+"""Plain-text rendering of tables and contour grids.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers format them for terminals and for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.contour import SweepGrid
+
+_SHADES = " .:-=+*#%@"
+
+
+def format_value(v: float) -> str:
+    """Compact numeric formatting across 10 orders of magnitude."""
+    if v == 0:
+        return "0"
+    a = abs(v)
+    if a >= 1e5 or a < 1e-3:
+        return f"{v:.2e}"
+    if a >= 100:
+        return f"{v:.0f}"
+    if a >= 1:
+        return f"{v:.2f}"
+    return f"{v:.4f}"
+
+
+def render_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [
+        [format_value(c) if isinstance(c, float) else str(c) for c in row]
+        for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_markdown_table(headers: list[str], rows: list[list]) -> str:
+    """GitHub-markdown table (for EXPERIMENTS.md)."""
+    out = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        out.append(
+            "| "
+            + " | ".join(
+                format_value(c) if isinstance(c, float) else str(c) for c in row
+            )
+            + " |"
+        )
+    return "\n".join(out)
+
+
+def render_contour(grid: SweepGrid, log_scale: bool = False, width: int = 2) -> str:
+    """ASCII heat map of a sweep grid (rows bottom-up, like the paper)."""
+    v = grid.values.astype(np.float64)
+    if log_scale:
+        with np.errstate(divide="ignore"):
+            v = np.log10(np.maximum(v, np.finfo(float).tiny))
+    lo, hi = v.min(), v.max()
+    span = hi - lo if hi > lo else 1.0
+    lines = [f"{grid.metric}  ({grid.row_name} vs {grid.col_name})"]
+    for i in reversed(range(grid.rows.size)):
+        row_chars = []
+        for j in range(grid.cols.size):
+            level = int((v[i, j] - lo) / span * (len(_SHADES) - 1))
+            row_chars.append(_SHADES[level] * width)
+        lines.append(f"{grid.rows[i]:>8.4g} |" + "".join(row_chars))
+    lines.append(" " * 9 + "+" + "-" * (grid.cols.size * width))
+    lines.append(
+        " " * 10
+        + "".join(f"{c:<{width}.3g}"[:width] for c in grid.cols)
+        + f"   ({grid.col_name})"
+    )
+    lines.append(f"   range: [{format_value(grid.min)}, {format_value(grid.max)}]")
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: list, ys: list, x_name: str = "x", y_name: str = "y") -> str:
+    """Two-column series rendering for scatter-style figures."""
+    rows = [[x, y] for x, y in zip(xs, ys)]
+    return render_table([x_name, y_name], rows, title=name)

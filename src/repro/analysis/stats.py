@@ -1,0 +1,111 @@
+"""Spike-train statistics: rates, ISI distributions, synchrony.
+
+Analysis utilities over :class:`~repro.core.record.SpikeRecord` used to
+characterize the recurrent benchmark networks (rate verification, CV of
+inter-spike intervals, population synchrony) and by tests validating the
+generators' statistical targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.record import SpikeRecord
+
+
+@dataclass(frozen=True)
+class SpikeTrainStats:
+    """Summary statistics of one run's spike trains."""
+
+    n_spikes: int
+    n_units: int
+    n_ticks: int
+    mean_rate_hz: float
+    rate_std_hz: float
+    mean_isi_ticks: float
+    isi_cv: float
+    synchrony: float  # Fano factor of the population per-tick count
+
+
+def per_unit_counts(record: SpikeRecord, n_cores: int, n_neurons: int) -> np.ndarray:
+    """(n_cores, n_neurons) spike counts."""
+    counts = np.zeros((n_cores, n_neurons), dtype=np.int64)
+    np.add.at(counts, (record.cores, record.neurons), 1)
+    return counts
+
+
+def per_tick_counts(record: SpikeRecord, n_ticks: int) -> np.ndarray:
+    """(n_ticks,) population spike counts."""
+    counts = np.zeros(n_ticks, dtype=np.int64)
+    valid = record.ticks < n_ticks
+    np.add.at(counts, record.ticks[valid], 1)
+    return counts
+
+
+def interspike_intervals(record: SpikeRecord) -> np.ndarray:
+    """All inter-spike intervals, pooled across units."""
+    isis = []
+    order = np.lexsort((record.ticks, record.neurons, record.cores))
+    ticks = record.ticks[order]
+    units = record.cores[order] * (record.neurons.max() + 1 if record.neurons.size else 1) + record.neurons[order]
+    for u in np.unique(units):
+        t = ticks[units == u]
+        if t.size >= 2:
+            isis.append(np.diff(t))
+    return np.concatenate(isis) if isis else np.zeros(0, dtype=np.int64)
+
+
+def summarize(
+    record: SpikeRecord, n_cores: int, n_neurons_per_core: int, n_ticks: int,
+    tick_seconds: float = 1e-3,
+) -> SpikeTrainStats:
+    """Compute the full statistics bundle for one run."""
+    n_units = n_cores * n_neurons_per_core
+    unit_counts = per_unit_counts(record, n_cores, n_neurons_per_core).reshape(-1)
+    duration = n_ticks * tick_seconds
+    rates = unit_counts / duration if duration > 0 else unit_counts * 0.0
+
+    isis = interspike_intervals(record)
+    mean_isi = float(isis.mean()) if isis.size else 0.0
+    isi_cv = float(isis.std() / isis.mean()) if isis.size and isis.mean() > 0 else 0.0
+
+    pop = per_tick_counts(record, n_ticks)
+    synchrony = float(pop.var() / pop.mean()) if pop.mean() > 0 else 0.0
+
+    return SpikeTrainStats(
+        n_spikes=record.n_spikes,
+        n_units=n_units,
+        n_ticks=n_ticks,
+        mean_rate_hz=float(rates.mean()),
+        rate_std_hz=float(rates.std()),
+        mean_isi_ticks=mean_isi,
+        isi_cv=isi_cv,
+        synchrony=synchrony,
+    )
+
+
+def raster(
+    record: SpikeRecord,
+    n_ticks: int,
+    units: list[tuple[int, int]] | None = None,
+    max_units: int = 24,
+) -> str:
+    """ASCII raster plot: one row per unit, one column per tick."""
+    if units is None:
+        seen: list[tuple[int, int]] = []
+        for c, n in zip(record.cores.tolist(), record.neurons.tolist()):
+            if (c, n) not in seen:
+                seen.append((c, n))
+            if len(seen) >= max_units:
+                break
+        units = seen
+    index = {u: i for i, u in enumerate(units)}
+    grid = [[" "] * n_ticks for _ in units]
+    for t, c, n in record.as_tuples():
+        key = (c, n)
+        if key in index and t < n_ticks:
+            grid[index[key]][t] = "|"
+    lines = [f"c{c:02d}n{n:03d} {''.join(row)}" for (c, n), row in zip(units, grid)]
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Shared vision-pipeline scaffolding: per-patch filter banks.
+
+All three feature-extraction applications (Haar, LBP, saliency) share
+one structure: the frame is tiled into non-overlapping patches, each
+patch's pixels fan out through a 2-way splitter (excitatory + inhibitory
+copies) into a bank of signed ternary filters.  This module builds that
+structure as a corelet composition and returns the compiled network with
+pixel-ordered input pins and per-patch feature output pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corelets.corelet import CompiledComposition, Composition, Connector, GlobalPin
+from repro.corelets.library.basic import splitter
+from repro.corelets.library.filters import signed_filter
+from repro.utils.validation import require
+
+
+@dataclass
+class PatchPipeline:
+    """A compiled per-patch filter-bank pipeline."""
+
+    compiled: CompiledComposition
+    height: int
+    width: int
+    patch: int
+    n_features: int
+
+    @property
+    def patches_y(self) -> int:
+        """Patch-grid height."""
+        return self.height // self.patch
+
+    @property
+    def patches_x(self) -> int:
+        """Patch-grid width."""
+        return self.width // self.patch
+
+    @property
+    def n_patches(self) -> int:
+        """Number of patches."""
+        return self.patches_y * self.patches_x
+
+    @property
+    def pixel_pins(self) -> list[GlobalPin]:
+        """Input pins in row-major pixel order."""
+        return self.compiled.inputs["pixels"]
+
+    @property
+    def feature_pins(self) -> list[GlobalPin]:
+        """Output pins, patch-major then feature order."""
+        return self.compiled.outputs["features"]
+
+    def feature_map(self, record) -> np.ndarray:
+        """(patches_y, patches_x, n_features) spike-count map from a run."""
+        from repro.apps.transduction import spike_counts_by_pin
+
+        counts = spike_counts_by_pin(record, self.feature_pins)
+        return counts.reshape(self.patches_y, self.patches_x, self.n_features)
+
+
+def build_patch_filter_bank(
+    height: int,
+    width: int,
+    kernels: np.ndarray,
+    patch: int = 4,
+    gain: int = 24,
+    threshold: int = 72,
+    decay: int = 8,
+    name: str = "patch-bank",
+    seed: int = 0,
+) -> PatchPipeline:
+    """Tile the frame into patches, each feeding a signed filter bank.
+
+    ``kernels`` is ``(patch*patch, n_features)`` in {-1, 0, +1}; the same
+    bank is instantiated per patch (weight sharing by replication, as in
+    corelet-composed convolution).
+    """
+    require(height % patch == 0 and width % patch == 0, "frame must tile by patch")
+    kernels = np.asarray(kernels)
+    require(kernels.shape[0] == patch * patch, "kernel rows must equal patch area")
+    n_features = kernels.shape[1]
+    patches_y, patches_x = height // patch, width // patch
+
+    comp = Composition(name=name, seed=seed)
+    # pixel (y, x) -> (patch index, within-patch index)
+    pin_by_pixel: dict[tuple[int, int], object] = {}
+    feature_pins: list = []
+
+    for py in range(patches_y):
+        for px in range(patches_x):
+            tag = f"{name}/p{py}x{px}"
+            sp = splitter(patch * patch, 2, name=f"{tag}/split")
+            bank = signed_filter(
+                kernels, gain=gain, threshold=threshold, decay=decay, name=f"{tag}/bank"
+            )
+            comp.connect(sp.outputs["out0"], bank.inputs["in+"])
+            comp.connect(sp.outputs["out1"], bank.inputs["in-"])
+            for local, pin in enumerate(sp.inputs["in"].pins):
+                y = py * patch + local // patch
+                x = px * patch + local % patch
+                pin_by_pixel[(y, x)] = pin
+            feature_pins.extend(bank.outputs["out"].pins)
+
+    pixel_pins = [pin_by_pixel[(y, x)] for y in range(height) for x in range(width)]
+    comp.export_input("pixels", Connector("pixels", pixel_pins))
+    comp.export_output("features", Connector("features", feature_pins))
+    return PatchPipeline(
+        compiled=comp.compile(),
+        height=height,
+        width=width,
+        patch=patch,
+        n_features=n_features,
+    )

@@ -1,0 +1,157 @@
+"""Probabilistically-generated recurrent characterization networks.
+
+Paper Section IV-B: "to systematically characterize TrueNorth's
+operation space and performance, we created a set of 88 probabilistically
+generated recurrent networks that each use all 4,096 cores and every
+neuron on the processor.  The set ... spans mean firing rates per neuron
+from 0 to 200 Hz, and active synapses per neuron from 0 to 256.  Neurons
+project to axons that are an average of 21.66 hops (cores) away both in
+x and y dimensions."
+
+The generator controls the two sweep axes precisely:
+
+* **firing rate** — neurons are driven by the stochastic leak: with
+  threshold T and stochastic leak magnitude lambda, a neuron accumulates
+  +1 with probability lambda/256 per tick and fires once per T
+  accumulations, giving rate = lambda / (256 T) per tick;
+* **active synapses** — every axon's crossbar row carries exactly K
+  programmed synapses, so each arriving spike performs K synaptic
+  operations.  Per the paper's SOPS definition (Section V-1, conditioned
+  on W_ij = 1 and A_i = 1), the op count is independent of the weight
+  *value*; the default ``coupling='zero'`` uses zero-valued weights so
+  the firing rate stays exactly at its programmed value, while
+  ``coupling='balanced'`` programs +/-1 excitatory/inhibitory weights for
+  the chaotic coupled dynamics used by the equivalence regressions.
+
+* **hop distance** — each neuron targets a core offset drawn uniformly
+  from [-2d, 2d] in x and y (mean |offset| = d ~ 21.66 at full chip
+  scale), reflected at the grid border.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import params
+from repro.core.chip import ChipGeometry, Placement
+from repro.core.network import Core, Network
+from repro.utils.validation import require
+
+FULL_CHIP_MEAN_HOP_CORES = 21.66
+
+
+def _reflect(v: np.ndarray, side: int) -> np.ndarray:
+    """Fold coordinates into [0, side) by mirror reflection at the borders."""
+    if side == 1:
+        return np.zeros_like(np.asarray(v))
+    period = 2 * side - 2
+    v = np.abs(np.asarray(v)) % period
+    return np.where(v >= side, period - v, v)
+
+
+def rate_parameters(rate_hz: float, threshold: int = 4) -> tuple[int, int]:
+    """(stochastic leak magnitude, threshold) hitting *rate_hz*.
+
+    rate/tick = lambda / (256 * T); lambda is quantized to an integer,
+    so rates land within ~1 Hz of target at T = 4.
+    """
+    require(0.0 <= rate_hz <= 240.0, "generator supports rates up to 240 Hz")
+    lam = int(round(256.0 * threshold * rate_hz * params.TICK_SECONDS))
+    return min(lam, params.LEAK_MAX), threshold
+
+
+def probabilistic_recurrent_network(
+    rate_hz: float,
+    active_synapses: int,
+    grid_side: int = 8,
+    neurons_per_core: int = params.CORE_NEURONS,
+    coupling: str = "zero",
+    seed: int = 0,
+) -> Network:
+    """Build one characterization network on a grid_side^2-core chip region.
+
+    At ``grid_side=64`` this is the paper's full-chip network; smaller
+    grids scale the mean hop distance proportionally
+    (21.66 * grid_side / 64 in each dimension).
+    """
+    require(0 <= active_synapses <= neurons_per_core, "K must be <= neurons per core")
+    require(coupling in ("zero", "balanced"), "coupling is 'zero' or 'balanced'")
+    rng = np.random.default_rng(seed)
+    n_cores = grid_side * grid_side
+    lam, threshold = rate_parameters(rate_hz)
+
+    mean_offset = max(1.0, FULL_CHIP_MEAN_HOP_CORES * grid_side / 64.0)
+    half_span = max(1, int(round(2 * mean_offset)))
+
+    net = Network(
+        seed=seed,
+        name=f"recurrent-r{rate_hz:g}-k{active_synapses}-g{grid_side}",
+    )
+    for core_id in range(n_cores):
+        cy, cx = divmod(core_id, grid_side)
+        # Exactly K programmed synapses per axon row.
+        crossbar = np.zeros((neurons_per_core, neurons_per_core), dtype=bool)
+        if active_synapses > 0:
+            for axon in range(neurons_per_core):
+                crossbar[axon, rng.choice(neurons_per_core, active_synapses, replace=False)] = True
+
+        if coupling == "zero":
+            weights = np.zeros((neurons_per_core, params.NUM_AXON_TYPES), dtype=np.int64)
+            axon_types = np.zeros(neurons_per_core, dtype=np.int64)
+        else:
+            weights = np.zeros((neurons_per_core, params.NUM_AXON_TYPES), dtype=np.int64)
+            weights[:, 0] = 1
+            weights[:, 1] = -1
+            axon_types = rng.integers(0, 2, size=neurons_per_core)
+
+        # Targets: reflect offsets at the chip border, uniform in
+        # [-half_span, half_span] (mean magnitude ~ mean_offset).
+        dx = rng.integers(-half_span, half_span + 1, size=neurons_per_core)
+        dy = rng.integers(-half_span, half_span + 1, size=neurons_per_core)
+        tx = _reflect(cx + dx, grid_side)
+        ty = _reflect(cy + dy, grid_side)
+        target_core = ty * grid_side + tx
+
+        core = Core.build(
+            n_axons=neurons_per_core,
+            n_neurons=neurons_per_core,
+            crossbar=crossbar,
+            axon_types=axon_types,
+            weights=weights,
+            stoch_leak=lam > 0,
+            leak=lam,
+            threshold=threshold,
+            neg_threshold=64,
+            reset_value=0,
+            target_core=target_core,
+            target_axon=rng.integers(0, neurons_per_core, size=neurons_per_core),
+            delay=rng.integers(1, 3, size=neurons_per_core),
+            name=f"recurrent/core{core_id}",
+        )
+        net.add_core(core)
+    net.validate()
+    return net
+
+
+def chip_placement(grid_side: int) -> Placement:
+    """Square placement matching the generator's core grid."""
+    idx = np.arange(grid_side * grid_side)
+    return Placement(
+        chip_x=np.zeros(idx.size, dtype=np.int64),
+        chip_y=np.zeros(idx.size, dtype=np.int64),
+        x=idx % grid_side,
+        y=idx // grid_side,
+        geometry=ChipGeometry(),
+    )
+
+
+def characterization_grid(
+    n_rates: int = 8, n_synapses: int = 11
+) -> list[tuple[float, int]]:
+    """The 88 (rate, active synapses) sweep points of the paper.
+
+    8 rates spanning 25..200 Hz x 11 synapse counts spanning 0..256.
+    """
+    rates = np.linspace(25.0, 200.0, n_rates)
+    synapses = np.round(np.linspace(0, 256, n_synapses)).astype(int)
+    return [(float(r), int(k)) for r in rates for k in synapses]

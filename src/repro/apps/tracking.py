@@ -1,0 +1,162 @@
+"""Multi-object tracking on the Where network's detections.
+
+The Neovision2 Tower task involves *moving* objects from a fixed
+camera; binding per-frame detections into temporal tracks gives object
+velocities and stabilizes labels.  This module runs the spiking Where
+network frame by frame and associates candidate boxes greedily by
+centroid distance — the classical detect-then-track pattern on top of
+the What/Where system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.neovision import NeovisionSystem
+from repro.apps.video import Scene
+from repro.utils.validation import require
+
+
+@dataclass
+class Track:
+    """One object track across frames."""
+
+    track_id: int
+    frames: list[int] = field(default_factory=list)
+    centers: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, frame: int, center: tuple[float, float]) -> None:
+        """Extend the track with a detection."""
+        self.frames.append(frame)
+        self.centers.append(center)
+
+    @property
+    def length(self) -> int:
+        """Number of frames in the track."""
+        return len(self.frames)
+
+    @property
+    def velocity(self) -> tuple[float, float]:
+        """Mean per-frame displacement (vy, vx)."""
+        if self.length < 2:
+            return (0.0, 0.0)
+        dy = (self.centers[-1][0] - self.centers[0][0]) / (self.frames[-1] - self.frames[0])
+        dx = (self.centers[-1][1] - self.centers[0][1]) / (self.frames[-1] - self.frames[0])
+        return (dy, dx)
+
+
+@dataclass
+class Tracker:
+    """Greedy nearest-centroid association of per-frame detections."""
+
+    max_match_distance: float = 8.0
+    tracks: list[Track] = field(default_factory=list)
+    _next_id: int = 0
+    _active: dict = field(default_factory=dict)  # track_id -> last center
+
+    def update(self, frame: int, centers: list[tuple[float, float]]) -> None:
+        """Associate this frame's detections with open tracks."""
+        unmatched = list(centers)
+        assignments: dict = {}
+        for tid, last in sorted(self._active.items()):
+            if not unmatched:
+                break
+            dists = [np.hypot(c[0] - last[0], c[1] - last[1]) for c in unmatched]
+            best = int(np.argmin(dists))
+            if dists[best] <= self.max_match_distance:
+                assignments[tid] = unmatched.pop(best)
+        # extend matched tracks
+        for tid, center in assignments.items():
+            self.tracks[tid].add(frame, center)
+            self._active[tid] = center
+        # close tracks that missed this frame
+        for tid in list(self._active):
+            if tid not in assignments:
+                del self._active[tid]
+        # open new tracks for leftovers
+        for center in unmatched:
+            track = Track(self._next_id)
+            track.add(frame, center)
+            self.tracks.append(track)
+            self._active[self._next_id] = center
+            self._next_id += 1
+
+    def completed_tracks(self, min_length: int = 2) -> list[Track]:
+        """Tracks spanning at least *min_length* frames."""
+        return [t for t in self.tracks if t.length >= min_length]
+
+
+def track_scene(
+    system: NeovisionSystem,
+    scene: Scene,
+    ticks_per_frame: int = 16,
+    max_match_distance: float = 8.0,
+) -> list[Track]:
+    """Run the Where network per frame and track the candidates."""
+    require(scene.n_frames >= 2, "tracking needs at least two frames")
+    tracker = Tracker(max_match_distance=max_match_distance)
+    for f in range(scene.n_frames):
+        sub = Scene(frames=scene.frames[f : f + 1], boxes=[scene.boxes[f]])
+        boxes, _ = system.where(sub, ticks_per_frame=ticks_per_frame)
+        centers = [(y + h / 2.0, x + w / 2.0) for (y, x, h, w) in boxes]
+        tracker.update(f, centers)
+    return tracker.completed_tracks()
+
+
+def evaluate_tracking(
+    system: NeovisionSystem,
+    scene: Scene,
+    **kwargs,
+) -> dict:
+    """Score tracks against ground-truth object trajectories.
+
+    Matches each completed track to the ground-truth object with the
+    closest mean centroid distance; reports coverage (tracked objects /
+    objects), mean position error, and velocity-direction agreement.
+    """
+    tracks = track_scene(system, scene, **kwargs)
+    n_objects = len(scene.boxes[0])
+    truths = []
+    for obj in range(n_objects):
+        centers = [scene.boxes[f][obj].center for f in range(scene.n_frames)]
+        truths.append(centers)
+
+    matched = 0
+    position_errors = []
+    velocity_agreements = []
+    used: set[int] = set()
+    for track in tracks:
+        best, best_err = None, float("inf")
+        for obj, centers in enumerate(truths):
+            if obj in used:
+                continue
+            errs = [
+                np.hypot(c[0] - centers[f][0], c[1] - centers[f][1])
+                for f, c in zip(track.frames, track.centers)
+                if f < len(centers)
+            ]
+            if errs and np.mean(errs) < best_err:
+                best, best_err = obj, float(np.mean(errs))
+        if best is not None and best_err <= 10.0:
+            used.add(best)
+            matched += 1
+            position_errors.append(best_err)
+            true_v = (
+                (truths[best][-1][0] - truths[best][0][0]) / max(scene.n_frames - 1, 1),
+                (truths[best][-1][1] - truths[best][0][1]) / max(scene.n_frames - 1, 1),
+            )
+            est_v = track.velocity
+            same_direction = np.sign(est_v[1]) == np.sign(true_v[1]) or abs(true_v[1]) < 0.2
+            velocity_agreements.append(bool(same_direction))
+
+    return {
+        "n_tracks": len(tracks),
+        "n_objects": n_objects,
+        "coverage": matched / n_objects if n_objects else 0.0,
+        "mean_position_error": float(np.mean(position_errors)) if position_errors else float("inf"),
+        "velocity_direction_agreement": (
+            float(np.mean(velocity_agreements)) if velocity_agreements else 0.0
+        ),
+    }

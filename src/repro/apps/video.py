@@ -1,0 +1,132 @@
+"""Synthetic streaming-video scenes with ground truth.
+
+DESIGN.md substitution #4: the DARPA Neovision2 Tower dataset is not
+redistributable, so scenes with Neovision-like content — moving and
+stationary people, cyclists, cars, buses, trucks viewed from a fixed
+elevated camera — are synthesized with per-frame ground-truth boxes.
+Object classes differ in size, aspect ratio, speed, and intensity, which
+is exactly the information the What/Where networks exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import require
+
+# class name -> (height, width, speed px/frame, intensity)
+CLASS_PROFILES = {
+    "person": (8, 3, 0.6, 0.55),
+    "cyclist": (7, 5, 1.4, 0.65),
+    "car": (5, 9, 2.2, 0.80),
+    "bus": (8, 16, 1.6, 0.90),
+    "truck": (9, 13, 1.2, 0.70),
+}
+CLASSES = tuple(CLASS_PROFILES)
+
+
+@dataclass(frozen=True)
+class GroundTruthBox:
+    """One labeled object instance in one frame."""
+
+    frame: int
+    label: str
+    y: int  # top
+    x: int  # left
+    h: int
+    w: int
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """Box center (y, x)."""
+        return (self.y + self.h / 2.0, self.x + self.w / 2.0)
+
+    def iou(self, other: "GroundTruthBox") -> float:
+        """Intersection-over-union with another box."""
+        y0 = max(self.y, other.y)
+        x0 = max(self.x, other.x)
+        y1 = min(self.y + self.h, other.y + other.h)
+        x1 = min(self.x + self.w, other.x + other.w)
+        inter = max(0, y1 - y0) * max(0, x1 - x0)
+        union = self.h * self.w + other.h * other.w - inter
+        return inter / union if union else 0.0
+
+
+@dataclass
+class Scene:
+    """A generated video: frames plus per-frame ground truth."""
+
+    frames: np.ndarray  # (n_frames, height, width) in [0, 1]
+    boxes: list[list[GroundTruthBox]]  # per frame
+
+    @property
+    def n_frames(self) -> int:
+        """Number of frames."""
+        return self.frames.shape[0]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(height, width) of each frame."""
+        return self.frames.shape[1], self.frames.shape[2]
+
+
+def generate_scene(
+    height: int = 32,
+    width: int = 48,
+    n_frames: int = 12,
+    n_objects: int = 3,
+    classes: tuple = CLASSES,
+    background_noise: float = 0.03,
+    seed: int = 0,
+) -> Scene:
+    """Generate a fixed-camera scene with moving labeled objects."""
+    require(height >= 12 and width >= 18, "scene too small for objects")
+    rng = np.random.default_rng(seed)
+    frames = np.zeros((n_frames, height, width), dtype=np.float64)
+    boxes: list[list[GroundTruthBox]] = [[] for _ in range(n_frames)]
+
+    objects = []
+    for _ in range(n_objects):
+        label = classes[rng.integers(0, len(classes))]
+        h, w, speed, intensity = CLASS_PROFILES[label]
+        y = float(rng.integers(0, max(1, height - h)))
+        x = float(rng.integers(0, max(1, width - w)))
+        heading = rng.choice([-1.0, 1.0])
+        moving = rng.random() < 0.75  # some objects are stationary
+        objects.append([label, y, x, h, w, speed * heading * moving, intensity])
+
+    for f in range(n_frames):
+        frame = rng.random((height, width)) * background_noise
+        for obj in objects:
+            label, y, x, h, w, vx, intensity = obj
+            xi = int(round(x)) % max(1, width - w + 1)
+            yi = int(round(y))
+            frame[yi : yi + h, xi : xi + w] = np.maximum(
+                frame[yi : yi + h, xi : xi + w],
+                intensity * (0.85 + 0.3 * rng.random((h, w))),
+            )
+            boxes[f].append(GroundTruthBox(f, label, yi, xi, h, w))
+            obj[2] = x + vx  # advance horizontal position
+        frames[f] = np.clip(frame, 0.0, 1.0)
+
+    return Scene(frames=frames, boxes=boxes)
+
+
+def static_pattern(
+    height: int, width: int, kind: str = "vertical-edge", seed: int = 0
+) -> np.ndarray:
+    """Deterministic single-frame test patterns for feature extractors."""
+    ys, xs = np.mgrid[0:height, 0:width]
+    if kind == "vertical-edge":
+        return (xs < width // 2).astype(np.float64)
+    if kind == "horizontal-edge":
+        return (ys < height // 2).astype(np.float64)
+    if kind == "checkerboard":
+        return (((ys // 4) + (xs // 4)) % 2).astype(np.float64)
+    if kind == "uniform":
+        return np.full((height, width), 0.5)
+    if kind == "noise":
+        return np.random.default_rng(seed).random((height, width))
+    raise ValueError(f"unknown pattern kind {kind!r}")

@@ -1,0 +1,99 @@
+"""Full-scale workload descriptors from the paper (Section IV-B).
+
+Network sizes, core counts, and mean firing rates are quoted directly
+from the paper; the synaptic fan-out of the vision networks is not
+itemized per application, so the characterization default (128, the
+mid-scale of the sweep) is used, with the mean hop distance of composed
+vision pipelines set lower than the random recurrent networks (vision
+corelets are placed locally; hop distances are dominated by neighbour
+stages).
+"""
+
+from __future__ import annotations
+
+from repro.core.workload import WorkloadDescriptor
+
+VISION_MEAN_HOPS = 16.0  # locally-placed pipeline stages
+VISION_FANOUT = 128.0
+
+# "ten Haar-like features in a network of 617,567 neurons in 2,605 cores
+# with a 135 Hz mean firing rate"
+HAAR = WorkloadDescriptor(
+    name="Haar features",
+    n_neurons=617_567,
+    n_cores=2_605,
+    rate_hz=135.0,
+    active_synapses=VISION_FANOUT,
+    mean_hops=VISION_MEAN_HOPS,
+)
+
+# "20-bin Local Binary Pattern feature histograms in a network of
+# 813,978 neurons in 3,836 cores with a 64 Hz mean firing rate"
+LBP = WorkloadDescriptor(
+    name="Local Binary Patterns",
+    n_neurons=813_978,
+    n_cores=3_836,
+    rate_hz=64.0,
+    active_synapses=VISION_FANOUT,
+    mean_hops=VISION_MEAN_HOPS,
+)
+
+# "a feature extraction corelet with 889,461 neurons in 3,926 cores and
+# an 86 Hz mean firing rate"
+SALIENCY = WorkloadDescriptor(
+    name="Saliency map",
+    n_neurons=889_461,
+    n_cores=3_926,
+    rate_hz=86.0,
+    active_synapses=VISION_FANOUT,
+    mean_hops=VISION_MEAN_HOPS,
+)
+
+# "a corelet with 612,458 neurons in 2,571 cores and a 5 Hz mean firing rate"
+SACCADE = WorkloadDescriptor(
+    name="Saccade map",
+    n_neurons=612_458,
+    n_cores=2_571,
+    rate_hz=5.0,
+    active_synapses=VISION_FANOUT,
+    mean_hops=VISION_MEAN_HOPS,
+)
+
+# "660,009 neurons in 4,018 cores with a 12.8 Hz mean firing rate"
+NEOVISION = WorkloadDescriptor(
+    name="Neovision detection+classification",
+    n_neurons=660_009,
+    n_cores=4_018,
+    rate_hz=12.8,
+    active_synapses=VISION_FANOUT,
+    mean_hops=VISION_MEAN_HOPS,
+)
+
+VISION_APPS = (NEOVISION, HAAR, LBP, SACCADE, SALIENCY)
+
+# The GSOPS/W headline operating points (Section VI-B).
+ANCHOR_A = WorkloadDescriptor(
+    name="characterization 20Hz x 128syn",
+    n_neurons=2**20,
+    n_cores=4_096,
+    rate_hz=20.0,
+    active_synapses=128.0,
+)
+ANCHOR_C = WorkloadDescriptor(
+    name="characterization 200Hz x 256syn",
+    n_neurons=2**20,
+    n_cores=4_096,
+    rate_hz=200.0,
+    active_synapses=256.0,
+)
+
+
+def characterization_workload(rate_hz: float, active_synapses: float) -> WorkloadDescriptor:
+    """Full-chip characterization workload at one sweep point."""
+    return WorkloadDescriptor(
+        name=f"characterization {rate_hz:g}Hz x {active_synapses:g}syn",
+        n_neurons=2**20,
+        n_cores=4_096,
+        rate_hz=rate_hz,
+        active_synapses=active_synapses,
+    )

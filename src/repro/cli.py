@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``headline``      — the TAB1 headline operating points;
+* ``fig5``          — print one Fig. 5 characterization panel (a-f);
+* ``fig6``          — TrueNorth-vs-Compass contour summary;
+* ``fig7``          — vision-application comparison table;
+* ``fig8``          — BG/Q strong-scaling table;
+* ``equivalence``   — run the one-to-one equivalence regressions;
+* ``future``        — Section VII system projections;
+* ``simulate``      — run a model file on a chosen expression;
+* ``characterize``  — simulate one recurrent sweep point and report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import render_contour, render_table
+
+
+def _cmd_headline(args) -> int:
+    from repro.experiments import fig5
+
+    h = fig5.headline_points()
+    rows = [
+        ["power @20Hz/128syn (mW)", h["power_mw_20hz_128syn"], "65"],
+        ["GSOPS/W real time", h["gsops_per_watt_real_time"], "46"],
+        ["GSOPS/W at 5x", h["gsops_per_watt_5x"], "81"],
+        ["GSOPS/W @200Hz/256syn", h["gsops_per_watt_200hz_256syn"], ">400"],
+        ["power density (mW/cm^2)", h["power_density_mw_per_cm2"], "~20"],
+    ]
+    print(render_table(["metric", "measured", "paper"], rows,
+                       title="headline operating points (TAB1)"))
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    from repro.experiments import fig5
+
+    panels = {
+        "a": fig5.fig5a_gsops,
+        "b": fig5.fig5b_max_frequency,
+        "c": fig5.fig5c_frequency_vs_voltage,
+        "d": fig5.fig5d_energy_per_tick,
+        "e": fig5.fig5e_efficiency,
+        "f": fig5.fig5f_efficiency_vs_voltage,
+    }
+    grid = panels[args.panel]()
+    print(render_contour(grid, log_scale=args.log))
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from repro.experiments import fig6
+
+    rows = [
+        [name, s["min"], s["max"], s["orders_min"], s["orders_max"]]
+        for name, s in fig6.fig6_summary().items()
+    ]
+    print(render_table(["panel", "min", "max", "orders(min)", "orders(max)"],
+                       rows, title="Fig. 6: TrueNorth vs Compass"))
+    return 0
+
+
+def _cmd_fig7(args) -> int:
+    from repro.experiments import fig7
+
+    rows = [
+        [p.app, p.platform, p.speedup, p.power_improvement, p.energy_improvement]
+        for p in fig7.fig7_points()
+    ]
+    print(render_table(["application", "platform", "speedup", "x power", "x energy"],
+                       rows, title="Fig. 7: five vision applications"))
+    return 0
+
+
+def _cmd_fig8(args) -> int:
+    from repro.experiments import fig8
+
+    rows = [
+        [p.hosts, p.threads, p.time_per_tick_s, p.power_w]
+        for p in fig8.fig8_bgq_points()
+    ]
+    print(render_table(["hosts", "threads", "s/tick", "power (W)"], rows,
+                       title="Fig. 8: Neovision strong scaling on BG/Q"))
+    s = fig8.fig8_summary()
+    print(f"\nbest point: {s['best_hosts']} hosts x {s['best_threads']} threads = "
+          f"{s['best_slowdown_vs_real_time']:.1f}x slower than real time")
+    return 0
+
+
+def _cmd_equivalence(args) -> int:
+    from repro.experiments import equivalence
+
+    suites = {
+        "single-core": equivalence.single_core_regressions(),
+        "multi-core": equivalence.multi_core_regressions(),
+        "recurrent": equivalence.recurrent_network_regressions(),
+    }
+    rows = [
+        [name, r.n_regressions, r.total_spikes_compared, r.n_mismatches]
+        for name, r in suites.items()
+    ]
+    print(render_table(["suite", "regressions", "spikes compared", "mismatches"],
+                       rows, title="one-to-one equivalence (Section VI-A)"))
+    failed = sum(r.n_mismatches for r in suites.values())
+    print("RESULT:", "100% match" if failed == 0 else f"{failed} MISMATCHES")
+    return 1 if failed else 0
+
+
+def _cmd_future(args) -> int:
+    from repro.experiments import future_systems
+
+    rows = [
+        [r["tier"], r["chips"], float(r["neurons"]), float(r["synapses"]), r["power_w"]]
+        for r in future_systems.tier_table()
+    ]
+    print(render_table(["tier", "chips", "neurons", "synapses", "power (W)"],
+                       rows, title="Section VII system projections"))
+    print(f"\nrat-scale advantage:      {future_systems.rat_scale_energy_ratio():.0f}x")
+    print(f"1%-human-scale advantage: {future_systems.human1pct_energy_ratio():.0f}x")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report_gen import generate_report
+
+    text = generate_report()
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"wrote report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.compass.simulator import run_compass
+    from repro.hardware.energy import EnergyModel
+    from repro.hardware.simulator import run_truenorth
+    from repro.io.model_files import load_network
+
+    network = load_network(args.model)
+    if args.expression == "compass":
+        record = run_compass(network, args.ticks, n_ranks=args.ranks)
+    else:
+        record = run_truenorth(network, args.ticks)
+    c = record.counters
+    print(f"{network.name or args.model}: {network.n_cores} cores, "
+          f"{args.ticks} ticks on {args.expression}")
+    print(f"  spikes: {c.spikes}  synaptic events: {c.synaptic_events}  "
+          f"mean rate: {c.mean_firing_rate_hz:.1f} Hz")
+    energy = EnergyModel().energy_for_run_j(c)
+    print(f"  chip-model energy: {energy * 1e6:.2f} uJ "
+          f"({energy / max(c.ticks, 1) * 1e6:.3f} uJ/tick)")
+    if args.output:
+        from repro.io.aer import record_to_aer, write_aer_file
+
+        write_aer_file(args.output, record_to_aer(record))
+        print(f"  wrote {record.n_spikes} output events to {args.output}")
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from repro.experiments import fig5
+
+    result = fig5.empirical_validation(
+        rate_hz=args.rate, active_synapses=args.synapses,
+        grid_side=args.grid, neurons_per_core=args.neurons, n_ticks=args.ticks,
+    )
+    rows = [
+        ["synaptic events/tick", result["measured_syn_events_per_tick"],
+         result["analytic_syn_events_per_tick"]],
+        ["spikes/tick", result["measured_spikes_per_tick"],
+         result["analytic_spikes_per_tick"]],
+        ["firing rate (Hz)", result["measured_rate_hz"], result["target_rate_hz"]],
+    ]
+    print(render_table(["metric", "simulated", "analytic"], rows,
+                       title=f"characterization: {args.rate} Hz x {args.synapses} syn"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TrueNorth/Compass reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("headline").set_defaults(fn=_cmd_headline)
+
+    p5 = sub.add_parser("fig5")
+    p5.add_argument("panel", choices=list("abcdef"))
+    p5.add_argument("--log", action="store_true")
+    p5.set_defaults(fn=_cmd_fig5)
+
+    sub.add_parser("fig6").set_defaults(fn=_cmd_fig6)
+    sub.add_parser("fig7").set_defaults(fn=_cmd_fig7)
+    sub.add_parser("fig8").set_defaults(fn=_cmd_fig8)
+    sub.add_parser("equivalence").set_defaults(fn=_cmd_equivalence)
+    sub.add_parser("future").set_defaults(fn=_cmd_future)
+
+    pr = sub.add_parser("report")
+    pr.add_argument("--output", help="write markdown to this path")
+    pr.set_defaults(fn=_cmd_report)
+
+    ps = sub.add_parser("simulate")
+    ps.add_argument("model", help="path to a .npz model file")
+    ps.add_argument("--ticks", type=int, default=100)
+    ps.add_argument("--expression", choices=["compass", "truenorth"],
+                    default="truenorth")
+    ps.add_argument("--ranks", type=int, default=1)
+    ps.add_argument("--output", help="write output spikes to this AER file")
+    ps.set_defaults(fn=_cmd_simulate)
+
+    pc = sub.add_parser("characterize")
+    pc.add_argument("--rate", type=float, default=100.0)
+    pc.add_argument("--synapses", type=int, default=16)
+    pc.add_argument("--grid", type=int, default=4)
+    pc.add_argument("--neurons", type=int, default=64)
+    pc.add_argument("--ticks", type=int, default=200)
+    pc.set_defaults(fn=_cmd_characterize)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

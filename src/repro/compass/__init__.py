@@ -1,0 +1,28 @@
+"""Compass: the software expression of the neurosynaptic kernel."""
+
+from repro.compass.partition import (
+    partition,
+    partition_block,
+    partition_load_balanced,
+    partition_round_robin,
+    rank_loads,
+)
+from repro.compass.fast import FastCompassSimulator, run_fast_compass
+from repro.compass.parallel import ParallelCompassSimulator, run_parallel_compass
+from repro.compass.simmpi import SimMPI
+from repro.compass.simulator import CompassSimulator, run_compass
+
+__all__ = [
+    "partition",
+    "partition_block",
+    "partition_load_balanced",
+    "partition_round_robin",
+    "rank_loads",
+    "FastCompassSimulator",
+    "run_fast_compass",
+    "ParallelCompassSimulator",
+    "run_parallel_compass",
+    "SimMPI",
+    "CompassSimulator",
+    "run_compass",
+]

@@ -1,0 +1,243 @@
+"""ParallelCompass: real multi-process execution of the kernel.
+
+The in-process :class:`~repro.compass.simulator.CompassSimulator`
+*simulates* Compass's communication structure; this module *executes*
+it: each simulated MPI rank becomes an OS process owning a partition of
+cores, exchanging spike events with the coordinator over pipes at every
+tick barrier — the kernel's "parallelism across threads" realized with
+Python's multiprocessing in place of MPI/OpenMP.
+
+Determinism: the counter-based PRNG makes every worker's draws a pure
+function of (seed, core, tick, unit), so results are bit-identical to
+every other expression regardless of process scheduling — verified by
+the equivalence tests.
+
+Note on performance: for the small networks used in tests the pipe
+round-trips dominate and the parallel version is *slower* than the
+vectorized single-process simulator; the point here is architectural
+fidelity (and a truthful baseline for the scaling discussion), not
+speed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from collections import defaultdict
+
+import numpy as np
+
+from repro.compass.partition import partition
+from repro.core import params
+from repro.core.counters import EventCounters
+from repro.core.crossbar import synaptic_input
+from repro.core.inputs import InputSchedule
+from repro.core.network import OUTPUT_TARGET, Network
+from repro.core.neuron import neuron_tick
+from repro.core.record import SpikeRecord
+
+_STOP = "stop"
+
+
+def _worker_main(conn, cores, core_ids, seed):
+    """Worker process: own a core partition, advance on command.
+
+    Protocol per tick: receive ``(tick, deliveries)`` where deliveries
+    are (local_core_index, axon, absolute_tick) events to buffer; reply
+    with ``(spikes, outgoing, stats)`` where spikes are (tick,
+    global_core, neuron), outgoing are (global_target_core, axon,
+    absolute_tick), and stats are counter increments.
+    """
+    membranes = [core.initial_v.astype(np.int64).copy() for core in cores]
+    buffers = [
+        np.zeros((params.DELAY_SLOTS, core.n_axons), dtype=bool) for core in cores
+    ]
+    while True:
+        message = conn.recv()
+        if message == _STOP:
+            conn.close()
+            return
+        tick, deliveries = message
+        for local, axon, when in deliveries:
+            buffers[local][when % params.DELAY_SLOTS, axon] = True
+
+        slot = tick % params.DELAY_SLOTS
+        spikes = []
+        outgoing = []
+        stats = {
+            "synaptic_events": 0,
+            "spikes": 0,
+            "deliveries": 0,
+            "neuron_updates": 0,
+            "per_core": {},
+        }
+        for local, core in enumerate(cores):
+            gid = core_ids[local]
+            row = buffers[local][slot]
+            active = np.nonzero(row)[0]
+            row[:] = False
+            stats["deliveries"] += int(active.size)
+
+            syn, n_events = synaptic_input(core, active, gid, tick, seed)
+            stats["synaptic_events"] += n_events
+            stats["per_core"][gid] = n_events
+
+            v, spiked = neuron_tick(core, membranes[local], syn, gid, tick, seed)
+            membranes[local] = v
+            stats["neuron_updates"] += core.n_neurons
+
+            fired = np.nonzero(spiked)[0]
+            if fired.size == 0:
+                continue
+            stats["spikes"] += int(fired.size)
+            spikes.extend((tick, gid, int(n)) for n in fired)
+            for n in fired:
+                target = int(core.target_core[n])
+                if target == OUTPUT_TARGET:
+                    continue
+                outgoing.append(
+                    (target, int(core.target_axon[n]), tick + int(core.delay[n]))
+                )
+        conn.send((spikes, outgoing, stats))
+
+
+class ParallelCompassSimulator:
+    """Coordinator for a pool of worker-rank processes."""
+
+    def __init__(
+        self,
+        network: Network,
+        n_workers: int = 2,
+        partition_strategy: str = "load_balanced",
+    ) -> None:
+        network.validate()
+        self.network = network
+        self.n_workers = n_workers
+        self.rank_of_core = partition(network, n_workers, partition_strategy)
+        self.local_index = np.zeros(network.n_cores, dtype=np.int64)
+        core_ids_per_worker: list[list[int]] = [[] for _ in range(n_workers)]
+        for gid in range(network.n_cores):
+            rank = int(self.rank_of_core[gid])
+            self.local_index[gid] = len(core_ids_per_worker[rank])
+            core_ids_per_worker[rank].append(gid)
+
+        ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
+        self._conns = []
+        self._procs = []
+        for rank in range(n_workers):
+            parent, child = ctx.Pipe()
+            cores = [network.cores[g] for g in core_ids_per_worker[rank]]
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child, cores, core_ids_per_worker[rank], network.seed),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+        self.tick = 0
+        self.counters = EventCounters()
+        self.counters.ensure_cores(network.n_cores)
+        # deliveries staged per worker: (local_core, axon, abs_tick).
+        # Spike-generated events are at most MAX_DELAY ticks ahead, so
+        # they are ring-buffer safe to stage immediately; external inputs
+        # can be arbitrarily far in the future and are held back in
+        # _future_inputs until their own tick.
+        self._staged: list[list] = [[] for _ in range(n_workers)]
+        self._future_inputs: dict[int, list] = {}
+        self._closed = False
+
+    # -- input handling ----------------------------------------------------
+    def load_inputs(self, inputs: InputSchedule | None) -> None:
+        """Hold external events until their delivery tick arrives."""
+        if inputs is None:
+            return
+        for tick, core, axon in inputs:
+            rank = int(self.rank_of_core[core])
+            self._future_inputs.setdefault(tick, []).append(
+                (rank, int(self.local_index[core]), axon)
+            )
+
+    # -- one tick ----------------------------------------------------------
+    def step(self) -> list[tuple[int, int, int]]:
+        """Advance one tick across all workers (scatter, compute, gather)."""
+        if self._closed:
+            raise RuntimeError("simulator already closed")
+        for rank, local, axon in self._future_inputs.pop(self.tick, ()):
+            self._staged[rank].append((local, axon, self.tick))
+        for rank, conn in enumerate(self._conns):
+            conn.send((self.tick, self._staged[rank]))
+            self._staged[rank] = []
+
+        emitted: list[tuple[int, int, int]] = []
+        routed_by_pair = defaultdict(list)  # (src_rank, dst_rank) -> events
+        for rank, conn in enumerate(self._conns):
+            spikes, outgoing, stats = conn.recv()
+            emitted.extend(spikes)
+            self.counters.synaptic_events += stats["synaptic_events"]
+            self.counters.spikes += stats["spikes"]
+            self.counters.deliveries += stats["deliveries"]
+            self.counters.neuron_updates += stats["neuron_updates"]
+            for gid, n_events in stats["per_core"].items():
+                self.counters.synaptic_events_per_core[gid] += n_events
+                if n_events > self.counters.max_core_events_per_tick:
+                    self.counters.max_core_events_per_tick = n_events
+            for target, axon, when in outgoing:
+                dst_rank = int(self.rank_of_core[target])
+                routed_by_pair[(rank, dst_rank)].append(
+                    (int(self.local_index[target]), axon, when)
+                )
+        # Aggregated messaging: one message per non-empty cross-rank pair.
+        for (src, dst), deliveries in routed_by_pair.items():
+            self._staged[dst].extend(deliveries)
+            if src != dst:
+                self.counters.messages += 1
+
+        self.tick += 1
+        self.counters.ticks = self.tick
+        return emitted
+
+    def run(self, n_ticks: int, inputs: InputSchedule | None = None) -> SpikeRecord:
+        """Run *n_ticks*, shut the workers down, return the record."""
+        self.load_inputs(inputs)
+        events: list[tuple[int, int, int]] = []
+        try:
+            for _ in range(n_ticks):
+                events.extend(self.step())
+        finally:
+            self.close()
+        return SpikeRecord.from_events(events, self.counters)
+
+    def close(self) -> None:
+        """Terminate the worker pool."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(_STOP)
+                conn.close()
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+
+    def __del__(self):  # pragma: no cover - belt and braces
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def run_parallel_compass(
+    network: Network,
+    n_ticks: int,
+    inputs: InputSchedule | None = None,
+    n_workers: int = 2,
+) -> SpikeRecord:
+    """Convenience one-shot parallel run."""
+    sim = ParallelCompassSimulator(network, n_workers=n_workers)
+    return sim.run(n_ticks, inputs)

@@ -1,0 +1,176 @@
+"""Compass: the software (supercomputer) expression of the kernel.
+
+A vectorized functional simulator for networks of neurosynaptic cores,
+structured exactly like the original C++/MPI/OpenMP Compass (paper
+Section III-B):
+
+* cores are partitioned across simulated MPI ranks with load balancing;
+* each tick runs the three kernel phases per rank —
+  **Synapse** (crossbar integration), **Neuron** (leak/threshold/fire),
+  **Network** (spike transmission) — with spikes between ranks
+  aggregated into single messages;
+* a two-step synchronization closes the tick barrier.
+
+Numerical semantics are bit-identical to the scalar reference kernel
+and to the TrueNorth hardware expression (Section VI-A's one-to-one
+equivalence), because all three share the counter-based PRNG and the
+integer update rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import params
+from repro.core.counters import EventCounters
+from repro.core.crossbar import synaptic_input
+from repro.core.inputs import InputSchedule
+from repro.core.network import OUTPUT_TARGET, Network
+from repro.core.neuron import neuron_tick
+from repro.core.record import SpikeRecord
+from repro.compass.partition import partition
+from repro.compass.simmpi import SimMPI
+
+
+class CompassSimulator:
+    """Rank-partitioned, vectorized simulator for one network."""
+
+    def __init__(
+        self,
+        network: Network,
+        n_ranks: int = 1,
+        partition_strategy: str = "load_balanced",
+        profile: bool = False,
+    ) -> None:
+        """Build a Compass simulator over *n_ranks* simulated MPI ranks.
+
+        With ``profile=True`` the three kernel phases are wall-clock
+        timed per tick into :attr:`phase_seconds` — the measurement
+        Compass used to overlap communication with computation.
+        """
+        network.validate()
+        self.network = network
+        self.n_ranks = n_ranks
+        self.profile = profile
+        self.phase_seconds = {"synapse_neuron": 0.0, "network": 0.0}
+        self.rank_of_core = partition(network, n_ranks, partition_strategy)
+        self.cores_of_rank: list[list[int]] = [
+            [c for c in range(network.n_cores) if self.rank_of_core[c] == r]
+            for r in range(n_ranks)
+        ]
+        self.mpi = SimMPI(n_ranks)
+        self.counters = EventCounters()
+        self.counters.ensure_cores(network.n_cores)
+        self.tick = 0
+        # Membrane state per core.
+        self.membranes = [core.initial_v.astype(np.int64).copy() for core in network.cores]
+        # Pending axon events: per core, a (DELAY_SLOTS, n_axons) ring buffer
+        # indexed by delivery tick mod DELAY_SLOTS.
+        self.axon_buffers = [
+            np.zeros((params.DELAY_SLOTS, core.n_axons), dtype=bool)
+            for core in network.cores
+        ]
+        self._input_by_tick: dict[int, list[tuple[int, int]]] = {}
+
+    # -- input handling ------------------------------------------------------
+    def load_inputs(self, inputs: InputSchedule | None) -> None:
+        """Stage external input events for injection at their ticks."""
+        if inputs is None:
+            return
+        for tick, core, axon in inputs:
+            self._input_by_tick.setdefault(tick, []).append((core, axon))
+
+    def _inject_inputs(self) -> None:
+        for core, axon in self._input_by_tick.pop(self.tick, ()):
+            self.axon_buffers[core][self.tick % params.DELAY_SLOTS, axon] = True
+
+    # -- one tick --------------------------------------------------------------
+    def step(self) -> list[tuple[int, int, int]]:
+        """Advance the network one tick; return spikes (tick, core, neuron)."""
+        import time
+
+        net = self.network
+        seed = net.seed
+        slot = self.tick % params.DELAY_SLOTS
+        self._inject_inputs()
+        phase_start = time.perf_counter() if self.profile else 0.0
+
+        emitted: list[tuple[int, int, int]] = []
+        # Each rank processes its local cores (Synapse + Neuron phases),
+        # then queues spike events for the Network phase.
+        for rank in range(self.n_ranks):
+            for core_id in self.cores_of_rank[rank]:
+                core = net.cores[core_id]
+                row = self.axon_buffers[core_id][slot]
+                active = np.nonzero(row)[0]
+                row[:] = False  # consume this tick's deliveries
+                self.counters.deliveries += int(active.size)
+
+                syn, n_events = synaptic_input(core, active, core_id, self.tick, seed)
+                self.counters.record_core_tick(core_id, n_events)
+
+                v, spiked = neuron_tick(
+                    core, self.membranes[core_id], syn, core_id, self.tick, seed
+                )
+                self.membranes[core_id] = v
+                self.counters.neuron_updates += core.n_neurons
+
+                fired = np.nonzero(spiked)[0]
+                if fired.size == 0:
+                    continue
+                self.counters.spikes += int(fired.size)
+                emitted.extend((self.tick, core_id, int(n)) for n in fired)
+
+                targets = core.target_core[fired]
+                axons = core.target_axon[fired]
+                delays = core.delay[fired]
+                for t_core, t_axon, t_delay in zip(targets, axons, delays):
+                    if t_core == OUTPUT_TARGET:
+                        continue
+                    dst_rank = int(self.rank_of_core[t_core])
+                    self.mpi.send(
+                        rank,
+                        dst_rank,
+                        (int(t_core), int(t_axon), self.tick + int(t_delay)),
+                    )
+
+        if self.profile:
+            now = time.perf_counter()
+            self.phase_seconds["synapse_neuron"] += now - phase_start
+            phase_start = now
+
+        # Network phase: aggregated exchange, then delivery into buffers.
+        inboxes = self.mpi.exchange()
+        for inbox in inboxes:
+            for t_core, t_axon, when in inbox:
+                self.axon_buffers[t_core][when % params.DELAY_SLOTS, t_axon] = True
+        self.counters.messages = self.mpi.messages_sent
+
+        if self.profile:
+            self.phase_seconds["network"] += time.perf_counter() - phase_start
+
+        # Tick barrier: two-step synchronization.
+        self.mpi.barrier_sync()
+        self.tick += 1
+        self.counters.ticks = self.tick
+        return emitted
+
+    def run(self, n_ticks: int, inputs: InputSchedule | None = None) -> SpikeRecord:
+        """Run *n_ticks* ticks and return the spike record."""
+        self.load_inputs(inputs)
+        events: list[tuple[int, int, int]] = []
+        for _ in range(n_ticks):
+            events.extend(self.step())
+        return SpikeRecord.from_events(events, self.counters)
+
+
+def run_compass(
+    network: Network,
+    n_ticks: int,
+    inputs: InputSchedule | None = None,
+    n_ranks: int = 1,
+    partition_strategy: str = "load_balanced",
+) -> SpikeRecord:
+    """Convenience one-shot Compass run."""
+    sim = CompassSimulator(network, n_ranks, partition_strategy)
+    return sim.run(n_ticks, inputs)

@@ -1,0 +1,32 @@
+"""The neurosynaptic kernel: data structures and reference implementation.
+
+This package holds the paper's primary contribution at its most abstract:
+the core/axon/neuron/synapse data model (:mod:`repro.core.network`), the
+deterministic PRNG (:mod:`repro.core.prng`), the neuron and crossbar math
+(:mod:`repro.core.neuron`, :mod:`repro.core.crossbar`), the scalar
+reference kernel (:mod:`repro.core.kernel`), and physical placement
+(:mod:`repro.core.chip`).
+"""
+
+from repro.core import params
+from repro.core.chip import ChipGeometry, DefectMap, Placement
+from repro.core.counters import EventCounters
+from repro.core.inputs import InputSchedule
+from repro.core.kernel import ReferenceKernel, run_kernel
+from repro.core.network import OUTPUT_TARGET, Core, Network
+from repro.core.record import SpikeRecord
+
+__all__ = [
+    "params",
+    "ChipGeometry",
+    "DefectMap",
+    "Placement",
+    "EventCounters",
+    "InputSchedule",
+    "ReferenceKernel",
+    "run_kernel",
+    "OUTPUT_TARGET",
+    "Core",
+    "Network",
+    "SpikeRecord",
+]

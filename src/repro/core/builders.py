@@ -1,0 +1,122 @@
+"""Convenience builders for small networks (tests, examples, tutorials).
+
+The full-scale benchmark generators live in :mod:`repro.apps.recurrent`;
+these helpers build compact networks quickly with sensible defaults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import params
+from repro.core.inputs import InputSchedule
+from repro.core.network import OUTPUT_TARGET, Core, Network
+
+
+def random_core(
+    rng: np.random.Generator,
+    n_axons: int = 16,
+    n_neurons: int = 16,
+    n_cores: int = 1,
+    connectivity: float = 0.3,
+    stochastic: bool = False,
+    self_core: int | None = None,
+) -> Core:
+    """Build a randomly-configured core wired to random targets.
+
+    Parameters
+    ----------
+    connectivity:
+        Probability of each crossbar point being programmed.
+    stochastic:
+        When True, enables stochastic synapse/leak/threshold modes on a
+        random subset of neurons (exercises every PRNG purpose).
+    self_core:
+        When given, all neuron targets stay within [0, n_cores); otherwise
+        neurons are outputs.
+    """
+    crossbar = rng.random((n_axons, n_neurons)) < connectivity
+    axon_types = rng.integers(0, params.NUM_AXON_TYPES, size=n_axons)
+    weights = rng.integers(-40, 64, size=(n_neurons, params.NUM_AXON_TYPES))
+    threshold = rng.integers(16, 128, size=n_neurons)
+    leak = rng.integers(-4, 3, size=n_neurons)
+    reset_mode = rng.integers(0, 3, size=n_neurons)
+    if self_core is not None:
+        target_core = rng.integers(0, n_cores, size=n_neurons)
+    else:
+        target_core = np.full(n_neurons, OUTPUT_TARGET)
+    target_axon = rng.integers(0, n_axons, size=n_neurons)
+    delay = rng.integers(params.MIN_DELAY, params.MAX_DELAY + 1, size=n_neurons)
+
+    kwargs: dict = {}
+    if stochastic:
+        kwargs["stoch_synapse"] = rng.random((n_neurons, params.NUM_AXON_TYPES)) < 0.3
+        kwargs["stoch_leak"] = rng.random(n_neurons) < 0.3
+        kwargs["threshold_mask"] = np.where(
+            rng.random(n_neurons) < 0.3, (1 << rng.integers(1, 6, size=n_neurons)) - 1, 0
+        )
+        kwargs["leak_reversal"] = rng.random(n_neurons) < 0.2
+
+    return Core.build(
+        n_axons=n_axons,
+        n_neurons=n_neurons,
+        crossbar=crossbar,
+        axon_types=axon_types,
+        weights=weights,
+        threshold=threshold,
+        leak=leak,
+        reset_mode=reset_mode,
+        neg_threshold=rng.integers(0, 64, size=n_neurons),
+        neg_floor_mode=rng.integers(0, 2, size=n_neurons),
+        target_core=target_core,
+        target_axon=target_axon,
+        delay=delay,
+        **kwargs,
+    )
+
+
+def random_network(
+    n_cores: int = 4,
+    n_axons: int = 16,
+    n_neurons: int = 16,
+    connectivity: float = 0.3,
+    stochastic: bool = False,
+    seed: int = 0,
+) -> Network:
+    """Build a random recurrent network of *n_cores* interconnected cores."""
+    rng = np.random.default_rng(seed)
+    net = Network(seed=seed, name=f"random-{n_cores}x{n_neurons}")
+    for _ in range(n_cores):
+        net.add_core(
+            random_core(
+                rng,
+                n_axons=n_axons,
+                n_neurons=n_neurons,
+                n_cores=n_cores,
+                connectivity=connectivity,
+                stochastic=stochastic,
+                self_core=0,
+            )
+        )
+    net.validate()
+    return net
+
+
+def poisson_inputs(
+    network: Network,
+    n_ticks: int,
+    rate_hz: float,
+    seed: int = 1,
+    cores: list[int] | None = None,
+) -> InputSchedule:
+    """Poisson external input spikes on every axon of the given cores."""
+    rng = np.random.default_rng(seed)
+    p = rate_hz * params.TICK_SECONDS
+    schedule = InputSchedule()
+    targets = cores if cores is not None else range(network.n_cores)
+    for core_id in targets:
+        n_axons = network.cores[core_id].n_axons
+        hits = rng.random((n_ticks, n_axons)) < p
+        for tick, axon in zip(*np.nonzero(hits)):
+            schedule.add(int(tick), core_id, int(axon))
+    return schedule

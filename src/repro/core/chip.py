@@ -1,0 +1,196 @@
+"""Physical chip geometry, core placement, and defect maps.
+
+TrueNorth arranges 4,096 cores in a 64x64 grid; chips themselves tile in a
+2D array (paper Fig. 3).  A :class:`Placement` maps each *logical* core of
+a :class:`~repro.core.network.Network` to physical coordinates
+``(chip_x, chip_y, x, y)``.  Placement does not affect function — only
+spike hop counts (and hence energy and NoC load) depend on it.
+
+The architecture is robust to core defects: "if a core fails, we disable
+it and route spike events around it."  A :class:`DefectMap` marks disabled
+physical slots; placements skip them and the NoC adds detour hops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import params
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class ChipGeometry:
+    """Core-grid dimensions of one chip."""
+
+    cores_x: int = params.CHIP_CORES_X
+    cores_y: int = params.CHIP_CORES_Y
+
+    @property
+    def cores_per_chip(self) -> int:
+        """Total core slots on one chip."""
+        return self.cores_x * self.cores_y
+
+
+@dataclass(frozen=True)
+class DefectMap:
+    """Set of defective physical core slots, as (chip_x, chip_y, x, y)."""
+
+    defective: frozenset = field(default_factory=frozenset)
+
+    @staticmethod
+    def from_fraction(
+        geometry: ChipGeometry, fraction: float, seed: int = 0, chips: int = 1
+    ) -> "DefectMap":
+        """Mark a random *fraction* of core slots defective (yield model)."""
+        require(0.0 <= fraction < 1.0, "defect fraction must be in [0, 1)")
+        rng = np.random.default_rng(seed)
+        slots = [
+            (cx, 0, x, y)
+            for cx in range(chips)
+            for y in range(geometry.cores_y)
+            for x in range(geometry.cores_x)
+        ]
+        n_bad = int(round(fraction * len(slots)))
+        picks = rng.choice(len(slots), size=n_bad, replace=False)
+        return DefectMap(frozenset(slots[i] for i in picks))
+
+    def is_defective(self, chip_x: int, chip_y: int, x: int, y: int) -> bool:
+        """True when the physical slot is disabled."""
+        return (chip_x, chip_y, x, y) in self.defective
+
+
+@dataclass
+class Placement:
+    """Mapping from logical core index to physical coordinates.
+
+    Arrays are indexed by logical core id; ``chip_x/chip_y`` locate the
+    chip within a board-level tile array, ``x/y`` locate the core within
+    the chip's 64x64 grid.
+    """
+
+    chip_x: np.ndarray
+    chip_y: np.ndarray
+    x: np.ndarray
+    y: np.ndarray
+    geometry: ChipGeometry = field(default_factory=ChipGeometry)
+
+    @property
+    def n_cores(self) -> int:
+        """Number of placed logical cores."""
+        return int(self.x.size)
+
+    @property
+    def n_chips(self) -> int:
+        """Number of distinct chips used by the placement."""
+        if self.n_cores == 0:
+            return 0
+        return len(set(zip(self.chip_x.tolist(), self.chip_y.tolist())))
+
+    def global_xy(self) -> tuple[np.ndarray, np.ndarray]:
+        """Global mesh coordinates, treating tiled chips as one big grid.
+
+        Chip tiling is seamless (merge/split preserves mesh semantics), so
+        dimension-order routing operates on these global coordinates.
+        """
+        gx = self.chip_x * self.geometry.cores_x + self.x
+        gy = self.chip_y * self.geometry.cores_y + self.y
+        return gx, gy
+
+    def hops_between(self, src_core: int, dst_core: int) -> int:
+        """Manhattan hop count of the dimension-order route src -> dst."""
+        gx, gy = self.global_xy()
+        return int(
+            abs(gx[dst_core] - gx[src_core]) + abs(gy[dst_core] - gy[src_core])
+        )
+
+    def chip_crossings(self, src_core: int, dst_core: int) -> int:
+        """Number of chip-boundary (merge/split) crossings on the route."""
+        return int(
+            abs(self.chip_x[dst_core] - self.chip_x[src_core])
+            + abs(self.chip_y[dst_core] - self.chip_y[src_core])
+        )
+
+    def hop_matrix_for_targets(
+        self, src_cores: np.ndarray, dst_cores: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized hop counts for parallel (src, dst) arrays."""
+        gx, gy = self.global_xy()
+        return np.abs(gx[dst_cores] - gx[src_cores]) + np.abs(
+            gy[dst_cores] - gy[src_cores]
+        )
+
+    @staticmethod
+    def grid(
+        n_cores: int,
+        geometry: ChipGeometry | None = None,
+        defects: DefectMap | None = None,
+        chips_x: int | None = None,
+    ) -> "Placement":
+        """Place logical cores row-major onto chips, skipping defects.
+
+        Chips are added along +x as needed (then the caller may reshape
+        with :func:`tile`); defective slots are skipped, emulating the
+        route-around reconfiguration of the paper.
+        """
+        geometry = geometry or ChipGeometry()
+        defects = defects or DefectMap()
+        per_chip = geometry.cores_per_chip
+        if chips_x is None:
+            chips_x = max(1, -(-n_cores // per_chip))  # ceil; refined below
+
+        chip_x_list: list[int] = []
+        chip_y_list: list[int] = []
+        xs: list[int] = []
+        ys: list[int] = []
+        chip = 0
+        placed = 0
+        while placed < n_cores:
+            cx, cy = chip, 0
+            for y in range(geometry.cores_y):
+                for x in range(geometry.cores_x):
+                    if placed >= n_cores:
+                        break
+                    if defects.is_defective(cx, cy, x, y):
+                        continue
+                    chip_x_list.append(cx)
+                    chip_y_list.append(cy)
+                    xs.append(x)
+                    ys.append(y)
+                    placed += 1
+                if placed >= n_cores:
+                    break
+            chip += 1
+            if chip > 2 * (n_cores // max(1, per_chip) + 2):
+                raise ValueError("placement failed: too many defective slots")
+        return Placement(
+            chip_x=np.asarray(chip_x_list, dtype=np.int64),
+            chip_y=np.asarray(chip_y_list, dtype=np.int64),
+            x=np.asarray(xs, dtype=np.int64),
+            y=np.asarray(ys, dtype=np.int64),
+            geometry=geometry,
+        )
+
+    @staticmethod
+    def compact(n_cores: int, geometry: ChipGeometry | None = None) -> "Placement":
+        """Place cores on a single chip in a near-square block.
+
+        Used for small test networks so that hop distances stay realistic
+        without occupying the whole 64x64 grid.
+        """
+        geometry = geometry or ChipGeometry()
+        side = int(np.ceil(np.sqrt(n_cores)))
+        require(
+            side <= geometry.cores_x and side <= geometry.cores_y,
+            f"{n_cores} cores do not fit on one chip",
+        )
+        idx = np.arange(n_cores)
+        return Placement(
+            chip_x=np.zeros(n_cores, dtype=np.int64),
+            chip_y=np.zeros(n_cores, dtype=np.int64),
+            x=idx % side,
+            y=idx // side,
+            geometry=geometry,
+        )

@@ -1,0 +1,74 @@
+"""Event accounting shared by every kernel expression.
+
+The paper's performance metrics are all event-count-driven: SOPS counts
+synaptic events, active energy follows synaptic events + spike hops +
+neuron updates, and the timing model follows the busiest core's event
+load.  Every simulator fills in an :class:`EventCounters` so the analysis
+layer can consume any expression's output interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class EventCounters:
+    """Aggregate event counts for one simulation run."""
+
+    ticks: int = 0
+    synaptic_events: int = 0  # SOPs: active synapse x arriving spike
+    spikes: int = 0  # neuron firings
+    deliveries: int = 0  # axon events delivered (incl. external inputs)
+    neuron_updates: int = 0  # neurons evaluated (leak/threshold) per tick
+    hops: int = 0  # mesh router hops traversed by spike packets
+    messages: int = 0  # aggregated inter-rank messages (Compass expression)
+    max_core_events_per_tick: int = 0  # busiest core-tick synaptic event load
+    synaptic_events_per_core: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    def ensure_cores(self, n_cores: int) -> None:
+        """Size the per-core tally array for *n_cores* cores."""
+        if self.synaptic_events_per_core.size != n_cores:
+            self.synaptic_events_per_core = np.zeros(n_cores, dtype=np.int64)
+
+    def record_core_tick(self, core_index: int, n_events: int) -> None:
+        """Account one core's synaptic events for the current tick."""
+        self.synaptic_events += n_events
+        self.synaptic_events_per_core[core_index] += n_events
+        if n_events > self.max_core_events_per_tick:
+            self.max_core_events_per_tick = n_events
+
+    @property
+    def mean_firing_rate_hz(self) -> float:
+        """Mean per-neuron firing rate in Hz, assuming 1 ms ticks."""
+        if self.ticks == 0 or self.neuron_updates == 0:
+            return 0.0
+        neurons = self.neuron_updates / self.ticks
+        return (self.spikes / (neurons * self.ticks)) * 1000.0
+
+    @property
+    def mean_active_synapses(self) -> float:
+        """Mean synaptic fan-out observed per spike."""
+        if self.spikes == 0:
+            return 0.0
+        return self.synaptic_events / self.spikes
+
+    def sops_per_tick(self) -> float:
+        """Mean synaptic operations per tick."""
+        if self.ticks == 0:
+            return 0.0
+        return self.synaptic_events / self.ticks
+
+    def merge(self, other: "EventCounters") -> None:
+        """Accumulate *other*'s tallies into this counter (rank merge)."""
+        self.synaptic_events += other.synaptic_events
+        self.spikes += other.spikes
+        self.deliveries += other.deliveries
+        self.neuron_updates += other.neuron_updates
+        self.hops += other.hops
+        self.messages += other.messages
+        self.max_core_events_per_tick = max(
+            self.max_core_events_per_tick, other.max_core_events_per_tick
+        )

@@ -1,0 +1,67 @@
+"""Vectorized synaptic integration through a core's binary crossbar.
+
+This is the inner loop the paper defines as a *synaptic operation* (SOP):
+
+    V_j(t) += A_i(t) * W_ij * s^{G_i}_j
+
+conditioned on the synapse being programmed (``W_ij = 1``) and a spike
+being present on the axon (``A_i(t) = 1``).  The stochastic-synapse mode
+replaces ``s`` with ``sgn(s) * Bernoulli(|s|/256)`` using one PRNG draw
+per (axon, neuron) synaptic event.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import prng
+from repro.core.network import Core
+
+
+def synaptic_input(
+    core: Core,
+    active_axons: np.ndarray,
+    core_id: int,
+    tick: int,
+    seed: int,
+) -> tuple[np.ndarray, int]:
+    """Integrate all pending synaptic events for one core and tick.
+
+    Parameters
+    ----------
+    active_axons:
+        Integer indices of axons receiving a spike this tick (may be
+        empty).  Duplicates are not expected — axon events merge.
+
+    Returns
+    -------
+    (syn, n_events):
+        Per-neuron integrated input, shape ``(N,)`` int64, and the number
+        of synaptic events processed (active-axon crossbar fan-out), which
+        is exactly the paper's SOP count for this core-tick.
+    """
+    n = core.n_neurons
+    if active_axons.size == 0:
+        return np.zeros(n, dtype=np.int64), 0
+
+    w_active = core.crossbar[active_axons, :]  # (na, N) bool
+    types = core.axon_types[active_axons]  # (na,)
+    weights = core.weights[:, types].T.astype(np.int64)  # (na, N)
+
+    n_events = int(w_active.sum())
+    if n_events == 0:
+        return np.zeros(n, dtype=np.int64), 0
+
+    if core.any_stochastic_synapse:
+        stoch = core.stoch_synapse[:, types].T  # (na, N) bool
+        units = prng.synapse_unit(
+            active_axons[:, None].astype(np.int64), np.arange(n, dtype=np.int64)[None, :]
+        )
+        rho = prng.draw_u8(seed, prng.PURPOSE_SYNAPSE, core_id, tick, units)
+        bernoulli = (rho < np.abs(weights)).astype(np.int64) * np.sign(weights)
+        contrib = np.where(stoch, bernoulli, weights)
+    else:
+        contrib = weights
+
+    syn = (contrib * w_active).sum(axis=0, dtype=np.int64)
+    return syn, n_events

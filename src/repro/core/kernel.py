@@ -1,0 +1,192 @@
+"""Reference implementation of the neurosynaptic kernel (paper Listing 1).
+
+This is the executable ground truth: a deliberately scalar, loop-based
+transcription of the paper's pseudo-code.  It is slow and crystal-clear.
+The optimized expressions — :class:`repro.compass.CompassSimulator`
+(software/"supercomputer" expression) and
+:class:`repro.hardware.TrueNorthSimulator` (silicon expression) — must
+produce spike streams identical to this kernel for any network, seed, and
+input schedule; that property is enforced by the equivalence test suite,
+mirroring the 100%-match regressions of paper Section VI-A.
+
+The structure follows Listing 1 line-by-line:
+
+* synaptic input loop        -> :meth:`_integrate_synapses`  (lines 4-8)
+* leak / threshold / reset   -> :meth:`_update_neuron`       (lines 9-18)
+* spike transmission         -> :meth:`_transmit`            (line 15)
+* barrier / next time step   -> the per-tick loop in :func:`run_kernel`
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core import params, prng
+from repro.core.counters import EventCounters
+from repro.core.inputs import InputSchedule
+from repro.core.network import OUTPUT_TARGET, Core, Network
+from repro.core.record import SpikeRecord
+
+
+def _sign(x: int) -> int:
+    """Integer sign in {-1, 0, 1}."""
+    return (x > 0) - (x < 0)
+
+
+def _clamp(v: int) -> int:
+    """Saturate to the 20-bit signed membrane range."""
+    if v > params.MEMBRANE_MAX:
+        return params.MEMBRANE_MAX
+    if v < params.MEMBRANE_MIN:
+        return params.MEMBRANE_MIN
+    return v
+
+
+class ReferenceKernel:
+    """Scalar executor for one network, advanced tick by tick."""
+
+    def __init__(self, network: Network, record_counters: bool = True) -> None:
+        network.validate()
+        self.network = network
+        self.seed = network.seed
+        self.membranes: list[list[int]] = [
+            [int(v) for v in core.initial_v] for core in network.cores
+        ]
+        # pending[tick] -> set of (core, axon) deliveries
+        self.pending: dict[int, set[tuple[int, int]]] = defaultdict(set)
+        self.counters = EventCounters()
+        if record_counters:
+            self.counters.ensure_cores(network.n_cores)
+        self.tick = 0
+
+    # -- Listing 1 lines 4-8: synaptic input ------------------------------
+    def _integrate_synapses(
+        self, core: Core, core_id: int, active_axons: list[int], neuron: int
+    ) -> tuple[int, int]:
+        """Accumulate all synaptic events targeting *neuron* this tick.
+
+        Returns the integrated input and the number of synaptic events.
+        """
+        total = 0
+        n_events = 0
+        for axon in active_axons:
+            if not core.crossbar[axon, neuron]:
+                continue
+            g = int(core.axon_types[axon])
+            weight = int(core.weights[neuron, g])
+            if core.stoch_synapse[neuron, g]:
+                rho = prng.draw_u8_scalar(
+                    self.seed,
+                    prng.PURPOSE_SYNAPSE,
+                    core_id,
+                    self.tick,
+                    prng.synapse_unit(axon, neuron),
+                )
+                contribution = _sign(weight) if rho < abs(weight) else 0
+            else:
+                contribution = weight
+            total += contribution
+            n_events += 1
+        return total, n_events
+
+    # -- Listing 1 lines 9-18: leak, threshold, spike, reset ---------------
+    def _update_neuron(
+        self, core: Core, core_id: int, neuron: int, v: int, syn: int
+    ) -> tuple[int, bool]:
+        """Apply leak, threshold-compare, and reset for one neuron."""
+        v = v + syn
+
+        lam = int(core.leak[neuron])
+        direction = _sign(v) if core.leak_reversal[neuron] else 1
+        if core.stoch_leak[neuron]:
+            rho = prng.draw_u8_scalar(
+                self.seed, prng.PURPOSE_LEAK, core_id, self.tick, neuron
+            )
+            magnitude = 1 if rho < abs(lam) else 0
+        else:
+            magnitude = abs(lam)
+        v = _clamp(v + direction * _sign(lam) * magnitude)
+
+        theta = int(core.threshold[neuron])
+        mask = int(core.threshold_mask[neuron])
+        if mask:
+            rho = prng.draw_u16_scalar(
+                self.seed, prng.PURPOSE_THRESHOLD, core_id, self.tick, neuron
+            )
+            theta += rho & mask
+
+        spiked = v >= theta
+        if spiked:
+            mode = int(core.reset_mode[neuron])
+            if mode == params.RESET_TO_VALUE:
+                v = int(core.reset_value[neuron])
+            elif mode == params.RESET_LINEAR:
+                v = v - theta
+            # RESET_NONE leaves v unchanged.
+        else:
+            beta = int(core.neg_threshold[neuron])
+            if v < -beta:
+                if core.neg_floor_mode[neuron] == params.NEG_FLOOR_SATURATE:
+                    v = -beta
+                else:
+                    v = -int(core.reset_value[neuron])
+        return _clamp(v), spiked
+
+    # -- Listing 1 line 15: transmit spike events --------------------------
+    def _transmit(self, core: Core, neuron: int) -> None:
+        """Schedule the spike of (core, neuron) for future delivery."""
+        target = int(core.target_core[neuron])
+        if target == OUTPUT_TARGET:
+            return
+        axon = int(core.target_axon[neuron])
+        when = self.tick + int(core.delay[neuron])
+        self.pending[when].add((target, axon))
+
+    def inject(self, inputs: InputSchedule | None) -> None:
+        """Load all external input events into the pending buffers."""
+        if inputs is None:
+            return
+        for tick, core, axon in inputs:
+            self.pending[tick].add((core, axon))
+
+    def step(self) -> list[tuple[int, int, int]]:
+        """Advance the whole network one tick; return spikes emitted."""
+        deliveries = self.pending.pop(self.tick, set())
+        self.counters.deliveries += len(deliveries)
+        active_by_core: dict[int, list[int]] = defaultdict(list)
+        for core_id, axon in sorted(deliveries):
+            active_by_core[core_id].append(axon)
+
+        emitted: list[tuple[int, int, int]] = []
+        for core_id, core in enumerate(self.network.cores):
+            active = active_by_core.get(core_id, [])
+            core_events = 0
+            for neuron in range(core.n_neurons):
+                syn, n_events = self._integrate_synapses(core, core_id, active, neuron)
+                core_events += n_events
+                v, spiked = self._update_neuron(
+                    core, core_id, neuron, self.membranes[core_id][neuron], syn
+                )
+                self.membranes[core_id][neuron] = v
+                self.counters.neuron_updates += 1
+                if spiked:
+                    self.counters.spikes += 1
+                    emitted.append((self.tick, core_id, neuron))
+                    self._transmit(core, neuron)
+            self.counters.record_core_tick(core_id, core_events)
+        # Barrier: all communication for this tick is complete (line 21).
+        self.tick += 1
+        self.counters.ticks = self.tick
+        return emitted
+
+
+def run_kernel(
+    network: Network, n_ticks: int, inputs: InputSchedule | None = None
+) -> SpikeRecord:
+    """Run the reference kernel for *n_ticks* and return the spike record."""
+    kernel = ReferenceKernel(network)
+    kernel.inject(inputs)
+    events: list[tuple[int, int, int]] = []
+    for _ in range(n_ticks):
+        events.extend(kernel.step())
+    return SpikeRecord.from_events(events, kernel.counters)

@@ -1,0 +1,251 @@
+"""Network description: neurosynaptic cores and their interconnection.
+
+A :class:`Core` is pure *configuration* (the contents of a TrueNorth core's
+SRAM): the binary crossbar, axon types, per-neuron weights and dynamics
+parameters, and each neuron's spike target (core, axon, delay).  Simulator
+state (membrane potentials, pending axon events) lives in the simulators.
+
+A :class:`Network` is an ordered collection of cores plus the PRNG seed
+shared by every expression of the kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import params
+from repro.utils.validation import check_array_shape, check_in_range, require
+
+OUTPUT_TARGET = -1  # target_core value marking a network output neuron
+
+
+@dataclass
+class Core:
+    """Configuration of one neurosynaptic core.
+
+    Array shapes use ``A`` = number of axons and ``N`` = number of neurons
+    (both 256 on physical TrueNorth; smaller cores are permitted for tests
+    and examples — the kernel semantics do not depend on the size).
+    """
+
+    crossbar: np.ndarray  # (A, N) bool: W[i, j]
+    axon_types: np.ndarray  # (A,) int in [0, 3]: G_i
+    weights: np.ndarray  # (N, 4) int in [WEIGHT_MIN, WEIGHT_MAX]: s^G_j
+    stoch_synapse: np.ndarray  # (N, 4) bool: b^G_j, stochastic synapse mode
+    leak: np.ndarray  # (N,) int in [LEAK_MIN, LEAK_MAX]: lambda_j
+    leak_reversal: np.ndarray  # (N,) bool: epsilon_j
+    stoch_leak: np.ndarray  # (N,) bool: c_j
+    threshold: np.ndarray  # (N,) int in [0, THRESHOLD_MAX]: alpha_j
+    threshold_mask: np.ndarray  # (N,) int in [0, THRESHOLD_MASK_MAX]: TM_j
+    neg_threshold: np.ndarray  # (N,) int >= 0: beta_j
+    reset_value: np.ndarray  # (N,) int: R_j
+    reset_mode: np.ndarray  # (N,) int in RESET_MODES: delta_j
+    neg_floor_mode: np.ndarray  # (N,) int in NEG_FLOOR_MODES: kappa_j
+    initial_v: np.ndarray  # (N,) int: V_j(0)
+    target_core: np.ndarray  # (N,) int: destination core index, -1 = output
+    target_axon: np.ndarray  # (N,) int: destination axon index
+    delay: np.ndarray  # (N,) int in [1, 15]
+    name: str = ""
+
+    def copy(self) -> "Core":
+        """Deep copy (all arrays duplicated); used by the corelet compiler."""
+        from dataclasses import fields
+
+        kwargs = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            kwargs[f.name] = value.copy() if isinstance(value, np.ndarray) else value
+        return Core(**kwargs)
+
+    @property
+    def n_axons(self) -> int:
+        """Number of axons (crossbar rows)."""
+        return self.crossbar.shape[0]
+
+    @property
+    def n_neurons(self) -> int:
+        """Number of neurons (crossbar columns)."""
+        return self.crossbar.shape[1]
+
+    @property
+    def n_synapses(self) -> int:
+        """Number of programmed (non-zero) synapses in the crossbar."""
+        return int(self.crossbar.sum())
+
+    @property
+    def any_stochastic_synapse(self) -> bool:
+        """True when any neuron uses stochastic synaptic integration."""
+        return bool(self.stoch_synapse.any())
+
+    def validate(self) -> None:
+        """Check every field for shape and range consistency."""
+        a, n = self.crossbar.shape
+        require(a >= 1 and n >= 1, "core must have at least one axon and neuron")
+        check_array_shape("axon_types", self.axon_types, (a,))
+        check_in_range("axon_types", self.axon_types, 0, params.NUM_AXON_TYPES - 1)
+        check_array_shape("weights", self.weights, (n, params.NUM_AXON_TYPES))
+        check_in_range("weights", self.weights, params.WEIGHT_MIN, params.WEIGHT_MAX)
+        check_array_shape("stoch_synapse", self.stoch_synapse, (n, params.NUM_AXON_TYPES))
+        check_array_shape("leak", self.leak, (n,))
+        check_in_range("leak", self.leak, params.LEAK_MIN, params.LEAK_MAX)
+        check_array_shape("leak_reversal", self.leak_reversal, (n,))
+        check_array_shape("stoch_leak", self.stoch_leak, (n,))
+        check_array_shape("threshold", self.threshold, (n,))
+        check_in_range("threshold", self.threshold, 0, params.THRESHOLD_MAX)
+        check_array_shape("threshold_mask", self.threshold_mask, (n,))
+        check_in_range("threshold_mask", self.threshold_mask, 0, params.THRESHOLD_MASK_MAX)
+        check_array_shape("neg_threshold", self.neg_threshold, (n,))
+        check_in_range("neg_threshold", self.neg_threshold, 0, -params.MEMBRANE_MIN)
+        check_array_shape("reset_value", self.reset_value, (n,))
+        check_in_range("reset_value", self.reset_value, params.MEMBRANE_MIN, params.MEMBRANE_MAX)
+        check_array_shape("reset_mode", self.reset_mode, (n,))
+        check_in_range("reset_mode", self.reset_mode, min(params.RESET_MODES), max(params.RESET_MODES))
+        check_array_shape("neg_floor_mode", self.neg_floor_mode, (n,))
+        check_in_range("neg_floor_mode", self.neg_floor_mode, 0, 1)
+        check_array_shape("initial_v", self.initial_v, (n,))
+        check_in_range("initial_v", self.initial_v, params.MEMBRANE_MIN, params.MEMBRANE_MAX)
+        check_array_shape("target_core", self.target_core, (n,))
+        check_array_shape("target_axon", self.target_axon, (n,))
+        check_array_shape("delay", self.delay, (n,))
+        check_in_range("delay", self.delay, params.MIN_DELAY, params.MAX_DELAY)
+
+    @staticmethod
+    def build(
+        n_axons: int = params.CORE_AXONS,
+        n_neurons: int = params.CORE_NEURONS,
+        *,
+        crossbar: np.ndarray | None = None,
+        axon_types: np.ndarray | None = None,
+        weights: np.ndarray | None = None,
+        stoch_synapse: np.ndarray | None = None,
+        leak: np.ndarray | int = 0,
+        leak_reversal: np.ndarray | bool = False,
+        stoch_leak: np.ndarray | bool = False,
+        threshold: np.ndarray | int = 1,
+        threshold_mask: np.ndarray | int = 0,
+        neg_threshold: np.ndarray | int = 0,
+        reset_value: np.ndarray | int = 0,
+        reset_mode: np.ndarray | int = params.RESET_TO_VALUE,
+        neg_floor_mode: np.ndarray | int = params.NEG_FLOOR_SATURATE,
+        initial_v: np.ndarray | int = 0,
+        target_core: np.ndarray | int = OUTPUT_TARGET,
+        target_axon: np.ndarray | int = 0,
+        delay: np.ndarray | int = params.MIN_DELAY,
+        name: str = "",
+    ) -> "Core":
+        """Construct a validated core, broadcasting scalar parameters.
+
+        Defaults give an inert core: empty crossbar, unit thresholds,
+        output-only targets.  Callers override only what they need.
+        """
+
+        def per_neuron(value, dtype=np.int64):
+            arr = np.asarray(value, dtype=dtype)
+            if arr.ndim == 0:
+                arr = np.full(n_neurons, arr, dtype=dtype)
+            return arr
+
+        if crossbar is None:
+            crossbar = np.zeros((n_axons, n_neurons), dtype=bool)
+        else:
+            crossbar = np.asarray(crossbar, dtype=bool)
+        if axon_types is None:
+            axon_types = np.zeros(n_axons, dtype=np.int64)
+        else:
+            axon_types = np.asarray(axon_types, dtype=np.int64)
+        if weights is None:
+            weights = np.ones((n_neurons, params.NUM_AXON_TYPES), dtype=np.int64)
+        else:
+            weights = np.asarray(weights, dtype=np.int64)
+            if weights.ndim == 1:
+                weights = np.tile(weights[None, :], (n_neurons, 1))
+        if stoch_synapse is None:
+            stoch_synapse = np.zeros((n_neurons, params.NUM_AXON_TYPES), dtype=bool)
+        else:
+            stoch_synapse = np.asarray(stoch_synapse, dtype=bool)
+            if stoch_synapse.ndim == 0:
+                stoch_synapse = np.full(
+                    (n_neurons, params.NUM_AXON_TYPES), bool(stoch_synapse), dtype=bool
+                )
+            elif stoch_synapse.ndim == 1:
+                stoch_synapse = np.tile(stoch_synapse[None, :], (n_neurons, 1))
+
+        core = Core(
+            crossbar=crossbar,
+            axon_types=axon_types,
+            weights=weights,
+            stoch_synapse=stoch_synapse,
+            leak=per_neuron(leak),
+            leak_reversal=per_neuron(leak_reversal, dtype=bool),
+            stoch_leak=per_neuron(stoch_leak, dtype=bool),
+            threshold=per_neuron(threshold),
+            threshold_mask=per_neuron(threshold_mask),
+            neg_threshold=per_neuron(neg_threshold),
+            reset_value=per_neuron(reset_value),
+            reset_mode=per_neuron(reset_mode),
+            neg_floor_mode=per_neuron(neg_floor_mode),
+            initial_v=per_neuron(initial_v),
+            target_core=per_neuron(target_core),
+            target_axon=per_neuron(target_axon),
+            delay=per_neuron(delay),
+            name=name,
+        )
+        core.validate()
+        return core
+
+
+@dataclass
+class Network:
+    """An ordered collection of cores forming one logical network.
+
+    The *seed* feeds the counter-based PRNG shared by every kernel
+    expression, so identical (network, seed, inputs) triples produce
+    identical spike streams regardless of the simulator used.
+    """
+
+    cores: list[Core] = field(default_factory=list)
+    seed: int = 0
+    name: str = ""
+
+    @property
+    def n_cores(self) -> int:
+        """Number of cores in the network."""
+        return len(self.cores)
+
+    @property
+    def n_neurons(self) -> int:
+        """Total neuron count across all cores."""
+        return sum(c.n_neurons for c in self.cores)
+
+    @property
+    def n_synapses(self) -> int:
+        """Total programmed synapse count across all cores."""
+        return sum(c.n_synapses for c in self.cores)
+
+    def add_core(self, core: Core) -> int:
+        """Append *core* and return its index."""
+        self.cores.append(core)
+        return len(self.cores) - 1
+
+    def validate(self) -> None:
+        """Validate every core and all inter-core targets."""
+        require(self.n_cores >= 1, "network must contain at least one core")
+        for core in self.cores:
+            core.validate()
+        n_cores = self.n_cores
+        for idx, core in enumerate(self.cores):
+            tc = core.target_core
+            ta = core.target_axon
+            bad = (tc != OUTPUT_TARGET) & ((tc < 0) | (tc >= n_cores))
+            if bad.any():
+                raise ValueError(
+                    f"core {idx}: target_core out of range for neurons "
+                    f"{np.nonzero(bad)[0].tolist()[:8]}"
+                )
+            routed = tc != OUTPUT_TARGET
+            if routed.any():
+                dest_axons = np.array([self.cores[c].n_axons for c in tc[routed]])
+                if (ta[routed] < 0).any() or (ta[routed] >= dest_axons).any():
+                    raise ValueError(f"core {idx}: target_axon out of range")

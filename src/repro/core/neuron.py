@@ -1,0 +1,112 @@
+"""Vectorized digital neuron dynamics (leak, threshold, fire, reset).
+
+Implements the reconfigurable digital integrate-and-fire neuron of
+Cassidy et al. (IJCNN 2013) as used by TrueNorth, vectorized across all
+neurons of one core.  The scalar reference implementation of exactly the
+same semantics lives in :mod:`repro.core.kernel`; the two are held in
+bit-exact agreement by the equivalence test suite.
+
+Per-tick update order (shared by every kernel expression):
+
+1. synaptic integration (see :mod:`repro.core.crossbar`),
+2. leak update (with optional leak-reversal and stochastic leak),
+3. saturation to the 20-bit signed membrane range,
+4. threshold compare (with optional stochastic threshold), fire,
+5. reset (to-value / linear-subtract / none) or negative-floor policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import params, prng
+from repro.core.network import Core
+
+
+def clamp_membrane(v: np.ndarray) -> np.ndarray:
+    """Saturate membrane potentials to the 20-bit signed hardware range."""
+    return np.clip(v, params.MEMBRANE_MIN, params.MEMBRANE_MAX)
+
+
+def leak_values(core: Core, v: np.ndarray, core_id: int, tick: int, seed: int) -> np.ndarray:
+    """Return the per-neuron leak contribution for this tick.
+
+    The leak-reversal flag epsilon makes the leak act along ``sgn(V)``
+    (zero at V == 0); the stochastic-leak flag replaces the magnitude
+    ``|lambda|`` with a Bernoulli(|lambda|/256) unit step.
+    """
+    lam = core.leak
+    direction = np.where(core.leak_reversal, np.sign(v), 1).astype(np.int64)
+    magnitude = np.abs(lam)
+    if core.stoch_leak.any():
+        units = np.arange(core.n_neurons)
+        rho = prng.draw_u8(seed, prng.PURPOSE_LEAK, core_id, tick, units)
+        stoch_mag = (rho < magnitude).astype(np.int64)
+        magnitude = np.where(core.stoch_leak, stoch_mag, magnitude)
+    return direction * np.sign(lam) * magnitude
+
+
+def thresholds(core: Core, core_id: int, tick: int, seed: int) -> np.ndarray:
+    """Return the per-neuron effective firing threshold theta for this tick.
+
+    theta_j = alpha_j + (rho16 & TM_j): the stochastic component is a
+    16-bit draw masked by the per-neuron threshold mask (zero mask means
+    a fully deterministic threshold).
+    """
+    theta = core.threshold.astype(np.int64)
+    if (core.threshold_mask != 0).any():
+        units = np.arange(core.n_neurons)
+        rho = prng.draw_u16(seed, prng.PURPOSE_THRESHOLD, core_id, tick, units)
+        theta = theta + (rho & core.threshold_mask)
+    return theta
+
+
+def neuron_tick(
+    core: Core,
+    v: np.ndarray,
+    syn_input: np.ndarray,
+    core_id: int,
+    tick: int,
+    seed: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Advance all neurons of *core* by one tick.
+
+    Parameters
+    ----------
+    v:
+        Membrane potentials at the start of the tick, shape ``(N,)``.
+    syn_input:
+        Integrated synaptic input for this tick, shape ``(N,)``.
+
+    Returns
+    -------
+    (new_v, spiked):
+        Updated membrane potentials and a boolean spike mask.
+    """
+    v = v.astype(np.int64) + syn_input
+    v = v + leak_values(core, v, core_id, tick, seed)
+    v = clamp_membrane(v)
+
+    theta = thresholds(core, core_id, tick, seed)
+    spiked = v >= theta
+
+    # Positive reset, per mode.
+    reset_mode = core.reset_mode
+    v_reset = np.select(
+        [reset_mode == params.RESET_TO_VALUE, reset_mode == params.RESET_LINEAR],
+        [core.reset_value, v - theta],
+        default=v,
+    )
+    v = np.where(spiked, v_reset, v)
+
+    # Negative floor for non-spiking neurons below -beta.
+    below = (~spiked) & (v < -core.neg_threshold)
+    if below.any():
+        floored = np.where(
+            core.neg_floor_mode == params.NEG_FLOOR_SATURATE,
+            -core.neg_threshold,
+            -core.reset_value,
+        )
+        v = np.where(below, floored, v)
+
+    return clamp_membrane(v), spiked

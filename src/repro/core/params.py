@@ -1,0 +1,69 @@
+"""Architectural constants of the TrueNorth neurosynaptic architecture.
+
+Values follow the SC14 paper and the TrueNorth chip specification:
+
+* a neurosynaptic core has 256 axons (inputs) and 256 neurons (outputs)
+  joined by a 256x256 binary crossbar;
+* each axon carries one of 4 axon *types*; each neuron holds one signed
+  9-bit weight per axon type;
+* membrane potentials are 20-bit signed saturating integers;
+* axonal delays range from 1 to 15 ticks;
+* a chip is a 64x64 grid of cores (4,096 cores, 1M neurons, 256M synapses);
+* the nominal tick is 1 ms (1 kHz "real time" operation).
+"""
+
+from __future__ import annotations
+
+# --- Core geometry -------------------------------------------------------
+CORE_AXONS = 256
+CORE_NEURONS = 256
+NUM_AXON_TYPES = 4
+
+# --- Chip geometry --------------------------------------------------------
+CHIP_CORES_X = 64
+CHIP_CORES_Y = 64
+CORES_PER_CHIP = CHIP_CORES_X * CHIP_CORES_Y  # 4,096
+NEURONS_PER_CHIP = CORES_PER_CHIP * CORE_NEURONS  # 1,048,576
+SYNAPSES_PER_CHIP = CORES_PER_CHIP * CORE_AXONS * CORE_NEURONS  # 268,435,456
+
+# --- Datapath widths ------------------------------------------------------
+MEMBRANE_BITS = 20
+MEMBRANE_MIN = -(1 << (MEMBRANE_BITS - 1))  # -524288
+MEMBRANE_MAX = (1 << (MEMBRANE_BITS - 1)) - 1  # 524287
+
+WEIGHT_BITS = 9
+WEIGHT_MIN = -(1 << (WEIGHT_BITS - 1))  # -256
+WEIGHT_MAX = (1 << (WEIGHT_BITS - 1)) - 1  # 255
+
+LEAK_MIN = WEIGHT_MIN
+LEAK_MAX = WEIGHT_MAX
+
+THRESHOLD_MAX = (1 << 18)  # positive threshold alpha
+THRESHOLD_MASK_MAX = (1 << 17) - 1  # stochastic threshold mask (TM bits)
+
+# --- Temporal parameters --------------------------------------------------
+MIN_DELAY = 1
+MAX_DELAY = 15
+DELAY_SLOTS = MAX_DELAY + 1  # ring-buffer depth for pending axon events
+
+TICK_SECONDS = 1.0e-3  # nominal real-time tick (1 kHz)
+REAL_TIME_HZ = 1.0 / TICK_SECONDS
+
+# --- Reset / floor modes --------------------------------------------------
+RESET_TO_VALUE = 0  # V <- R on spike
+RESET_LINEAR = 1  # V <- V - theta on spike
+RESET_NONE = 2  # V unchanged on spike
+RESET_MODES = (RESET_TO_VALUE, RESET_LINEAR, RESET_NONE)
+
+NEG_FLOOR_SATURATE = 0  # V < -beta  =>  V <- -beta
+NEG_FLOOR_RESET = 1  # V < -beta  =>  V <- -R
+NEG_FLOOR_MODES = (NEG_FLOOR_SATURATE, NEG_FLOOR_RESET)
+
+# --- Physical / electrical nominal values (paper Section VI) --------------
+NOMINAL_VOLTAGE = 0.75  # measurement voltage for Fig. 5(a,b,d,e)
+MIN_VOLTAGE = 0.67  # lowest tested supply
+MAX_VOLTAGE = 1.05  # highest tested supply
+MIN_FUNCTIONAL_VOLTAGE = 0.70  # "~700mV" functional floor
+
+CHIP_AREA_CM2 = 4.3  # 5.4B transistors in 4.3 cm^2 (28 nm)
+CORE_FOOTPRINT_UM2 = 390 * 240

@@ -1,0 +1,104 @@
+"""Deterministic, counter-based pseudo-random number generation.
+
+The TrueNorth chip holds one hardware LFSR per core whose draws feed the
+stochastic synapse, stochastic leak, and stochastic threshold modes.  The
+LFSR is consumed in a fixed hardware order, which is awkward to reproduce
+bit-exactly across differently-parallelized software expressions.
+
+Following DESIGN.md substitution #3 we instead use a *counter-based*
+generator: every draw is a pure function of
+
+    (network seed, purpose, core id, tick, unit index)
+
+where *unit* identifies the consumer (a neuron index, or an
+``axon * CORE_NEURONS + neuron`` pair for per-synaptic-event draws).  The
+generator is a splitmix64-style avalanche hash, which passes basic
+equidistribution smoke tests and — crucially — is order-independent: the
+vectorized Compass expression, the event-driven hardware expression, and
+the scalar reference kernel all observe identical random streams, which is
+what makes the paper's one-to-one equivalence regressions (Section VI-A)
+reproducible here.
+
+All functions are vectorized over the *unit* axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Draw purposes (mixed into the key so distinct consumers never collide).
+PURPOSE_SYNAPSE = 0x53594E41  # "SYNA"
+PURPOSE_LEAK = 0x4C45414B  # "LEAK"
+PURPOSE_THRESHOLD = 0x54485245  # "THRE"
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN_INT = 0x9E3779B97F4A7C15
+_GOLDEN = np.uint64(_GOLDEN_INT)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+_U30 = np.uint64(30)
+_U27 = np.uint64(27)
+_U31 = np.uint64(31)
+_U8MASK = np.uint64(0xFF)
+_U16MASK = np.uint64(0xFFFF)
+_U32MASK = np.uint64(0xFFFFFFFF)
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer: avalanche a uint64 array (wrapping silently)."""
+    x = (x ^ (x >> _U30)) * _MIX1
+    x = (x ^ (x >> _U27)) * _MIX2
+    return x ^ (x >> _U31)
+
+
+def _mix64_int(x: int) -> int:
+    """Scalar splitmix64 finalizer on Python ints (explicit 2^64 wrap)."""
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _key(seed: int, purpose: int, core: int, tick: int, units: np.ndarray) -> np.ndarray:
+    """Combine the draw coordinates into a well-mixed uint64 key array.
+
+    The (seed, purpose, core, tick) prefix mixes in exact Python integers;
+    only the per-unit tail is vectorized, so scalar and array callers see
+    identical streams.
+    """
+    k = _mix64_int((seed & _MASK64) + _GOLDEN_INT * (purpose & 0xFFFFFFFF))
+    k = _mix64_int(k + _GOLDEN_INT * (core & 0xFFFFFFFFFFFF))
+    k = _mix64_int(k + _GOLDEN_INT * (tick & 0xFFFFFFFFFFFF))
+    u = np.asarray(units, dtype=np.uint64)
+    return _mix64(np.uint64(k) + _GOLDEN * u)
+
+
+def draw_u8(seed: int, purpose: int, core: int, tick: int, units: np.ndarray) -> np.ndarray:
+    """Return uniform uint8 draws in [0, 255], one per entry of *units*."""
+    return (_key(seed, purpose, core, tick, units) & _U8MASK).astype(np.int64)
+
+
+def draw_u16(seed: int, purpose: int, core: int, tick: int, units: np.ndarray) -> np.ndarray:
+    """Return uniform uint16 draws in [0, 65535], one per entry of *units*."""
+    return (_key(seed, purpose, core, tick, units) & _U16MASK).astype(np.int64)
+
+
+def draw_u32(seed: int, purpose: int, core: int, tick: int, units: np.ndarray) -> np.ndarray:
+    """Return uniform uint32 draws, one per entry of *units*."""
+    return (_key(seed, purpose, core, tick, units) & _U32MASK).astype(np.int64)
+
+
+def draw_u8_scalar(seed: int, purpose: int, core: int, tick: int, unit: int) -> int:
+    """Scalar convenience wrapper used by the reference kernel."""
+    return int(draw_u8(seed, purpose, core, tick, np.asarray([unit]))[0])
+
+
+def draw_u16_scalar(seed: int, purpose: int, core: int, tick: int, unit: int) -> int:
+    """Scalar convenience wrapper used by the reference kernel."""
+    return int(draw_u16(seed, purpose, core, tick, np.asarray([unit]))[0])
+
+
+def synapse_unit(axon: int | np.ndarray, neuron: int | np.ndarray) -> int | np.ndarray:
+    """Unit index for a per-synaptic-event draw at (axon, neuron)."""
+    return axon * 256 + neuron

@@ -1,0 +1,104 @@
+"""Workload descriptors: full-scale network statistics for the cost models.
+
+DESIGN.md substitution #5: functional simulation runs at reduced scale,
+but every benchmark network also carries a descriptor with the paper's
+full-scale parameters (neurons, cores, mean firing rate, synaptic
+fan-out).  The TrueNorth energy/timing models and the von-Neumann
+machine cost models consume descriptors, so performance tables are
+produced at paper scale.
+
+A descriptor can be written down from the paper (Section IV-B gives the
+five vision applications' sizes and rates) or *measured* from any
+simulated run via :meth:`WorkloadDescriptor.from_counters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core import params
+from repro.core.counters import EventCounters
+from repro.utils.validation import require
+
+# Mean packet hop distance of the characterization networks (paper IV-B:
+# targets average 21.66 cores away in each of x and y).
+DEFAULT_MEAN_HOPS = 2 * 21.66
+
+
+@dataclass(frozen=True)
+class WorkloadDescriptor:
+    """Steady-state event statistics of one network workload."""
+
+    name: str
+    n_neurons: int
+    n_cores: int
+    rate_hz: float  # mean per-neuron firing rate
+    active_synapses: float  # mean synaptic fan-out per spike
+    mean_hops: float = DEFAULT_MEAN_HOPS
+    load_imbalance: float = 1.0  # busiest-core load / mean-core load
+
+    def __post_init__(self) -> None:
+        require(self.n_neurons >= 1 and self.n_cores >= 1, "workload must be non-empty")
+        require(self.rate_hz >= 0.0, "rate must be non-negative")
+        require(self.active_synapses >= 0.0, "fan-out must be non-negative")
+        require(self.load_imbalance >= 1.0, "imbalance is >= 1 by definition")
+
+    # -- per-tick event counts ------------------------------------------------
+    @property
+    def spikes_per_tick(self) -> float:
+        """Mean neuron firings per 1 ms tick."""
+        return self.n_neurons * self.rate_hz * params.TICK_SECONDS
+
+    @property
+    def syn_events_per_tick(self) -> float:
+        """Mean synaptic operations per tick."""
+        return self.spikes_per_tick * self.active_synapses
+
+    @property
+    def neuron_updates_per_tick(self) -> float:
+        """Neuron evaluations per tick (all neurons, every tick)."""
+        return float(self.n_neurons)
+
+    @property
+    def hops_per_tick(self) -> float:
+        """Mesh hops per tick."""
+        return self.spikes_per_tick * self.mean_hops
+
+    @property
+    def busiest_core_events_per_tick(self) -> float:
+        """Busiest core's synaptic events per tick (drives max tick rate)."""
+        mean_core = self.syn_events_per_tick / self.n_cores
+        return mean_core * self.load_imbalance
+
+    @property
+    def sops(self) -> float:
+        """Synaptic operations per second at real time (paper Section V-1)."""
+        return self.rate_hz * self.active_synapses * self.n_neurons
+
+    def scaled_to(self, n_neurons: int, n_cores: int) -> "WorkloadDescriptor":
+        """Same per-neuron statistics at a different network size."""
+        return replace(self, n_neurons=n_neurons, n_cores=n_cores)
+
+    @staticmethod
+    def from_counters(
+        name: str, counters: EventCounters, n_cores: int
+    ) -> "WorkloadDescriptor":
+        """Measure a descriptor from a simulated run's event counters."""
+        require(counters.ticks > 0, "run must have executed at least one tick")
+        n_neurons = max(1, int(round(counters.neuron_updates / counters.ticks)))
+        rate = counters.mean_firing_rate_hz
+        fanout = counters.mean_active_synapses
+        hops = counters.hops / counters.spikes if counters.spikes else 0.0
+        mean_core = counters.synaptic_events / counters.ticks / max(n_cores, 1)
+        imbalance = (
+            counters.max_core_events_per_tick / mean_core if mean_core > 0 else 1.0
+        )
+        return WorkloadDescriptor(
+            name=name,
+            n_neurons=n_neurons,
+            n_cores=n_cores,
+            rate_hz=rate,
+            active_synapses=fanout,
+            mean_hops=hops,
+            load_imbalance=max(1.0, imbalance),
+        )

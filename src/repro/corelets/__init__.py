@@ -1,0 +1,33 @@
+"""Corelet Programming Environment: composable networks + placement."""
+
+from repro.corelets.corelet import (
+    CompiledComposition,
+    Composition,
+    Connector,
+    Corelet,
+    GlobalPin,
+    Pin,
+)
+from repro.corelets.inspect import ResourceReport, analyze, report_text
+from repro.corelets.placement import (
+    connectivity_graph,
+    place_connectivity_aware,
+    place_row_major,
+    total_wirelength,
+)
+
+__all__ = [
+    "CompiledComposition",
+    "Composition",
+    "Connector",
+    "Corelet",
+    "GlobalPin",
+    "Pin",
+    "ResourceReport",
+    "analyze",
+    "report_text",
+    "connectivity_graph",
+    "place_connectivity_aware",
+    "place_row_major",
+    "total_wirelength",
+]

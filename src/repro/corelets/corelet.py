@@ -1,0 +1,230 @@
+"""The Corelet Programming Environment: composable core networks.
+
+"A corelet is a functional encapsulation of a network of neurosynaptic
+cores that collectively perform a specific task.  Object-oriented
+corelets can seamlessly build hierarchically composable networks while
+sharing underlying code and unified network interfaces." (paper IV-A,
+citing the CPE of Amir et al. 2013)
+
+Model:
+
+* a :class:`Corelet` owns cores and exposes named **connectors** —
+  bundles of input pins (core, axon) and output pins (core, neuron);
+* a :class:`Composition` collects corelets and pin-to-pin connections
+  and compiles them into a flat :class:`~repro.core.network.Network`;
+* hardware constraints are enforced at composition time: each neuron
+  targets exactly one axon (fan-out beyond one requires an explicit
+  splitter corelet, as on the physical chip), and each axon accepts any
+  number of senders (events merge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import params
+from repro.core.network import Core, Network
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class Pin:
+    """One endpoint inside a corelet: (local core index, line index)."""
+
+    corelet: "Corelet"
+    core: int
+    index: int  # axon index for inputs, neuron index for outputs
+
+    def __repr__(self) -> str:  # keep hashable dataclass repr short
+        return f"Pin({self.corelet.name}, core={self.core}, idx={self.index})"
+
+
+@dataclass
+class Connector:
+    """An ordered bundle of pins forming one named interface."""
+
+    name: str
+    pins: list[Pin] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.pins)
+
+    def __getitem__(self, i: int) -> Pin:
+        return self.pins[i]
+
+    def slice(self, start: int, stop: int) -> "Connector":
+        """A sub-connector over pins [start, stop)."""
+        return Connector(f"{self.name}[{start}:{stop}]", self.pins[start:stop])
+
+
+class Corelet:
+    """A reusable, composable network of neurosynaptic cores."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.cores: list[Core] = []
+        self.inputs: dict[str, Connector] = {}
+        self.outputs: dict[str, Connector] = {}
+        # Internal (intra-corelet) connections: (core, neuron) -> (core, axon, delay).
+        self._internal: list[tuple[int, int, int, int, int]] = []
+
+    # -- construction -----------------------------------------------------
+    def add_core(self, core: Core) -> int:
+        """Add a core; returns its corelet-local index."""
+        self.cores.append(core)
+        return len(self.cores) - 1
+
+    def input_connector(self, name: str, pins: list[tuple[int, int]]) -> Connector:
+        """Declare an input connector over (core, axon) pairs."""
+        require(name not in self.inputs, f"duplicate input connector {name!r}")
+        conn = Connector(name, [Pin(self, c, a) for c, a in pins])
+        self.inputs[name] = conn
+        return conn
+
+    def output_connector(self, name: str, pins: list[tuple[int, int]]) -> Connector:
+        """Declare an output connector over (core, neuron) pairs."""
+        require(name not in self.outputs, f"duplicate output connector {name!r}")
+        conn = Connector(name, [Pin(self, c, n) for c, n in pins])
+        self.outputs[name] = conn
+        return conn
+
+    def connect_internal(
+        self, src_core: int, neuron: int, dst_core: int, axon: int, delay: int = 1
+    ) -> None:
+        """Wire a neuron to an axon inside this corelet."""
+        require(0 <= src_core < len(self.cores), "src core out of range")
+        require(0 <= dst_core < len(self.cores), "dst core out of range")
+        self._internal.append((src_core, neuron, dst_core, axon, delay))
+
+    @property
+    def n_cores(self) -> int:
+        """Number of cores owned by this corelet."""
+        return len(self.cores)
+
+    @property
+    def n_neurons(self) -> int:
+        """Total neurons across the corelet's cores."""
+        return sum(c.n_neurons for c in self.cores)
+
+
+@dataclass(frozen=True)
+class GlobalPin:
+    """A compiled pin: global core index + line index."""
+
+    core: int
+    index: int
+
+
+@dataclass
+class CompiledComposition:
+    """Result of compiling a composition: network + resolved connectors."""
+
+    network: Network
+    inputs: dict[str, list[GlobalPin]]
+    outputs: dict[str, list[GlobalPin]]
+
+    def input_pins(self, name: str) -> list[GlobalPin]:
+        """Resolved pins of the exported input connector *name*."""
+        return self.inputs[name]
+
+    def output_pins(self, name: str) -> list[GlobalPin]:
+        """Resolved pins of the exported output connector *name*."""
+        return self.outputs[name]
+
+
+class Composition:
+    """A set of corelets plus pin-level connections, compiled to a Network."""
+
+    def __init__(self, name: str = "composition", seed: int = 0) -> None:
+        self.name = name
+        self.seed = seed
+        self.corelets: list[Corelet] = []
+        self._connections: list[tuple[Pin, Pin, int]] = []
+        self._exported_inputs: dict[str, Connector] = {}
+        self._exported_outputs: dict[str, Connector] = {}
+
+    def add(self, corelet: Corelet) -> Corelet:
+        """Register a corelet (idempotent)."""
+        if corelet not in self.corelets:
+            self.corelets.append(corelet)
+        return corelet
+
+    def connect(self, src: Connector, dst: Connector, delay: int = 1) -> None:
+        """Connect output connector *src* pin-by-pin to input connector *dst*."""
+        require(
+            len(src) == len(dst),
+            f"connector width mismatch: {src.name} has {len(src)}, "
+            f"{dst.name} has {len(dst)}",
+        )
+        require(params.MIN_DELAY <= delay <= params.MAX_DELAY, "delay must be 1..15")
+        for s, d in zip(src.pins, dst.pins):
+            self.add(s.corelet)
+            self.add(d.corelet)
+            self._connections.append((s, d, delay))
+
+    def export_input(self, name: str, connector: Connector) -> None:
+        """Expose a corelet input connector at the composition boundary."""
+        self.add(connector.pins[0].corelet)
+        self._exported_inputs[name] = connector
+
+    def export_output(self, name: str, connector: Connector) -> None:
+        """Expose a corelet output connector at the composition boundary."""
+        self.add(connector.pins[0].corelet)
+        self._exported_outputs[name] = connector
+
+    def compile(self) -> CompiledComposition:
+        """Flatten everything into a validated Network.
+
+        Each neuron may be the source of at most one connection (the
+        hardware's single spike target); violations raise with the
+        offending pin named.
+        """
+        base: dict[Corelet, int] = {}
+        cores: list[Core] = []
+        for corelet in self.corelets:
+            base[corelet] = len(cores)
+            # Copy so that compiling never mutates the corelet itself
+            # (corelets are reusable library objects).
+            cores.extend(core.copy() for core in corelet.cores)
+
+        claimed: set[tuple[int, int]] = set()
+
+        def claim(global_core: int, neuron: int, what: str) -> None:
+            key = (global_core, neuron)
+            if key in claimed:
+                raise ValueError(
+                    f"neuron (core {global_core}, neuron {neuron}) has two "
+                    f"targets ({what}); insert a splitter corelet for fan-out"
+                )
+            claimed.add(key)
+
+        # Intra-corelet wiring first.
+        for corelet in self.corelets:
+            b = base[corelet]
+            for src_core, neuron, dst_core, axon, delay in corelet._internal:
+                gsrc = b + src_core
+                claim(gsrc, neuron, f"internal wiring of {corelet.name}")
+                cores[gsrc].target_core[neuron] = b + dst_core
+                cores[gsrc].target_axon[neuron] = axon
+                cores[gsrc].delay[neuron] = delay
+
+        # Inter-corelet connections.
+        for src_pin, dst_pin, delay in self._connections:
+            gsrc = base[src_pin.corelet] + src_pin.core
+            gdst = base[dst_pin.corelet] + dst_pin.core
+            claim(gsrc, src_pin.index, f"connection to {dst_pin!r}")
+            cores[gsrc].target_core[src_pin.index] = gdst
+            cores[gsrc].target_axon[src_pin.index] = dst_pin.index
+            cores[gsrc].delay[src_pin.index] = delay
+
+        network = Network(cores=cores, seed=self.seed, name=self.name)
+        network.validate()
+
+        def resolve(conn: Connector) -> list[GlobalPin]:
+            return [GlobalPin(base[p.corelet] + p.core, p.index) for p in conn.pins]
+
+        return CompiledComposition(
+            network=network,
+            inputs={n: resolve(c) for n, c in self._exported_inputs.items()},
+            outputs={n: resolve(c) for n, c in self._exported_outputs.items()},
+        )

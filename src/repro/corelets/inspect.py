@@ -1,0 +1,104 @@
+"""Composition inspection: resource accounting for compiled networks.
+
+The Corelet Programming Environment's development loop needs to answer
+"what does this composition cost on the chip?": cores used, crossbar
+utilization, neuron/axon occupancy, fan-in/fan-out distributions, delay
+usage, and whether the network fits a single chip.  These reports drive
+design iteration before any simulation runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import params
+from repro.core.network import OUTPUT_TARGET, Network
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Resource summary of one compiled network."""
+
+    n_cores: int
+    n_neurons: int
+    n_synapses: int
+    crossbar_utilization: float  # programmed / available crosspoints
+    output_neurons: int  # neurons with no on-chip target
+    routed_neurons: int
+    mean_fan_in: float  # programmed synapses per neuron
+    max_fan_in: int
+    mean_fan_out: float  # programmed synapses per axon
+    max_fan_out: int
+    delays_used: tuple  # sorted distinct delay values
+    stochastic_neurons: int
+    chips_required: int
+
+    @property
+    def fits_one_chip(self) -> bool:
+        """True when the network occupies at most one TrueNorth chip."""
+        return self.chips_required <= 1
+
+
+def analyze(network: Network) -> ResourceReport:
+    """Compute the resource report for *network*."""
+    n_cores = network.n_cores
+    n_neurons = network.n_neurons
+    n_synapses = network.n_synapses
+    available = sum(c.n_axons * c.n_neurons for c in network.cores)
+
+    fan_in: list[int] = []
+    fan_out: list[int] = []
+    output_neurons = 0
+    delays: set[int] = set()
+    stochastic = 0
+    for core in network.cores:
+        fan_in.extend(core.crossbar.sum(axis=0).tolist())
+        fan_out.extend(core.crossbar.sum(axis=1).tolist())
+        output_neurons += int((core.target_core == OUTPUT_TARGET).sum())
+        routed = core.target_core != OUTPUT_TARGET
+        delays.update(np.unique(core.delay[routed]).tolist())
+        stochastic += int(
+            (
+                core.stoch_synapse.any(axis=1)
+                | core.stoch_leak
+                | (core.threshold_mask > 0)
+            ).sum()
+        )
+
+    fan_in_arr = np.asarray(fan_in) if fan_in else np.zeros(1)
+    fan_out_arr = np.asarray(fan_out) if fan_out else np.zeros(1)
+    return ResourceReport(
+        n_cores=n_cores,
+        n_neurons=n_neurons,
+        n_synapses=n_synapses,
+        crossbar_utilization=n_synapses / available if available else 0.0,
+        output_neurons=output_neurons,
+        routed_neurons=n_neurons - output_neurons,
+        mean_fan_in=float(fan_in_arr.mean()),
+        max_fan_in=int(fan_in_arr.max()),
+        mean_fan_out=float(fan_out_arr.mean()),
+        max_fan_out=int(fan_out_arr.max()),
+        delays_used=tuple(sorted(delays)),
+        stochastic_neurons=stochastic,
+        chips_required=max(1, -(-n_cores // params.CORES_PER_CHIP)),
+    )
+
+
+def report_text(network: Network) -> str:
+    """Human-readable resource report."""
+    r = analyze(network)
+    lines = [
+        f"network {network.name!r}: {r.n_cores} cores, {r.n_neurons} neurons, "
+        f"{r.n_synapses} synapses",
+        f"  crossbar utilization: {r.crossbar_utilization:.1%}",
+        f"  fan-in  mean/max: {r.mean_fan_in:.1f} / {r.max_fan_in}",
+        f"  fan-out mean/max: {r.mean_fan_out:.1f} / {r.max_fan_out}",
+        f"  routed neurons: {r.routed_neurons}  outputs: {r.output_neurons}",
+        f"  delays used: {list(r.delays_used)}",
+        f"  stochastic neurons: {r.stochastic_neurons}",
+        f"  chips required: {r.chips_required}"
+        + (" (fits one chip)" if r.fits_one_chip else ""),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Basic corelets: splitters, relays, and poolers.
+
+On TrueNorth each neuron targets exactly one axon, so fan-out is built
+from explicit splitter corelets; these are the workhorses of every
+composed application (paper IV-A's corelet library).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import params
+from repro.core.network import Core
+from repro.corelets.corelet import Connector, Corelet
+from repro.utils.validation import require
+
+
+def splitter(
+    n: int,
+    ways: int,
+    name: str = "splitter",
+    gain: int = 1,
+    core_size: int = params.CORE_NEURONS,
+) -> Corelet:
+    """Duplicate *n* spike lines into *ways* identical copies.
+
+    Connectors: input ``in`` (width n); outputs ``out0`` .. ``out{ways-1}``
+    (width n each).  Inputs are chunked across cores when n * ways
+    exceeds one core.
+    """
+    require(n >= 1 and ways >= 1, "splitter needs n >= 1 and ways >= 1")
+    require(ways <= core_size, "too many ways for one core")
+    chunk = min(n, core_size // ways)
+    corelet = Corelet(name)
+    in_pins: list[tuple[int, int]] = []
+    out_pins: list[list[tuple[int, int]]] = [[] for _ in range(ways)]
+
+    for start in range(0, n, chunk):
+        width = min(chunk, n - start)
+        crossbar = np.zeros((width, width * ways), dtype=bool)
+        for a in range(width):
+            for w in range(ways):
+                crossbar[a, w * width + a] = True
+        core = Core.build(
+            n_axons=width,
+            n_neurons=width * ways,
+            crossbar=crossbar,
+            weights=np.full((width * ways, params.NUM_AXON_TYPES), gain),
+            threshold=gain,
+            reset_value=0,
+            name=f"{name}/core{start // chunk}",
+        )
+        idx = corelet.add_core(core)
+        in_pins.extend((idx, a) for a in range(width))
+        for w in range(ways):
+            out_pins[w].extend((idx, w * width + a) for a in range(width))
+
+    corelet.input_connector("in", in_pins)
+    for w in range(ways):
+        corelet.output_connector(f"out{w}", out_pins[w])
+    return corelet
+
+
+def relay(n: int, name: str = "relay", core_size: int = params.CORE_NEURONS) -> Corelet:
+    """Identity corelet: one-tick-delayed copy of *n* lines.
+
+    Connectors: ``in`` and ``out`` (width n).
+    """
+    corelet = splitter(n, 1, name=name, core_size=core_size)
+    corelet.outputs["out"] = Connector("out", corelet.outputs.pop("out0").pins)
+    return corelet
+
+
+def pooling(
+    n: int,
+    window: int,
+    mode: str = "or",
+    name: str = "pool",
+    core_size: int = params.CORE_NEURONS,
+) -> Corelet:
+    """Non-overlapping pooling of *n* lines in groups of *window*.
+
+    ``mode='or'`` fires the pooled output when any line in the window
+    fires this tick; ``mode='and'`` requires all of them.  Connectors:
+    ``in`` (width n), ``out`` (width n // window).
+    """
+    require(n % window == 0, "n must be a multiple of window")
+    require(mode in ("or", "and"), "mode must be 'or' or 'and'")
+    n_out = n // window
+    chunk_out = min(n_out, core_size // window)
+    corelet = Corelet(name)
+    in_pins: list[tuple[int, int]] = []
+    out_pins: list[tuple[int, int]] = []
+
+    # OR: any input this tick reaches threshold and resets — no carryover
+    # is ever possible.  AND: weight w per input, threshold w, and a leak
+    # of -(window-1)*w drains any partial sum to the 0-floor within the
+    # same tick, so only a full window fires.
+    gain = max(1, min(8, 255 // max(window - 1, 1)))
+    if mode == "or":
+        threshold, leak = 1, 0
+    else:
+        threshold, leak = gain, -(window - 1) * gain
+
+    for start in range(0, n_out, chunk_out):
+        width_out = min(chunk_out, n_out - start)
+        width_in = width_out * window
+        crossbar = np.zeros((width_in, width_out), dtype=bool)
+        for a in range(width_in):
+            crossbar[a, a // window] = True
+        core = Core.build(
+            n_axons=width_in,
+            n_neurons=width_out,
+            crossbar=crossbar,
+            weights=np.full(
+                (width_out, params.NUM_AXON_TYPES),
+                1 if mode == "or" else gain,
+                dtype=np.int64,
+            ),
+            threshold=threshold,
+            leak=leak,
+            neg_threshold=0,
+            reset_value=0,
+            name=f"{name}/core{start // chunk_out}",
+        )
+        idx = corelet.add_core(core)
+        in_pins.extend((idx, a) for a in range(width_in))
+        out_pins.extend((idx, j) for j in range(width_out))
+
+    corelet.input_connector("in", in_pins)
+    corelet.output_connector("out", out_pins)
+    return corelet

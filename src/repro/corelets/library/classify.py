@@ -1,0 +1,118 @@
+"""Classification corelets: histograms, counters, ternary classifiers.
+
+Covers the pattern-classification end of the corelet library: LBP-style
+population histograms (rate dividers via linear reset) and offline-
+trained ternary-weight classifiers ("Compass to simulate networks and to
+facilitate training off-line", paper Fig. 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import params
+from repro.core.network import Core
+from repro.corelets.corelet import Corelet
+from repro.utils.validation import require
+
+
+def histogram(
+    bin_of_input: np.ndarray,
+    n_bins: int,
+    count_per_spike: int = 4,
+    name: str = "hist",
+) -> Corelet:
+    """Population histogram: bin neurons count events from their inputs.
+
+    Each input line is assigned to one bin; the bin neuron uses linear
+    reset (V -= theta on spike) so it emits one spike per
+    ``count_per_spike`` input events — a spiking population counter, the
+    LBP-histogram building block.
+
+    Connectors: ``in`` (width len(bin_of_input)), ``out`` (width n_bins).
+    """
+    bin_of_input = np.asarray(bin_of_input, dtype=np.int64)
+    n_in = bin_of_input.size
+    require(n_in <= params.CORE_AXONS, "histogram needs n_in <= 256")
+    require(n_bins <= params.CORE_NEURONS, "histogram needs n_bins <= 256")
+    require((bin_of_input >= 0).all() and (bin_of_input < n_bins).all(), "bad bin index")
+
+    crossbar = np.zeros((n_in, n_bins), dtype=bool)
+    crossbar[np.arange(n_in), bin_of_input] = True
+    core = Core.build(
+        n_axons=n_in,
+        n_neurons=n_bins,
+        crossbar=crossbar,
+        weights=np.ones((n_bins, params.NUM_AXON_TYPES), dtype=np.int64),
+        threshold=count_per_spike,
+        reset_mode=params.RESET_LINEAR,
+        name=f"{name}/core",
+    )
+    corelet = Corelet(name)
+    idx = corelet.add_core(core)
+    corelet.input_connector("in", [(idx, i) for i in range(n_in)])
+    corelet.output_connector("out", [(idx, b) for b in range(n_bins)])
+    return corelet
+
+
+def ternary_classifier(
+    weights: np.ndarray,
+    gain: int = 24,
+    threshold: int = 96,
+    decay: int = 4,
+    name: str = "classifier",
+) -> Corelet:
+    """Rate-coded linear classifier with ternary weights.
+
+    ``weights`` is ``(n_features, n_classes)`` in {-1, 0, +1}, typically
+    produced by :func:`train_ternary`.  Class neurons integrate signed
+    evidence; the most active output line is the predicted class.
+
+    Connectors: ``in+``/``in-`` (width n_features), ``out`` (n_classes).
+    """
+    from repro.corelets.library.filters import signed_filter
+
+    corelet = signed_filter(
+        weights, gain=gain, threshold=threshold, decay=decay, name=name
+    )
+    return corelet
+
+
+def train_ternary(
+    features: np.ndarray,
+    labels: np.ndarray,
+    n_classes: int,
+    epochs: int = 30,
+    lr: float = 0.05,
+    sparsity: float = 0.3,
+    seed: int = 0,
+) -> np.ndarray:
+    """Offline perceptron training quantized to ternary weights.
+
+    Trains one-vs-all perceptrons on (n_samples, n_features) data, then
+    ternarizes: weights with |w| above the ``sparsity`` quantile map to
+    sign(w), the rest to 0 — the offline-training-then-deploy flow of
+    the TrueNorth ecosystem.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    n_samples, n_features = features.shape
+    require(labels.shape == (n_samples,), "labels must match features")
+    rng = np.random.default_rng(seed)
+    w = rng.normal(0, 0.01, size=(n_features, n_classes))
+    onehot = np.eye(n_classes)[labels] * 2 - 1  # {-1, +1} targets
+    for _ in range(epochs):
+        scores = features @ w
+        pred = np.sign(scores)
+        mistakes = pred != onehot
+        grad = features.T @ (onehot * mistakes)
+        w += lr * grad / n_samples
+    magnitude = np.abs(w)
+    cut = np.quantile(magnitude, sparsity) if n_features * n_classes > 1 else 0.0
+    ternary = np.where(magnitude > cut, np.sign(w), 0.0).astype(np.int64)
+    return ternary
+
+
+def classify_rates(rates: np.ndarray) -> int:
+    """Argmax class from output spike rates (ties to lowest index)."""
+    return int(np.argmax(rates))

@@ -1,0 +1,129 @@
+"""Competition corelets: winner-take-all and inhibition-of-return.
+
+These implement the saccade mechanism of the paper's saliency system
+(Section IV-B): "a saccade map selects regions of interest by applying a
+winner-take-all mechanism to the saliency map, followed by temporal
+inhibition-of-return to promote map exploration."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import params
+from repro.core.network import Core
+from repro.corelets.corelet import Corelet
+from repro.utils.validation import require
+
+
+def winner_take_all(
+    n: int,
+    excitation: int = 64,
+    inhibition: int = 48,
+    threshold: int = 192,
+    name: str = "wta",
+) -> Corelet:
+    """Soft winner-take-all over *n* competing channels (single core).
+
+    Layout: axons 0..n-1 carry the competing inputs (type 0, excitatory);
+    axons n..2n-1 carry recurrent inhibition (type 1).  Neurons 0..n-1
+    accumulate and recurrently inhibit all rivals when they fire; neurons
+    n..2n-1 are an identically-driven copy population whose spikes leave
+    the corelet (on TrueNorth a neuron's single target is consumed by the
+    recurrent loop, so outputs need a twin).
+
+    Connectors: ``in`` (width n), ``out`` (width n).
+    """
+    require(1 <= n <= params.CORE_AXONS // 2, "wta needs n <= 128 for one core")
+    n_axons = 2 * n
+    n_neurons = 2 * n
+    crossbar = np.zeros((n_axons, n_neurons), dtype=bool)
+    axon_types = np.zeros(n_axons, dtype=np.int64)
+    axon_types[n:] = 1
+    for i in range(n):
+        crossbar[i, i] = True  # input -> competitor
+        crossbar[i, n + i] = True  # input -> twin
+        for j in range(n):
+            if j != i:
+                crossbar[n + i, j] = True  # inhibition -> rivals
+                crossbar[n + i, n + j] = True  # inhibition -> rival twins
+    weights = np.zeros((n_neurons, params.NUM_AXON_TYPES), dtype=np.int64)
+    weights[:, 0] = excitation
+    weights[:, 1] = -inhibition
+
+    core = Core.build(
+        n_axons=n_axons,
+        n_neurons=n_neurons,
+        crossbar=crossbar,
+        axon_types=axon_types,
+        weights=weights,
+        threshold=threshold,
+        # Decay toward rest so stale evidence and inhibition both fade.
+        leak=-4,
+        leak_reversal=True,
+        neg_threshold=4 * inhibition,
+        reset_value=0,
+        name=f"{name}/core",
+    )
+    corelet = Corelet(name)
+    idx = corelet.add_core(core)
+    for i in range(n):
+        corelet.connect_internal(idx, i, idx, n + i, delay=1)
+    corelet.input_connector("in", [(idx, i) for i in range(n)])
+    corelet.output_connector("out", [(idx, n + i) for i in range(n)])
+    return corelet
+
+
+def inhibition_of_return(
+    n: int,
+    gain: int = 64,
+    threshold: int = 64,
+    suppression: int = 255,
+    recovery: int = 8,
+    name: str = "ior",
+) -> Corelet:
+    """Relay with per-channel refractory suppression after each spike.
+
+    A channel that fires is pushed far below rest (by ``suppression``)
+    and recovers toward zero at ``recovery`` per tick (leak-reversal
+    decay), so it stays silent for roughly ``suppression / recovery``
+    ticks — the paper's "temporal inhibition-of-return to promote map
+    exploration".
+
+    Connectors: ``in`` (width n), ``out`` (width n).
+    """
+    require(1 <= n <= params.CORE_AXONS // 2, "ior needs n <= 128 for one core")
+    n_axons = 2 * n
+    n_neurons = 2 * n
+    crossbar = np.zeros((n_axons, n_neurons), dtype=bool)
+    axon_types = np.zeros(n_axons, dtype=np.int64)
+    axon_types[n:] = 1
+    for i in range(n):
+        crossbar[i, i] = True
+        crossbar[i, n + i] = True
+        crossbar[n + i, i] = True  # self-suppression
+        crossbar[n + i, n + i] = True  # twin suppressed identically
+    weights = np.zeros((n_neurons, params.NUM_AXON_TYPES), dtype=np.int64)
+    weights[:, 0] = gain
+    weights[:, 1] = -suppression
+
+    core = Core.build(
+        n_axons=n_axons,
+        n_neurons=n_neurons,
+        crossbar=crossbar,
+        axon_types=axon_types,
+        weights=weights,
+        threshold=threshold,
+        leak=-recovery,
+        leak_reversal=True,
+        neg_threshold=suppression,
+        reset_value=0,
+        name=f"{name}/core",
+    )
+    corelet = Corelet(name)
+    idx = corelet.add_core(core)
+    for i in range(n):
+        corelet.connect_internal(idx, i, idx, n + i, delay=1)
+    corelet.input_connector("in", [(idx, i) for i in range(n)])
+    corelet.output_connector("out", [(idx, n + i) for i in range(n)])
+    return corelet

@@ -1,0 +1,124 @@
+"""Convolutional corelets: strided, overlapping ternary-filter layers.
+
+The paper's corelet library includes "convolutional networks"; this
+builder generalizes the non-overlapping patch banks of
+:mod:`repro.apps.pipeline` to overlapping windows with stride.  Because
+a TrueNorth neuron has exactly one spike target, each pixel that
+participates in W windows must be physically replicated W times (2W
+with signed filters) through a splitter corelet — weight sharing on
+TrueNorth is sharing of *parameters*, never of *spikes*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corelets.corelet import CompiledComposition, Composition, Connector
+from repro.corelets.library.basic import splitter
+from repro.corelets.library.filters import signed_filter
+from repro.utils.validation import require
+
+
+@dataclass
+class ConvLayer:
+    """A compiled convolutional layer."""
+
+    compiled: CompiledComposition
+    height: int
+    width: int
+    kernel_size: int
+    stride: int
+    n_features: int
+    out_h: int
+    out_w: int
+
+    @property
+    def pixel_pins(self):
+        """Input pins in row-major pixel order."""
+        return self.compiled.inputs["pixels"]
+
+    def feature_map(self, record) -> np.ndarray:
+        """(out_h, out_w, n_features) spike counts from a run."""
+        from repro.apps.transduction import spike_counts_by_pin
+
+        counts = spike_counts_by_pin(record, self.compiled.outputs["features"])
+        return counts.reshape(self.out_h, self.out_w, self.n_features)
+
+
+def conv2d(
+    height: int,
+    width: int,
+    kernels: np.ndarray,
+    stride: int = 2,
+    gain: int = 24,
+    threshold: int = 96,
+    decay: int = 16,
+    name: str = "conv",
+    seed: int = 0,
+) -> ConvLayer:
+    """Build a strided convolutional layer of signed ternary filters.
+
+    ``kernels`` is ``(k*k, n_features)`` with entries in {-1, 0, +1};
+    windows are k x k at the given stride (no padding).
+    """
+    kernels = np.asarray(kernels)
+    k = int(round(np.sqrt(kernels.shape[0])))
+    require(k * k == kernels.shape[0], "kernel rows must form a square window")
+    require(stride >= 1, "stride must be positive")
+    require(height >= k and width >= k, "frame smaller than kernel")
+    out_h = (height - k) // stride + 1
+    out_w = (width - k) // stride + 1
+    n_features = kernels.shape[1]
+
+    # Which windows cover each pixel, in deterministic window order.
+    windows_of_pixel: dict[tuple[int, int], list[int]] = {
+        (y, x): [] for y in range(height) for x in range(width)
+    }
+    window_origin = []
+    for oy in range(out_h):
+        for ox in range(out_w):
+            widx = oy * out_w + ox
+            window_origin.append((oy * stride, ox * stride))
+            for dy in range(k):
+                for dx in range(k):
+                    windows_of_pixel[(oy * stride + dy, ox * stride + dx)].append(widx)
+
+    max_cov = max(len(v) for v in windows_of_pixel.values())
+    ways = 2 * max_cov  # one (+, -) pair of copies per covering window
+
+    comp = Composition(name=name, seed=seed)
+    sp = splitter(height * width, ways, name=f"{name}/split")
+
+    feature_pins = []
+    for widx, (oy0, ox0) in enumerate(window_origin):
+        bank = signed_filter(
+            kernels, gain=gain, threshold=threshold, decay=decay,
+            name=f"{name}/w{widx}",
+        )
+        pos_pins = []
+        neg_pins = []
+        for dy in range(k):
+            for dx in range(k):
+                y, x = oy0 + dy, ox0 + dx
+                pixel = y * width + x
+                slot = windows_of_pixel[(y, x)].index(widx)
+                pos_pins.append(sp.outputs[f"out{2 * slot}"].pins[pixel])
+                neg_pins.append(sp.outputs[f"out{2 * slot + 1}"].pins[pixel])
+        comp.connect(Connector(f"w{widx}+", pos_pins), bank.inputs["in+"])
+        comp.connect(Connector(f"w{widx}-", neg_pins), bank.inputs["in-"])
+        feature_pins.extend(bank.outputs["out"].pins)
+
+    comp.export_input("pixels", sp.inputs["in"])
+    comp.export_output("features", Connector("features", feature_pins))
+    return ConvLayer(
+        compiled=comp.compile(),
+        height=height,
+        width=width,
+        kernel_size=k,
+        stride=stride,
+        n_features=n_features,
+        out_h=out_h,
+        out_w=out_w,
+    )

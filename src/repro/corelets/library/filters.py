@@ -1,0 +1,110 @@
+"""Signed linear filters: the substrate for Haar features and saliency.
+
+TrueNorth axons carry one of four types, with per-neuron signed weights
+per type; arbitrary +/- filter kernels are realized by presenting each
+input on two axons — one excitatory type, one inhibitory — and
+programming the crossbar with the kernel's sign pattern (the standard
+CPE idiom for signed linear operators).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import params
+from repro.core.network import Core
+from repro.corelets.corelet import Corelet
+from repro.utils.validation import require
+
+
+def signed_filter(
+    kernel: np.ndarray,
+    gain: int = 16,
+    threshold: int = 64,
+    decay: int = 8,
+    name: str = "filter",
+) -> Corelet:
+    """A bank of ternary-weight linear feature detectors.
+
+    Parameters
+    ----------
+    kernel:
+        ``(n_in, n_out)`` array with entries in {-1, 0, +1}: the sign
+        pattern of each output feature.
+    gain, threshold:
+        Synaptic magnitude and firing threshold; output rate grows with
+        the (rate-coded) correlation between input and kernel.
+    decay:
+        Leak-reversal decay toward rest, so evidence integrates over a
+        short temporal window.
+
+    Connectors: ``in+`` and ``in-`` (width n_in each — feed both from a
+    2-way splitter upstream), ``out`` (width n_out).
+    """
+    kernel = np.asarray(kernel)
+    require(kernel.ndim == 2, "kernel must be (n_in, n_out)")
+    require(np.isin(kernel, (-1, 0, 1)).all(), "kernel entries must be in {-1,0,+1}")
+    n_in, n_out = kernel.shape
+    require(2 * n_in <= params.CORE_AXONS, "filter needs n_in <= 128 per core")
+    require(n_out <= params.CORE_NEURONS, "filter needs n_out <= 256 per core")
+
+    n_axons = 2 * n_in
+    crossbar = np.zeros((n_axons, n_out), dtype=bool)
+    axon_types = np.zeros(n_axons, dtype=np.int64)
+    axon_types[1::2] = 1  # odd axons are the inhibitory copies
+    for i in range(n_in):
+        crossbar[2 * i, :] = kernel[i, :] > 0
+        crossbar[2 * i + 1, :] = kernel[i, :] < 0
+    weights = np.zeros((n_out, params.NUM_AXON_TYPES), dtype=np.int64)
+    weights[:, 0] = gain
+    weights[:, 1] = -gain
+
+    core = Core.build(
+        n_axons=n_axons,
+        n_neurons=n_out,
+        crossbar=crossbar,
+        axon_types=axon_types,
+        weights=weights,
+        threshold=threshold,
+        leak=-decay,
+        leak_reversal=True,
+        neg_threshold=4 * gain,
+        reset_value=0,
+        name=f"{name}/core",
+    )
+    corelet = Corelet(name)
+    idx = corelet.add_core(core)
+    corelet.input_connector("in+", [(idx, 2 * i) for i in range(n_in)])
+    corelet.input_connector("in-", [(idx, 2 * i + 1) for i in range(n_in)])
+    corelet.output_connector("out", [(idx, j) for j in range(n_out)])
+    return corelet
+
+
+def haar_kernels(patch: int = 4) -> np.ndarray:
+    """Classic Haar-like feature sign patterns over a patch x patch window.
+
+    Returns ``(patch*patch, 5)``: horizontal edge, vertical edge,
+    horizontal line, vertical line, and checkerboard (diagonal) features
+    (Viola-Jones family, paper reference [52]).
+    """
+    n = patch * patch
+    ys, xs = np.divmod(np.arange(n), patch)
+    half = patch // 2
+    kernels = np.zeros((n, 5), dtype=np.int64)
+    kernels[:, 0] = np.where(ys < half, 1, -1)  # horizontal edge
+    kernels[:, 1] = np.where(xs < half, 1, -1)  # vertical edge
+    mid = (ys >= patch // 4) & (ys < patch - patch // 4)
+    kernels[:, 2] = np.where(mid, 1, -1)  # horizontal line
+    midx = (xs >= patch // 4) & (xs < patch - patch // 4)
+    kernels[:, 3] = np.where(midx, 1, -1)  # vertical line
+    kernels[:, 4] = np.where((ys < half) == (xs < half), 1, -1)  # checkerboard
+    return kernels
+
+
+def center_surround_kernel(patch: int = 4) -> np.ndarray:
+    """Center-surround (difference-of-boxes) kernel for saliency maps."""
+    n = patch * patch
+    ys, xs = np.divmod(np.arange(n), patch)
+    q = patch // 4
+    center = (ys >= q) & (ys < patch - q) & (xs >= q) & (xs < patch - q)
+    return np.where(center, 1, -1).astype(np.int64).reshape(n, 1)

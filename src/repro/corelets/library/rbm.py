@@ -1,0 +1,160 @@
+"""Restricted Boltzmann Machine sampling corelet.
+
+The paper lists "restricted Boltzmann machines" among the deployed
+applications (Fig. 2).  On TrueNorth, RBM inference maps to stochastic
+neurons: a hidden unit fires with probability that increases with its
+drive, realized by the stochastic-threshold mode — the drive crosses a
+uniformly-random threshold theta ~ U[0, mask], giving a piecewise-linear
+approximation of the sigmoid:
+
+    P(fire | drive D) = clip((floor(D) + 1) / (mask + 1), 0, 1),  D >= 0
+
+with ``D = gain * (n_pos - n_neg) + bias`` (bias via the leak).
+
+Sampling protocol: visible vectors are *presented* on even ticks and a
+dedicated **flush axon** fires on odd ticks, slamming every membrane to
+the 0 floor so successive samples are independent (the frame-reset
+scheme used by TrueNorth RBM deployments).  :func:`sample_hidden` runs
+the protocol end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import params
+from repro.core.inputs import InputSchedule
+from repro.core.network import Core
+from repro.corelets.corelet import Composition, Corelet
+from repro.utils.validation import require
+
+FLUSH_TYPE = 2  # axon type reserved for the flush line
+
+
+def rbm_sampling_layer(
+    weights: np.ndarray,
+    gain: int = 32,
+    bias: np.ndarray | int = 128,
+    mask_bits: int = 8,
+    name: str = "rbm",
+) -> Corelet:
+    """Stochastic visible -> hidden sampling layer with ternary weights.
+
+    Connectors: ``in+``/``in-`` (width n_visible; spike both copies of
+    each active visible unit), ``flush`` (width 1), ``out`` (n_hidden).
+    """
+    weights = np.asarray(weights)
+    require(np.isin(weights, (-1, 0, 1)).all(), "RBM weights must be ternary")
+    n_visible, n_hidden = weights.shape
+    require(2 * n_visible + 2 <= params.CORE_AXONS, "needs n_visible <= 127")
+    require(n_hidden <= params.CORE_NEURONS, "needs n_hidden <= 256")
+    require(mask_bits <= 8, "mask_bits <= 8 so two flush synapses always clear")
+    mask = (1 << mask_bits) - 1
+
+    # Two flush axons guarantee a full clear: residual (< mask <= 255)
+    # + 2 * WEIGHT_MIN + bias (<= 255) is always below the zero floor.
+    n_axons = 2 * n_visible + 2
+    flush_axons = (n_axons - 2, n_axons - 1)
+    crossbar = np.zeros((n_axons, n_hidden), dtype=bool)
+    axon_types = np.zeros(n_axons, dtype=np.int64)
+    axon_types[1 : 2 * n_visible : 2] = 1
+    for fa in flush_axons:
+        axon_types[fa] = FLUSH_TYPE
+        crossbar[fa, :] = True
+    for i in range(n_visible):
+        crossbar[2 * i, :] = weights[i, :] > 0
+        crossbar[2 * i + 1, :] = weights[i, :] < 0
+
+    w = np.zeros((n_hidden, params.NUM_AXON_TYPES), dtype=np.int64)
+    w[:, 0] = gain
+    w[:, 1] = -gain
+    w[:, FLUSH_TYPE] = params.WEIGHT_MIN  # slam far below the floor
+
+    bias_arr = np.asarray(bias, dtype=np.int64)
+    if bias_arr.ndim == 0:
+        bias_arr = np.full(n_hidden, int(bias_arr))
+    require(
+        (bias_arr >= params.LEAK_MIN).all() and (bias_arr <= params.LEAK_MAX).all(),
+        "bias must fit the leak field",
+    )
+
+    core = Core.build(
+        n_axons=n_axons,
+        n_neurons=n_hidden,
+        crossbar=crossbar,
+        axon_types=axon_types,
+        weights=w,
+        threshold=0,
+        threshold_mask=mask,
+        leak=bias_arr,
+        neg_threshold=0,  # negative membranes floor at zero
+        reset_value=0,
+        name=f"{name}/core",
+    )
+    corelet = Corelet(name)
+    idx = corelet.add_core(core)
+    corelet.input_connector("in+", [(idx, 2 * i) for i in range(n_visible)])
+    corelet.input_connector("in-", [(idx, 2 * i + 1) for i in range(n_visible)])
+    corelet.input_connector("flush", [(idx, fa) for fa in flush_axons])
+    corelet.output_connector("out", [(idx, j) for j in range(n_hidden)])
+    return corelet
+
+
+def firing_probability(
+    net_drive: int, gain: int = 32, bias: int = 128, mask_bits: int = 8
+) -> float:
+    """Analytic fire probability at a given net visible drive.
+
+    ``net_drive`` is (active positive-weight units) - (active
+    negative-weight units) for the hidden unit in question.
+    """
+    mask = (1 << mask_bits) - 1
+    d = gain * net_drive + bias
+    if d < 0:
+        return 0.0
+    return float(min(1.0, (d + 1) / (mask + 1)))
+
+
+def compile_sampler(layer: Corelet, seed: int = 0):
+    """Compile a standalone sampling layer into a runnable network."""
+    comp = Composition(name=layer.name, seed=seed)
+    comp.add(layer)
+    for cname, conn in layer.inputs.items():
+        comp.export_input(cname, conn)
+    comp.export_output("out", layer.outputs["out"])
+    return comp.compile()
+
+
+def sample_hidden(
+    compiled,
+    visible: np.ndarray,
+    n_samples: int,
+) -> np.ndarray:
+    """Run the present/flush protocol; return (n_samples, n_hidden) bits."""
+    from repro.hardware.simulator import run_truenorth
+
+    visible = np.asarray(visible).astype(bool)
+    pos = compiled.inputs["in+"]
+    neg = compiled.inputs["in-"]
+    flush_pins = compiled.inputs["flush"]
+    require(visible.size == len(pos), "visible width mismatch")
+
+    ins = InputSchedule()
+    for k in range(n_samples):
+        present, flush_tick = 2 * k, 2 * k + 1
+        for i in np.nonzero(visible)[0]:
+            ins.add(present, pos[i].core, pos[i].index)
+            ins.add(present, neg[i].core, neg[i].index)
+        for fp in flush_pins:
+            ins.add(flush_tick, fp.core, fp.index)
+
+    record = run_truenorth(compiled.network, 2 * n_samples, ins)
+    out_index = {
+        (p.core, p.index): j for j, p in enumerate(compiled.outputs["out"])
+    }
+    samples = np.zeros((n_samples, len(out_index)), dtype=bool)
+    for t, c, n in record.as_tuples():
+        key = (c, n)
+        if key in out_index and t % 2 == 0:
+            samples[t // 2, out_index[key]] = True
+    return samples

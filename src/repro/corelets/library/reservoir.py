@@ -1,0 +1,115 @@
+"""Liquid state machine: a recurrent random reservoir corelet.
+
+The paper lists "liquid state machines" among the applications deployed
+on TrueNorth (Section I / Fig. 2).  A reservoir is a fixed random
+recurrent network whose transient dynamics project input streams into a
+high-dimensional spiking state; a simple trained readout (here the
+ternary classifier) then solves temporal tasks.
+
+The corelet uses the twin-population idiom: reservoir neurons drive the
+recurrent loop (their single spike target is an internal axon), while
+identically-driven twin neurons export the reservoir state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import params
+from repro.core.network import Core
+from repro.corelets.corelet import Corelet
+from repro.utils.validation import require
+
+
+def liquid_reservoir(
+    n_neurons: int = 64,
+    n_inputs: int = 16,
+    recurrent_connectivity: float = 0.15,
+    input_connectivity: float = 0.3,
+    excitatory_fraction: float = 0.8,
+    gain: int = 48,
+    threshold: int = 128,
+    decay: int = 8,
+    seed: int = 0,
+    name: str = "liquid",
+) -> Corelet:
+    """Build a random recurrent reservoir on one core.
+
+    Axon layout: ``n_inputs`` input axons (type 0, excitatory) followed
+    by ``n_neurons`` recurrent axons (types 0/1, excitatory/inhibitory
+    with Dale's-law sign per presynaptic neuron).  Neuron layout:
+    ``n_neurons`` reservoir neurons followed by ``n_neurons`` output
+    twins.
+
+    Connectors: ``in`` (width n_inputs), ``state`` (width n_neurons).
+    """
+    require(
+        n_inputs + n_neurons <= params.CORE_AXONS,
+        "reservoir axons exceed one core",
+    )
+    require(2 * n_neurons <= params.CORE_NEURONS, "reservoir needs n <= 128")
+    rng = np.random.default_rng(seed)
+
+    n_axons = n_inputs + n_neurons
+    total_neurons = 2 * n_neurons
+    crossbar = np.zeros((n_axons, total_neurons), dtype=bool)
+
+    # Input projections: identical rows for reservoir neurons and twins.
+    input_mask = rng.random((n_inputs, n_neurons)) < input_connectivity
+    crossbar[:n_inputs, :n_neurons] = input_mask
+    crossbar[:n_inputs, n_neurons:] = input_mask
+
+    # Recurrent projections from reservoir axon i (fed by neuron i).
+    rec_mask = rng.random((n_neurons, n_neurons)) < recurrent_connectivity
+    np.fill_diagonal(rec_mask, False)  # no self-excitation loops
+    crossbar[n_inputs:, :n_neurons] = rec_mask
+    crossbar[n_inputs:, n_neurons:] = rec_mask
+
+    # Dale's law: each presynaptic reservoir neuron is excitatory or
+    # inhibitory; its recurrent axon carries the matching type.
+    axon_types = np.zeros(n_axons, dtype=np.int64)
+    inhibitory = rng.random(n_neurons) >= excitatory_fraction
+    axon_types[n_inputs:] = np.where(inhibitory, 1, 0)
+
+    weights = np.zeros((total_neurons, params.NUM_AXON_TYPES), dtype=np.int64)
+    weights[:, 0] = gain
+    weights[:, 1] = -2 * gain  # inhibition dominates for stability
+
+    core = Core.build(
+        n_axons=n_axons,
+        n_neurons=total_neurons,
+        crossbar=crossbar,
+        axon_types=axon_types,
+        weights=weights,
+        threshold=threshold,
+        leak=-decay,
+        leak_reversal=True,
+        neg_threshold=4 * gain,
+        reset_value=0,
+        name=f"{name}/core",
+    )
+    corelet = Corelet(name)
+    idx = corelet.add_core(core)
+    for i in range(n_neurons):
+        corelet.connect_internal(idx, i, idx, n_inputs + i, delay=1)
+    corelet.input_connector("in", [(idx, a) for a in range(n_inputs)])
+    corelet.output_connector("state", [(idx, n_neurons + j) for j in range(n_neurons)])
+    return corelet
+
+
+def reservoir_state_features(record, state_pins, n_neurons: int, n_ticks: int,
+                             n_windows: int = 4) -> np.ndarray:
+    """Windowed spike-count features of the reservoir state.
+
+    Splits the run into *n_windows* equal time windows and counts each
+    state neuron's spikes per window — the standard LSM readout feature.
+    Returns shape ``(n_windows * n_neurons,)``.
+    """
+    index = {(p.core, p.index): i for i, p in enumerate(state_pins)}
+    feats = np.zeros((n_windows, n_neurons))
+    window = max(1, n_ticks // n_windows)
+    for t, c, n in record.as_tuples():
+        if (c, n) in index:
+            w = min(t // window, n_windows - 1)
+            feats[w, index[(c, n)]] += 1
+    return feats.reshape(-1)

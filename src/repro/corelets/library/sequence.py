@@ -1,0 +1,84 @@
+"""Sequence detection: temporal pattern recognition with delays.
+
+A spiking analogue of simple state-machine / HMM-style pattern spotting
+(the paper's ecosystem lists hidden Markov models among deployed
+algorithms): a detector fires exactly when its input channels spike in
+a prescribed temporal order.  The mechanism is delay-alignment — each
+channel is delayed by the complement of its expected offset so a valid
+sequence arrives *simultaneously* at an AND stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import params
+from repro.core.network import Core
+from repro.corelets.corelet import Composition, Connector, Corelet
+from repro.corelets.library.temporal import delay_chain
+from repro.utils.validation import require
+
+
+def _and_core(n_inputs: int, name: str) -> Corelet:
+    """Fire once when all n inputs arrive in the same tick (no carryover)."""
+    gain = max(1, min(8, 255 // max(n_inputs - 1, 1)))
+    crossbar = np.ones((n_inputs, 1), dtype=bool)
+    core = Core.build(
+        n_axons=n_inputs,
+        n_neurons=1,
+        crossbar=crossbar,
+        weights=np.full((1, params.NUM_AXON_TYPES), gain, dtype=np.int64),
+        # k joint arrivals reach k*g - (k-1)*g = g only at k = n (partial
+        # matches drain to the zero floor within the tick)
+        threshold=gain,
+        leak=-(n_inputs - 1) * gain,
+        neg_threshold=0,
+        reset_value=0,
+        name=f"{name}/and",
+    )
+    corelet = Corelet(name)
+    idx = corelet.add_core(core)
+    corelet.input_connector("in", [(idx, a) for a in range(n_inputs)])
+    corelet.output_connector("out", [(idx, 0)])
+    return corelet
+
+
+def compose_sequence_detector(
+    comp: Composition,
+    offsets: list[int],
+    name: str = "sequence",
+) -> tuple[Connector, Connector]:
+    """Wire a detector for channels firing at the given relative offsets.
+
+    ``offsets[i]`` is channel i's expected spike time relative to the
+    sequence start; the detector output fires ``max(offsets) + chain
+    latency`` ticks after the start, only when every channel honoured
+    its slot.  Returns (input connector of width len(offsets), output
+    connector of width 1).
+    """
+    require(len(offsets) >= 2, "a sequence needs at least two channels")
+    require(min(offsets) >= 0, "offsets must be non-negative")
+    horizon = max(offsets)
+    n = len(offsets)
+
+    and_stage = _and_core(n, name)
+    input_pins = []
+    for i, offset in enumerate(offsets):
+        extra = horizon - offset
+        chain = delay_chain(1, extra, name=f"{name}/ch{i}")
+        comp.connect(
+            chain.outputs["out"],
+            Connector(f"{name}/and-in{i}", [and_stage.inputs["in"].pins[i]]),
+        )
+        input_pins.extend(chain.inputs["in"].pins)
+    comp.add(and_stage)
+    return Connector(f"{name}/in", input_pins), and_stage.outputs["out"]
+
+
+def sequence_detector_network(offsets: list[int], seed: int = 0):
+    """Standalone compiled detector; returns the CompiledComposition."""
+    comp = Composition(name="sequence-detector", seed=seed)
+    in_conn, out_conn = compose_sequence_detector(comp, offsets)
+    comp.export_input("in", in_conn)
+    comp.export_output("out", out_conn)
+    return comp.compile()

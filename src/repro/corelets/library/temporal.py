@@ -1,0 +1,124 @@
+"""Temporal corelets: delay chains and coincidence detection.
+
+The axonal delay field (1..15 ticks) is TrueNorth's temporal computing
+primitive; these corelets build on it:
+
+* :func:`delay_chain` — delay a spike bundle by an arbitrary number of
+  extra ticks by chaining relays whose internal wires carry programmed
+  axonal delays;
+* :func:`coincidence` — fire when two bundles spike within the same
+  tick: the AND stage of a correlation detector;
+* :func:`compose_reichardt` — the classic delay-and-correlate motion
+  detector: channel i fires when a stimulus moves from position i to
+  position i+1 at the velocity matched by the delay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import params
+from repro.core.network import Core
+from repro.corelets.corelet import Corelet
+from repro.utils.validation import require
+
+
+def _relay_core(n: int, name: str) -> Core:
+    """One-to-one relay core: axon i drives neuron i with threshold 1."""
+    return Core.build(
+        n_axons=n,
+        n_neurons=n,
+        crossbar=np.eye(n, dtype=bool),
+        weights=np.ones((n, params.NUM_AXON_TYPES), dtype=np.int64),
+        threshold=1,
+        reset_value=0,
+        name=name,
+    )
+
+
+def delay_chain(n: int, extra_ticks: int, name: str = "delay") -> Corelet:
+    """Delay *n* lines by exactly *extra_ticks* beyond a plain relay.
+
+    A spike arriving on the input axons at tick t emerges from the
+    output neurons at tick ``t + extra_ticks``.  ``extra_ticks = 0``
+    degenerates to a relay.  Connectors: ``in``, ``out`` (width n).
+    """
+    require(extra_ticks >= 0, "extra_ticks must be non-negative")
+    internal: list[int] = []
+    remaining = extra_ticks
+    while remaining > 0:
+        hop = min(remaining, params.MAX_DELAY)
+        internal.append(hop)
+        remaining -= hop
+
+    corelet = Corelet(name)
+    stage_ids = [corelet.add_core(_relay_core(n, f"{name}/stage0"))]
+    for s, wire_delay in enumerate(internal, start=1):
+        stage_ids.append(corelet.add_core(_relay_core(n, f"{name}/stage{s}")))
+        for line in range(n):
+            corelet.connect_internal(
+                stage_ids[s - 1], line, stage_ids[s], line, delay=wire_delay
+            )
+
+    corelet.input_connector("in", [(stage_ids[0], a) for a in range(n)])
+    corelet.output_connector("out", [(stage_ids[-1], j) for j in range(n)])
+    return corelet
+
+
+def coincidence(n: int, name: str = "coincidence") -> Corelet:
+    """Fire line i when both input bundles spike on line i this tick.
+
+    Connectors: ``in_a``, ``in_b`` (width n), ``out`` (width n).
+    """
+    require(2 * n <= params.CORE_AXONS, "coincidence needs n <= 128")
+    crossbar = np.zeros((2 * n, n), dtype=bool)
+    for i in range(n):
+        crossbar[i, i] = True
+        crossbar[n + i, i] = True
+    # Weight 4, leak -4, threshold 4: two joint inputs reach 8 - 4 = 4
+    # and fire; a lone input reaches 4 - 4 = 0 (no residue); leak alone
+    # floors at zero.  (The leak applies before the threshold compare,
+    # so the AND condition must be evaluated *after* the drain.)
+    core = Core.build(
+        n_axons=2 * n,
+        n_neurons=n,
+        crossbar=crossbar,
+        weights=np.full((n, params.NUM_AXON_TYPES), 4, dtype=np.int64),
+        threshold=4,
+        leak=-4,
+        neg_threshold=0,
+        reset_value=0,
+        name=f"{name}/core",
+    )
+    corelet = Corelet(name)
+    idx = corelet.add_core(core)
+    corelet.input_connector("in_a", [(idx, i) for i in range(n)])
+    corelet.input_connector("in_b", [(idx, n + i) for i in range(n)])
+    corelet.output_connector("out", [(idx, i) for i in range(n)])
+    return corelet
+
+
+def compose_reichardt(comp, n_positions: int, velocity_ticks: int = 2,
+                      name: str = "reichardt"):
+    """Wire a +x-direction Reichardt motion detector into *comp*.
+
+    Position i's copy, delayed by ``velocity_ticks``, coincides with
+    position i+1's direct copy exactly when the stimulus crosses one
+    position per ``velocity_ticks`` ticks in the +x direction.
+
+    Returns the (input, output) connectors; the output has width
+    ``n_positions - 1``.
+    """
+    from repro.corelets.library.basic import splitter
+
+    require(n_positions >= 2, "need at least two positions")
+    require(velocity_ticks >= 1, "velocity must be at least 1 tick/position")
+    sp = splitter(n_positions, 2, name=f"{name}/split")
+    chain = delay_chain(n_positions, velocity_ticks - 1, name=f"{name}/delay")
+    corr = coincidence(n_positions - 1, name=f"{name}/corr")
+
+    comp.connect(sp.outputs["out0"], chain.inputs["in"])
+    # Delayed copy of position i pairs with direct copy of position i+1.
+    comp.connect(chain.outputs["out"].slice(0, n_positions - 1), corr.inputs["in_a"])
+    comp.connect(sp.outputs["out1"].slice(1, n_positions), corr.inputs["in_b"])
+    return sp.inputs["in"], corr.outputs["out"]

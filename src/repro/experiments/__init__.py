@@ -1,0 +1,27 @@
+"""Experiment drivers: one module per paper figure/table (see DESIGN.md)."""
+
+from repro.experiments import (
+    ablation_energy,
+    defects,
+    equivalence,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    future_systems,
+    multichip,
+    voltage,
+)
+
+__all__ = [
+    "ablation_energy",
+    "defects",
+    "equivalence",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "future_systems",
+    "multichip",
+    "voltage",
+]

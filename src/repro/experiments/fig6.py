@@ -1,0 +1,73 @@
+"""Experiment FIG6: TrueNorth vs Compass on BG/Q and x86 (paper Fig. 6).
+
+Four contour panels over the characterization space:
+
+* (a) speedup vs 32-host BG/Q        — ~1 order of magnitude
+* (b) energy improvement vs BG/Q     — ~5 orders of magnitude
+* (c) speedup vs dual-socket x86     — 2-3 orders of magnitude
+* (d) energy improvement vs x86      — ~5 orders of magnitude
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.contour import SweepGrid, sweep
+from repro.apps.workloads import characterization_workload
+from repro.machines.cost import compare_truenorth_vs_compass
+from repro.machines.specs import BGQ, X86, MachineSpec
+
+# Fig. 6 sweeps exclude the zero-rate/zero-synapse degenerate edge where
+# speedup and energy ratios lose meaning (0 SOPS).
+FIG6_RATES = np.linspace(25.0, 200.0, 8)
+FIG6_SYNAPSES = np.linspace(32.0, 256.0, 8)
+
+
+def _comparison_grid(spec: MachineSpec, attribute: str, metric: str) -> SweepGrid:
+    def fn(rate: float, synapses: float) -> float:
+        w = characterization_workload(rate, synapses)
+        cmp = compare_truenorth_vs_compass(w, spec)
+        return getattr(cmp, attribute)
+
+    return sweep(
+        "rate_hz", FIG6_RATES, "active_synapses", FIG6_SYNAPSES, fn, metric=metric
+    )
+
+
+def fig6a_speedup_vs_bgq() -> SweepGrid:
+    """Speedup of TrueNorth over Compass on 32 BG/Q hosts."""
+    return _comparison_grid(BGQ, "speedup", "speedup vs BG/Q")
+
+
+def fig6b_energy_vs_bgq() -> SweepGrid:
+    """Energy improvement over Compass on 32 BG/Q hosts."""
+    return _comparison_grid(BGQ, "energy_improvement", "x energy vs BG/Q")
+
+
+def fig6c_speedup_vs_x86() -> SweepGrid:
+    """Speedup of TrueNorth over Compass on the dual-socket x86."""
+    return _comparison_grid(X86, "speedup", "speedup vs x86")
+
+
+def fig6d_energy_vs_x86() -> SweepGrid:
+    """Energy improvement over Compass on the dual-socket x86."""
+    return _comparison_grid(X86, "energy_improvement", "x energy vs x86")
+
+
+def fig6_summary() -> dict:
+    """Orders-of-magnitude summary across the four panels."""
+    grids = {
+        "speedup_bgq": fig6a_speedup_vs_bgq(),
+        "energy_bgq": fig6b_energy_vs_bgq(),
+        "speedup_x86": fig6c_speedup_vs_x86(),
+        "energy_x86": fig6d_energy_vs_x86(),
+    }
+    return {
+        name: {
+            "min": grid.min,
+            "max": grid.max,
+            "orders_min": np.log10(grid.min),
+            "orders_max": np.log10(grid.max),
+        }
+        for name, grid in grids.items()
+    }

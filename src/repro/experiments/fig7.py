@@ -1,0 +1,75 @@
+"""Experiment FIG7: application performance comparison (paper Fig. 7).
+
+Five computer-vision applications (Neovision, Haar, LBP, Saccade,
+Saliency) benchmarked on TrueNorth vs Compass on a weak-scaling number
+of BG/Q hosts and on the dual-socket x86:
+
+* (a) execution speedup vs x power improvement scatter
+* (b) x energy improvement bars per application and platform
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.workloads import VISION_APPS
+from repro.machines.cost import bgq_weak_scaling_hosts, compare_truenorth_vs_compass
+from repro.machines.specs import BGQ, X86
+
+
+@dataclass(frozen=True)
+class Fig7Point:
+    """One application x platform comparison (a point in Fig. 7(a))."""
+
+    app: str
+    platform: str
+    speedup: float
+    power_improvement: float
+    energy_improvement: float
+
+
+def fig7_points(apps: tuple = VISION_APPS) -> list[Fig7Point]:
+    """All application x platform comparison points."""
+    points = []
+    for app in apps:
+        hosts = bgq_weak_scaling_hosts(app, BGQ)
+        bgq = compare_truenorth_vs_compass(app, BGQ, hosts=hosts, threads_per_host=32)
+        points.append(
+            Fig7Point(app.name, "BG/Q", bgq.speedup, bgq.power_improvement,
+                      bgq.energy_improvement)
+        )
+        x86 = compare_truenorth_vs_compass(app, X86)
+        points.append(
+            Fig7Point(app.name, "x86", x86.speedup, x86.power_improvement,
+                      x86.energy_improvement)
+        )
+    return points
+
+
+def fig7b_energy_bars(apps: tuple = VISION_APPS) -> dict:
+    """Energy-improvement bars keyed by (app, platform)."""
+    return {
+        (p.app, p.platform): p.energy_improvement for p in fig7_points(apps)
+    }
+
+
+def fig7_summary(apps: tuple = VISION_APPS) -> dict:
+    """Aggregate bands: the paper's 'orders of magnitude' claims.
+
+    BG/Q: 1 order speedup, ~4 orders power; x86: 2 orders speedup,
+    ~3 orders power; both: >5 orders energy.
+    """
+    points = fig7_points(apps)
+    bgq = [p for p in points if p.platform == "BG/Q"]
+    x86 = [p for p in points if p.platform == "x86"]
+    return {
+        "bgq_speedup_range": (min(p.speedup for p in bgq), max(p.speedup for p in bgq)),
+        "x86_speedup_range": (min(p.speedup for p in x86), max(p.speedup for p in x86)),
+        "bgq_power_range": (
+            min(p.power_improvement for p in bgq), max(p.power_improvement for p in bgq)
+        ),
+        "x86_power_range": (
+            min(p.power_improvement for p in x86), max(p.power_improvement for p in x86)
+        ),
+        "min_energy_improvement": min(p.energy_improvement for p in points),
+    }

@@ -1,0 +1,49 @@
+"""Experiment FIG8: BG/Q strong scaling on Neovision (paper Fig. 8).
+
+Run time (s/tick) and power for the single-chip Neovision network as a
+function of host count (1..32) and thread count (8..64), plus the x86
+reference curve (4, 6, 8, 12 threads).  Key paper observations:
+
+* "even the best operating point is 12x slower than real-time";
+* "a single host is the most power-efficient but slowest; 32 hosts is
+  the fastest but requires more power."
+"""
+
+from __future__ import annotations
+
+from repro.apps.workloads import NEOVISION
+from repro.machines.scaling import (
+    ScalingPoint,
+    best_point,
+    most_efficient_point,
+    strong_scaling_sweep,
+    x86_reference_sweep,
+)
+
+
+def fig8_bgq_points() -> list[ScalingPoint]:
+    """The BG/Q (hosts x threads) grid of Fig. 8."""
+    return strong_scaling_sweep(NEOVISION)
+
+
+def fig8_x86_points() -> list[ScalingPoint]:
+    """The x86 reference curve of Fig. 8."""
+    return x86_reference_sweep(NEOVISION)
+
+
+def fig8_summary() -> dict:
+    """Scalar observations asserted by the reproduction."""
+    bgq = fig8_bgq_points()
+    best = best_point(bgq)
+    efficient = most_efficient_point(bgq)
+    return {
+        "best_slowdown_vs_real_time": best.time_per_tick_s / 1e-3,
+        "best_hosts": best.hosts,
+        "best_threads": best.threads,
+        "most_efficient_hosts": efficient.hosts,
+        "slowest_time_s_per_tick": max(p.time_per_tick_s for p in bgq),
+        "fastest_time_s_per_tick": best.time_per_tick_s,
+        "power_range_w": (
+            min(p.power_w for p in bgq), max(p.power_w for p in bgq)
+        ),
+    }

@@ -1,0 +1,129 @@
+"""Voltage-operating-point study: DVFS for neurosynaptic processors.
+
+Paper Section VI-B: "Maximum execution speed increases with voltage,
+but total power increases as voltage squared.  Consequently, SOPS/W is
+maximized at lower voltages, limited only by the minimum voltage that
+can still ensure correct circuit-level functional operation (~700mV)."
+
+This experiment turns that observation into an operating-point
+optimizer: for a workload and a required tick rate, find the lowest
+functional voltage whose timing closes, and quantify the energy saved
+vs. running at the nominal or maximum supply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import params
+from repro.core.workload import WorkloadDescriptor
+from repro.hardware.energy import EnergyModel
+from repro.hardware.timing import TimingModel
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One (voltage, tick-rate) operating point for a workload."""
+
+    voltage: float
+    tick_frequency_hz: float
+    max_tick_frequency_hz: float
+    energy_per_tick_j: float
+    power_w: float
+    gsops_per_watt: float
+
+    @property
+    def feasible(self) -> bool:
+        """True when the timing closes at this voltage."""
+        return self.max_tick_frequency_hz >= self.tick_frequency_hz
+
+
+def evaluate_point(
+    workload: WorkloadDescriptor,
+    voltage: float,
+    tick_frequency_hz: float = params.REAL_TIME_HZ,
+) -> OperatingPoint:
+    """Time/energy/efficiency at one voltage and tick rate."""
+    timing = TimingModel(voltage=voltage)
+    energy = EnergyModel(voltage=voltage)
+    max_hz = timing.max_tick_frequency_hz(workload.busiest_core_events_per_tick)
+    e_tick = energy.energy_per_tick_j(
+        workload.syn_events_per_tick,
+        workload.neuron_updates_per_tick,
+        workload.spikes_per_tick,
+        workload.hops_per_tick,
+        tick_frequency_hz=tick_frequency_hz,
+    )
+    sops_per_tick = workload.syn_events_per_tick
+    return OperatingPoint(
+        voltage=voltage,
+        tick_frequency_hz=tick_frequency_hz,
+        max_tick_frequency_hz=max_hz,
+        energy_per_tick_j=e_tick,
+        power_w=e_tick * tick_frequency_hz,
+        gsops_per_watt=(sops_per_tick / e_tick) / 1e9 if e_tick > 0 else 0.0,
+    )
+
+
+def minimum_feasible_voltage(
+    workload: WorkloadDescriptor,
+    tick_frequency_hz: float = params.REAL_TIME_HZ,
+    resolution: float = 0.005,
+) -> float | None:
+    """Lowest functional voltage sustaining the required tick rate."""
+    for voltage in np.arange(
+        params.MIN_FUNCTIONAL_VOLTAGE, params.MAX_VOLTAGE + 1e-9, resolution
+    ):
+        point = evaluate_point(workload, float(voltage), tick_frequency_hz)
+        if point.feasible:
+            return float(voltage)
+    return None
+
+
+def optimal_operating_point(
+    workload: WorkloadDescriptor,
+    tick_frequency_hz: float = params.REAL_TIME_HZ,
+) -> OperatingPoint | None:
+    """Minimum-energy feasible operating point (= lowest voltage).
+
+    Because both active energy and leakage rise with V^2 while required
+    throughput is fixed, the energy-optimal point is always the minimum
+    feasible voltage — the paper's low-voltage preference, derived.
+    """
+    v = minimum_feasible_voltage(workload, tick_frequency_hz)
+    if v is None:
+        return None
+    return evaluate_point(workload, v, tick_frequency_hz)
+
+
+def voltage_study(
+    workloads: list[WorkloadDescriptor],
+    tick_frequency_hz: float = params.REAL_TIME_HZ,
+) -> list[dict]:
+    """Operating-point table across workloads.
+
+    Reports each workload's minimum feasible voltage and the energy
+    saving vs. nominal (0.75 V) and maximum (1.05 V) supplies.
+    """
+    rows = []
+    for w in workloads:
+        optimal = optimal_operating_point(w, tick_frequency_hz)
+        if optimal is None:
+            rows.append({"workload": w.name, "feasible": False})
+            continue
+        nominal = evaluate_point(w, params.NOMINAL_VOLTAGE, tick_frequency_hz)
+        maximum = evaluate_point(w, params.MAX_VOLTAGE, tick_frequency_hz)
+        rows.append(
+            {
+                "workload": w.name,
+                "feasible": True,
+                "optimal_voltage": optimal.voltage,
+                "optimal_gsops_per_watt": optimal.gsops_per_watt,
+                "nominal_gsops_per_watt": nominal.gsops_per_watt,
+                "saving_vs_nominal": 1.0 - optimal.energy_per_tick_j / nominal.energy_per_tick_j,
+                "saving_vs_max": 1.0 - optimal.energy_per_tick_j / maximum.energy_per_tick_j,
+            }
+        )
+    return rows

@@ -1,0 +1,241 @@
+"""TrueNorth core configuration bitstreams: SRAM encode/decode.
+
+Programming the physical chip means writing each core's SRAM: the
+256x256 crossbar, per-axon types, and per-neuron parameter words
+(weights, leak, thresholds, reset behaviour, target address, delay).
+This module packs a :class:`~repro.core.network.Core` into the same
+kind of dense bit image and unpacks it back, bit-exactly.
+
+Layout (per core, little-endian bit order within each field):
+
+* crossbar: ``A x N`` bits, row-major;
+* axon types: 2 bits per axon;
+* neuron words: fixed-width fields per neuron (see ``NEURON_FIELDS``) —
+  signed fields are stored as biased unsigned values.
+
+The encoder/decoder is the substrate for configuration-stream tests
+(write -> read-back -> identical network behaviour), mirroring the
+post-fabrication SRAM verification of real silicon bring-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import params
+from repro.core.network import Core
+from repro.utils.validation import require
+
+# (name, bit width, signed) for each per-neuron configuration field.
+NEURON_FIELDS: tuple = (
+    ("weight0", 9, True),
+    ("weight1", 9, True),
+    ("weight2", 9, True),
+    ("weight3", 9, True),
+    ("stoch_synapse", 4, False),  # one flag bit per axon type
+    ("leak", 9, True),
+    ("leak_reversal", 1, False),
+    ("stoch_leak", 1, False),
+    ("threshold", 19, False),
+    ("threshold_mask", 17, False),
+    ("neg_threshold", 20, False),
+    ("reset_value", 20, True),
+    ("reset_mode", 2, False),
+    ("neg_floor_mode", 1, False),
+    ("initial_v", 20, True),
+    ("target_core", 24, True),  # OUTPUT_TARGET (-1) encodes as all-ones
+    ("target_axon", 9, False),
+    ("delay", 4, False),
+)
+
+NEURON_WORD_BITS = sum(width for _, width, _ in NEURON_FIELDS)
+AXON_TYPE_BITS = 2
+
+
+@dataclass(frozen=True)
+class CoreImage:
+    """A packed configuration image of one core."""
+
+    n_axons: int
+    n_neurons: int
+    bits: np.ndarray  # uint8 array of 0/1
+
+    @property
+    def n_bits(self) -> int:
+        """Total configuration bits."""
+        return int(self.bits.size)
+
+    @property
+    def n_bytes(self) -> int:
+        """Size of the byte-packed image."""
+        return (self.n_bits + 7) // 8
+
+    def to_bytes(self) -> bytes:
+        """Byte-pack the bit image (LSB-first within each byte)."""
+        return np.packbits(self.bits, bitorder="little").tobytes()
+
+    @staticmethod
+    def from_bytes(data: bytes, n_axons: int, n_neurons: int) -> "CoreImage":
+        """Recover a bit image from its byte packing."""
+        n_bits = core_config_bits(n_axons, n_neurons)
+        bits = np.unpackbits(
+            np.frombuffer(data, dtype=np.uint8), bitorder="little"
+        )[:n_bits]
+        return CoreImage(n_axons=n_axons, n_neurons=n_neurons, bits=bits)
+
+
+def core_config_bits(n_axons: int, n_neurons: int) -> int:
+    """Configuration bits needed for a core of the given size."""
+    return (
+        n_axons * n_neurons  # crossbar
+        + n_axons * AXON_TYPE_BITS
+        + n_neurons * NEURON_WORD_BITS
+    )
+
+
+def _encode_field(value: int, width: int, signed: bool) -> np.ndarray:
+    """Encode one integer as *width* bits (two's complement if signed)."""
+    if signed:
+        lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        require(lo <= value <= hi, f"value {value} exceeds signed {width}-bit field")
+        value &= (1 << width) - 1
+    else:
+        require(0 <= value < (1 << width), f"value {value} exceeds {width}-bit field")
+    return np.array([(value >> b) & 1 for b in range(width)], dtype=np.uint8)
+
+
+def _decode_field(bits: np.ndarray, signed: bool) -> int:
+    """Decode a bit slice back to an integer."""
+    value = int(sum(int(b) << i for i, b in enumerate(bits)))
+    if signed and bits[-1]:
+        value -= 1 << bits.size
+    return value
+
+
+def encode_core(core: Core) -> CoreImage:
+    """Pack a core's full configuration into a bit image."""
+    chunks: list[np.ndarray] = []
+    chunks.append(core.crossbar.astype(np.uint8).reshape(-1))
+    for g in core.axon_types:
+        chunks.append(_encode_field(int(g), AXON_TYPE_BITS, signed=False))
+
+    for j in range(core.n_neurons):
+        stoch_flags = sum(
+            int(core.stoch_synapse[j, g]) << g for g in range(params.NUM_AXON_TYPES)
+        )
+        values = {
+            "weight0": int(core.weights[j, 0]),
+            "weight1": int(core.weights[j, 1]),
+            "weight2": int(core.weights[j, 2]),
+            "weight3": int(core.weights[j, 3]),
+            "stoch_synapse": stoch_flags,
+            "leak": int(core.leak[j]),
+            "leak_reversal": int(core.leak_reversal[j]),
+            "stoch_leak": int(core.stoch_leak[j]),
+            "threshold": int(core.threshold[j]),
+            "threshold_mask": int(core.threshold_mask[j]),
+            "neg_threshold": int(core.neg_threshold[j]),
+            "reset_value": int(core.reset_value[j]),
+            "reset_mode": int(core.reset_mode[j]),
+            "neg_floor_mode": int(core.neg_floor_mode[j]),
+            "initial_v": int(core.initial_v[j]),
+            "target_core": int(core.target_core[j]),
+            "target_axon": int(core.target_axon[j]),
+            "delay": int(core.delay[j]),
+        }
+        for name, width, signed in NEURON_FIELDS:
+            chunks.append(_encode_field(values[name], width, signed))
+
+    bits = np.concatenate(chunks)
+    assert bits.size == core_config_bits(core.n_axons, core.n_neurons)
+    return CoreImage(n_axons=core.n_axons, n_neurons=core.n_neurons, bits=bits)
+
+
+def decode_core(image: CoreImage, name: str = "") -> Core:
+    """Unpack a bit image back into a validated core."""
+    a, n = image.n_axons, image.n_neurons
+    bits = image.bits
+    require(
+        bits.size == core_config_bits(a, n),
+        f"image has {bits.size} bits, expected {core_config_bits(a, n)}",
+    )
+    pos = 0
+
+    crossbar = bits[pos : pos + a * n].reshape(a, n).astype(bool)
+    pos += a * n
+
+    axon_types = np.zeros(a, dtype=np.int64)
+    for i in range(a):
+        axon_types[i] = _decode_field(bits[pos : pos + AXON_TYPE_BITS], signed=False)
+        pos += AXON_TYPE_BITS
+
+    columns: dict[str, list[int]] = {name_: [] for name_, _, _ in NEURON_FIELDS}
+    for _ in range(n):
+        for field_name, width, signed in NEURON_FIELDS:
+            columns[field_name].append(_decode_field(bits[pos : pos + width], signed))
+            pos += width
+
+    weights = np.stack(
+        [columns[f"weight{g}"] for g in range(params.NUM_AXON_TYPES)], axis=1
+    ).astype(np.int64)
+    stoch_synapse = np.zeros((n, params.NUM_AXON_TYPES), dtype=bool)
+    for j, flags in enumerate(columns["stoch_synapse"]):
+        for g in range(params.NUM_AXON_TYPES):
+            stoch_synapse[j, g] = bool((flags >> g) & 1)
+
+    core = Core(
+        crossbar=crossbar,
+        axon_types=axon_types,
+        weights=weights,
+        stoch_synapse=stoch_synapse,
+        leak=np.asarray(columns["leak"], dtype=np.int64),
+        leak_reversal=np.asarray(columns["leak_reversal"], dtype=bool),
+        stoch_leak=np.asarray(columns["stoch_leak"], dtype=bool),
+        threshold=np.asarray(columns["threshold"], dtype=np.int64),
+        threshold_mask=np.asarray(columns["threshold_mask"], dtype=np.int64),
+        neg_threshold=np.asarray(columns["neg_threshold"], dtype=np.int64),
+        reset_value=np.asarray(columns["reset_value"], dtype=np.int64),
+        reset_mode=np.asarray(columns["reset_mode"], dtype=np.int64),
+        neg_floor_mode=np.asarray(columns["neg_floor_mode"], dtype=np.int64),
+        initial_v=np.asarray(columns["initial_v"], dtype=np.int64),
+        target_core=np.asarray(columns["target_core"], dtype=np.int64),
+        target_axon=np.asarray(columns["target_axon"], dtype=np.int64),
+        delay=np.asarray(columns["delay"], dtype=np.int64),
+        name=name,
+    )
+    core.validate()
+    return core
+
+
+def config_stream(cores: list[Core]) -> bytes:
+    """Concatenated byte-packed configuration for a whole network.
+
+    Format: for each core, a 8-byte little-endian header (n_axons,
+    n_neurons as uint32) followed by its byte-packed image.
+    """
+    out = bytearray()
+    for core in cores:
+        image = encode_core(core)
+        out += int(core.n_axons).to_bytes(4, "little")
+        out += int(core.n_neurons).to_bytes(4, "little")
+        out += image.to_bytes()
+    return bytes(out)
+
+
+def parse_config_stream(data: bytes) -> list[Core]:
+    """Parse a configuration stream back into cores."""
+    cores: list[Core] = []
+    pos = 0
+    while pos < len(data):
+        require(pos + 8 <= len(data), "truncated configuration header")
+        n_axons = int.from_bytes(data[pos : pos + 4], "little")
+        n_neurons = int.from_bytes(data[pos + 4 : pos + 8], "little")
+        pos += 8
+        n_bytes = (core_config_bits(n_axons, n_neurons) + 7) // 8
+        require(pos + n_bytes <= len(data), "truncated configuration image")
+        image = CoreImage.from_bytes(data[pos : pos + n_bytes], n_axons, n_neurons)
+        cores.append(decode_core(image, name=f"core{len(cores)}"))
+        pos += n_bytes
+    return cores

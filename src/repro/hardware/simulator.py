@@ -1,0 +1,223 @@
+"""TrueNorth: the silicon expression of the kernel (architectural simulator).
+
+Functionally one-to-one with the Compass expression and the reference
+kernel (paper Section VI-A), but organized the way the chip is:
+
+* each logical core occupies a physical grid slot (:class:`Placement`);
+* spikes travel as packets over the 2D mesh with X-then-Y
+  dimension-order routing; hop counts and chip-boundary crossings are
+  accounted per packet and feed the energy model;
+* each core holds a 16-slot axon event buffer indexed by delivery tick
+  (the programmable axonal delay of 1..15 ticks);
+* defective cores are disabled and packets detour around them (with
+  ``detailed_noc=True`` the detour paths are actually walked).
+
+The per-core synapse/neuron arithmetic is shared with Compass (the two
+expressions were co-designed from one kernel); the orchestration —
+placement, routing, delay buffers, boundary links — is the hardware's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import params
+from repro.core.chip import ChipGeometry, Placement
+from repro.core.counters import EventCounters
+from repro.core.crossbar import synaptic_input
+from repro.core.inputs import InputSchedule
+from repro.core.network import OUTPUT_TARGET, Network
+from repro.core.neuron import neuron_tick
+from repro.core.record import SpikeRecord
+from repro.noc.mesh import MeshNetwork
+
+
+class TrueNorthSimulator:
+    """Event-driven chip-level simulator for one network."""
+
+    def __init__(
+        self,
+        network: Network,
+        placement: Placement | None = None,
+        detailed_noc: bool = False,
+        disabled_routers: set | None = None,
+        chip_array=None,
+    ) -> None:
+        """Build a simulator for *network*.
+
+        ``chip_array`` (a :class:`repro.noc.multichip.ChipArray`) enables
+        detailed multi-chip routing: packets walk the tiled global mesh
+        and every chip-boundary crossing goes through the merge/split
+        links, accumulating their traffic statistics.  The placement's
+        chip coordinates must fit inside the array.
+        """
+        network.validate()
+        self.network = network
+        if placement is not None:
+            self.placement = placement
+        elif network.n_cores <= ChipGeometry().cores_per_chip:
+            self.placement = Placement.compact(network.n_cores)
+        else:
+            self.placement = Placement.grid(network.n_cores)
+        if self.placement.n_cores != network.n_cores:
+            raise ValueError(
+                f"placement covers {self.placement.n_cores} cores, "
+                f"network has {network.n_cores}"
+            )
+        self.detailed_noc = detailed_noc
+        gx, gy = self.placement.global_xy()
+        self._gx, self._gy = gx, gy
+        self.mesh: MeshNetwork | None = None
+        self.chip_array = chip_array
+        if chip_array is not None:
+            if detailed_noc or disabled_routers:
+                raise ValueError(
+                    "chip_array provides its own mesh; do not combine with "
+                    "detailed_noc/disabled_routers"
+                )
+            if (
+                int(gx.max()) >= chip_array.mesh.width
+                or int(gy.max()) >= chip_array.mesh.height
+            ):
+                raise ValueError("placement does not fit inside the chip array")
+        elif detailed_noc:
+            self.mesh = MeshNetwork(
+                width=int(gx.max()) + 1, height=int(gy.max()) + 1
+            )
+            for rx, ry in disabled_routers or set():
+                self.mesh.disable(rx, ry)
+        elif disabled_routers:
+            raise ValueError("disabled_routers requires detailed_noc=True")
+
+        self.counters = EventCounters()
+        self.counters.ensure_cores(network.n_cores)
+        self.tick = 0
+        self.membranes = [
+            core.initial_v.astype(np.int64).copy() for core in network.cores
+        ]
+        # Per-core axon event buffers: 16 delivery slots (delay 1..15).
+        self.axon_buffers = [
+            np.zeros((params.DELAY_SLOTS, core.n_axons), dtype=bool)
+            for core in network.cores
+        ]
+        self.boundary_crossings = 0
+        self._input_by_tick: dict[int, list[tuple[int, int]]] = {}
+
+    # -- input handling ----------------------------------------------------
+    def load_inputs(self, inputs: InputSchedule | None) -> None:
+        """Stage external input events (injected at the chip periphery)."""
+        if inputs is None:
+            return
+        for tick, core, axon in inputs:
+            self._input_by_tick.setdefault(tick, []).append((core, axon))
+
+    def _inject_inputs(self) -> None:
+        for core, axon in self._input_by_tick.pop(self.tick, ()):
+            self.axon_buffers[core][self.tick % params.DELAY_SLOTS, axon] = True
+
+    # -- NoC accounting -------------------------------------------------------
+    def _route_spikes(
+        self, src_core: int, targets: np.ndarray, axons: np.ndarray, delays: np.ndarray
+    ) -> None:
+        """Send one core's spikes into the mesh and the delay buffers."""
+        routed = targets != OUTPUT_TARGET
+        if not routed.any():
+            return
+        dst = targets[routed]
+        dst_axons = axons[routed]
+        dst_delays = delays[routed]
+
+        if self.chip_array is not None:
+            src_xy = (int(self._gx[src_core]), int(self._gy[src_core]))
+            for t_core in dst:
+                hops, crossings = self.chip_array.deliver(
+                    src_xy, (int(self._gx[t_core]), int(self._gy[t_core]))
+                )
+                self.counters.hops += hops
+                self.boundary_crossings += crossings
+        elif self.mesh is not None:
+            src_xy = (int(self._gx[src_core]), int(self._gy[src_core]))
+            for t_core in dst:
+                hops = self.mesh.deliver(
+                    src_xy, (int(self._gx[t_core]), int(self._gy[t_core]))
+                )
+                self.counters.hops += hops
+            for t_core in dst:
+                self.boundary_crossings += self.placement.chip_crossings(
+                    src_core, int(t_core)
+                )
+        else:
+            hops = self.placement.hop_matrix_for_targets(
+                np.full(dst.shape, src_core), dst
+            )
+            self.counters.hops += int(hops.sum())
+            for t_core in dst:
+                self.boundary_crossings += self.placement.chip_crossings(
+                    src_core, int(t_core)
+                )
+
+        for t_core, t_axon, t_delay in zip(dst, dst_axons, dst_delays):
+            when = self.tick + int(t_delay)
+            self.axon_buffers[t_core][when % params.DELAY_SLOTS, t_axon] = True
+
+    # -- one tick ----------------------------------------------------------------
+    def step(self) -> list[tuple[int, int, int]]:
+        """Advance the chip one tick; return spikes (tick, core, neuron)."""
+        net = self.network
+        seed = net.seed
+        slot = self.tick % params.DELAY_SLOTS
+        self._inject_inputs()
+        if self.chip_array is not None:
+            self.chip_array.begin_tick()
+
+        emitted: list[tuple[int, int, int]] = []
+        for core_id, core in enumerate(net.cores):
+            row = self.axon_buffers[core_id][slot]
+            active = np.nonzero(row)[0]
+            row[:] = False
+            self.counters.deliveries += int(active.size)
+
+            syn, n_events = synaptic_input(core, active, core_id, self.tick, seed)
+            self.counters.record_core_tick(core_id, n_events)
+
+            v, spiked = neuron_tick(
+                core, self.membranes[core_id], syn, core_id, self.tick, seed
+            )
+            self.membranes[core_id] = v
+            self.counters.neuron_updates += core.n_neurons
+
+            fired = np.nonzero(spiked)[0]
+            if fired.size == 0:
+                continue
+            self.counters.spikes += int(fired.size)
+            emitted.extend((self.tick, core_id, int(n)) for n in fired)
+            self._route_spikes(
+                core_id,
+                core.target_core[fired],
+                core.target_axon[fired],
+                core.delay[fired],
+            )
+
+        self.tick += 1
+        self.counters.ticks = self.tick
+        return emitted
+
+    def run(self, n_ticks: int, inputs: InputSchedule | None = None) -> SpikeRecord:
+        """Run *n_ticks* ticks and return the spike record."""
+        self.load_inputs(inputs)
+        events: list[tuple[int, int, int]] = []
+        for _ in range(n_ticks):
+            events.extend(self.step())
+        return SpikeRecord.from_events(events, self.counters)
+
+
+def run_truenorth(
+    network: Network,
+    n_ticks: int,
+    inputs: InputSchedule | None = None,
+    placement: Placement | None = None,
+    detailed_noc: bool = False,
+) -> SpikeRecord:
+    """Convenience one-shot TrueNorth run."""
+    sim = TrueNorthSimulator(network, placement, detailed_noc)
+    return sim.run(n_ticks, inputs)

@@ -1,0 +1,135 @@
+"""Address-Event Representation (AER) spike streams.
+
+Spike traffic in and out of TrueNorth systems travels as address events:
+(timestamp, core, axon-or-neuron) words.  This module defines a compact
+binary AER format used to feed recorded sensor data into networks and to
+capture network outputs for downstream processing — the spike-level
+interchange format between the transduction layer, the simulators, and
+file storage.
+
+Word format (16 bytes, little-endian):
+
+    uint64 tick | uint32 core | uint32 line
+
+where ``line`` is an axon index for input streams and a neuron index
+for output streams.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.inputs import InputSchedule
+from repro.core.record import SpikeRecord
+from repro.utils.validation import require
+
+_WORD = struct.Struct("<QII")
+MAGIC = b"AER1"
+
+
+@dataclass
+class AERStream:
+    """An ordered sequence of address events."""
+
+    ticks: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    cores: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    lines: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    @staticmethod
+    def from_events(events: list[tuple[int, int, int]]) -> "AERStream":
+        """Build a stream from (tick, core, line) tuples (sorted)."""
+        if not events:
+            return AERStream()
+        arr = np.asarray(sorted(events), dtype=np.int64)
+        return AERStream(ticks=arr[:, 0], cores=arr[:, 1], lines=arr[:, 2])
+
+    @property
+    def n_events(self) -> int:
+        """Number of events in the stream."""
+        return int(self.ticks.size)
+
+    def as_tuples(self) -> list[tuple[int, int, int]]:
+        """Events as (tick, core, line) tuples."""
+        return list(zip(self.ticks.tolist(), self.cores.tolist(), self.lines.tolist()))
+
+    def shifted(self, dt: int) -> "AERStream":
+        """Stream with all timestamps shifted by *dt* ticks."""
+        require(self.n_events == 0 or int(self.ticks.min()) + dt >= 0,
+                "shift would produce negative ticks")
+        return AERStream(ticks=self.ticks + dt, cores=self.cores, lines=self.lines)
+
+    def window(self, start: int, stop: int) -> "AERStream":
+        """Events with start <= tick < stop."""
+        mask = (self.ticks >= start) & (self.ticks < stop)
+        return AERStream(
+            ticks=self.ticks[mask], cores=self.cores[mask], lines=self.lines[mask]
+        )
+
+    def merge(self, other: "AERStream") -> "AERStream":
+        """Timestamp-ordered merge of two streams."""
+        return AERStream.from_events(self.as_tuples() + other.as_tuples())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AERStream):
+            return NotImplemented
+        return (
+            np.array_equal(self.ticks, other.ticks)
+            and np.array_equal(self.cores, other.cores)
+            and np.array_equal(self.lines, other.lines)
+        )
+
+
+def encode_aer(stream: AERStream) -> bytes:
+    """Serialize a stream to the binary AER format."""
+    out = bytearray(MAGIC)
+    out += struct.pack("<Q", stream.n_events)
+    for t, c, a in stream.as_tuples():
+        require(t >= 0 and c >= 0 and a >= 0, "AER events must be non-negative")
+        out += _WORD.pack(t, c, a)
+    return bytes(out)
+
+
+def decode_aer(data: bytes) -> AERStream:
+    """Parse binary AER data back into a stream."""
+    require(data[:4] == MAGIC, "not an AER1 stream")
+    (count,) = struct.unpack_from("<Q", data, 4)
+    events = []
+    pos = 12
+    require(len(data) >= pos + count * _WORD.size, "truncated AER stream")
+    for _ in range(count):
+        t, c, a = _WORD.unpack_from(data, pos)
+        events.append((int(t), int(c), int(a)))
+        pos += _WORD.size
+    return AERStream.from_events(events)
+
+
+def write_aer_file(path, stream: AERStream) -> None:
+    """Write a stream to *path*."""
+    with open(path, "wb") as f:
+        f.write(encode_aer(stream))
+
+
+def read_aer_file(path) -> AERStream:
+    """Read a stream from *path*."""
+    with open(path, "rb") as f:
+        return decode_aer(f.read())
+
+
+def schedule_from_aer(stream: AERStream) -> InputSchedule:
+    """Convert an input AER stream into a simulator input schedule."""
+    return InputSchedule.from_events(stream.as_tuples())
+
+
+def aer_from_schedule(schedule: InputSchedule) -> AERStream:
+    """Convert an input schedule into an AER stream."""
+    return AERStream.from_events(list(schedule))
+
+
+def record_to_aer(record: SpikeRecord) -> AERStream:
+    """Capture a run's output spikes as an AER stream (line = neuron)."""
+    return AERStream(
+        ticks=record.ticks.copy(), cores=record.cores.copy(), lines=record.neurons.copy()
+    )

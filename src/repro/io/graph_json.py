@@ -1,0 +1,95 @@
+"""Corelet-graph JSON export: structural interchange and documentation.
+
+Exports the *structure* of a network — cores as nodes, inter-core
+neuron->axon bundles as weighted edges, connector endpoints — as plain
+JSON for visualization tools, diffing, and documentation.  The inverse
+of the full `.npz` model file: small, human-readable, structure-only
+(no crossbar contents or neuron parameters).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.core.network import OUTPUT_TARGET, Network
+from repro.corelets.corelet import CompiledComposition
+from repro.utils.validation import require
+
+GRAPH_FORMAT_VERSION = 1
+
+
+def network_graph(network: Network) -> dict:
+    """Structural graph of a network as a JSON-ready dict."""
+    nodes = [
+        {
+            "id": idx,
+            "name": core.name,
+            "axons": core.n_axons,
+            "neurons": core.n_neurons,
+            "synapses": core.n_synapses,
+            "outputs": int((core.target_core == OUTPUT_TARGET).sum()),
+        }
+        for idx, core in enumerate(network.cores)
+    ]
+    edges: dict = {}
+    for src, core in enumerate(network.cores):
+        routed = core.target_core != OUTPUT_TARGET
+        targets, counts = np.unique(core.target_core[routed], return_counts=True)
+        for dst, count in zip(targets.tolist(), counts.tolist()):
+            key = (src, int(dst))
+            edges[key] = edges.get(key, 0) + int(count)
+    return {
+        "format_version": GRAPH_FORMAT_VERSION,
+        "name": network.name,
+        "seed": network.seed,
+        "nodes": nodes,
+        "edges": [
+            {"src": src, "dst": dst, "neurons": count}
+            for (src, dst), count in sorted(edges.items())
+        ],
+    }
+
+
+def composition_graph(compiled: CompiledComposition) -> dict:
+    """Graph of a compiled composition, including exported connectors."""
+    graph = network_graph(compiled.network)
+    graph["inputs"] = {
+        name: [{"core": p.core, "axon": p.index} for p in pins]
+        for name, pins in compiled.inputs.items()
+    }
+    graph["outputs"] = {
+        name: [{"core": p.core, "neuron": p.index} for p in pins]
+        for name, pins in compiled.outputs.items()
+    }
+    return graph
+
+
+def write_graph_json(path, graph: dict) -> None:
+    """Write a graph dict to *path* as pretty JSON."""
+    with open(path, "w") as f:
+        json.dump(graph, f, indent=2, sort_keys=True)
+
+
+def read_graph_json(path) -> dict:
+    """Read a graph JSON file (validating the format version)."""
+    with open(path) as f:
+        graph = json.load(f)
+    require(
+        graph.get("format_version") == GRAPH_FORMAT_VERSION,
+        f"unsupported graph format {graph.get('format_version')}",
+    )
+    return graph
+
+
+def to_networkx(graph: dict):
+    """Convert a graph dict to a networkx DiGraph for analysis."""
+    import networkx as nx
+
+    g = nx.DiGraph(name=graph.get("name", ""))
+    for node in graph["nodes"]:
+        g.add_node(node["id"], **node)
+    for edge in graph["edges"]:
+        g.add_edge(edge["src"], edge["dst"], neurons=edge["neurons"])
+    return g

@@ -1,0 +1,63 @@
+"""Network model files: save/load complete networks to a single .npz.
+
+Compass consumes model files describing every core's configuration; the
+same role here.  The format stores each core's arrays under prefixed
+keys plus a small JSON header with network metadata, all inside one
+NumPy ``.npz`` archive — portable, compressed, and exactly
+round-trippable (loading a saved network reproduces identical spikes).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields
+
+import numpy as np
+
+from repro.core.network import Core, Network
+from repro.utils.validation import require
+
+FORMAT_VERSION = 1
+
+_ARRAY_FIELDS = [f.name for f in fields(Core) if f.name != "name"]
+
+
+def save_network(path, network: Network) -> None:
+    """Write *network* to a ``.npz`` model file."""
+    network.validate()
+    arrays: dict[str, np.ndarray] = {}
+    header = {
+        "format_version": FORMAT_VERSION,
+        "name": network.name,
+        "seed": network.seed,
+        "n_cores": network.n_cores,
+        "core_names": [core.name for core in network.cores],
+    }
+    for idx, core in enumerate(network.cores):
+        for field_name in _ARRAY_FIELDS:
+            arrays[f"core{idx}/{field_name}"] = getattr(core, field_name)
+    arrays["__header__"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_network(path) -> Network:
+    """Load a network from a ``.npz`` model file."""
+    with np.load(path) as data:
+        require("__header__" in data, "not a repro model file (missing header)")
+        header = json.loads(bytes(data["__header__"].tobytes()).decode("utf-8"))
+        require(
+            header.get("format_version") == FORMAT_VERSION,
+            f"unsupported model-file version {header.get('format_version')}",
+        )
+        cores = []
+        for idx in range(header["n_cores"]):
+            kwargs = {
+                field_name: data[f"core{idx}/{field_name}"]
+                for field_name in _ARRAY_FIELDS
+            }
+            cores.append(Core(name=header["core_names"][idx], **kwargs))
+    network = Network(cores=cores, seed=int(header["seed"]), name=header["name"])
+    network.validate()
+    return network

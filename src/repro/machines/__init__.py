@@ -1,0 +1,35 @@
+"""Von-Neumann machine cost models for Compass (BG/Q, x86)."""
+
+from repro.machines.cost import (
+    Comparison,
+    CompassCostModel,
+    CompassRunPoint,
+    bgq_weak_scaling_hosts,
+    compare_truenorth_vs_compass,
+)
+from repro.machines.scaling import (
+    ScalingPoint,
+    best_point,
+    most_efficient_point,
+    strong_scaling_sweep,
+    x86_reference_sweep,
+)
+from repro.machines.specs import BGQ, MACHINES, X86, X86_LEGACY, MachineSpec
+
+__all__ = [
+    "Comparison",
+    "CompassCostModel",
+    "CompassRunPoint",
+    "bgq_weak_scaling_hosts",
+    "compare_truenorth_vs_compass",
+    "ScalingPoint",
+    "best_point",
+    "most_efficient_point",
+    "strong_scaling_sweep",
+    "x86_reference_sweep",
+    "BGQ",
+    "MACHINES",
+    "X86",
+    "X86_LEGACY",
+    "MachineSpec",
+]

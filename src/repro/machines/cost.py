@@ -1,0 +1,172 @@
+"""Compass execution cost model on von Neumann machines.
+
+Models the three kernel phases of Compass (paper Section III-B) on a
+given :class:`~repro.machines.specs.MachineSpec`:
+
+* **Synapse + Neuron phases** — per-host compute: the host's share of
+  neuron updates and synaptic events, divided by its effective thread
+  throughput;
+* **Network phase** — each host sends one aggregated message per peer
+  (Compass aggregates spikes between pairs of processes into single MPI
+  messages), in parallel across hosts;
+* **Synchronization** — the two-communication-step barrier.
+
+Together with the TrueNorth models this regenerates the paper's
+speedup and energy-improvement comparisons (Figs. 6-8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import params
+from repro.core.workload import WorkloadDescriptor
+from repro.hardware.energy import EnergyModel
+from repro.hardware.timing import TimingModel
+from repro.machines.specs import MachineSpec
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class CompassRunPoint:
+    """Time/power/energy of Compass executing one workload tick."""
+
+    machine: str
+    hosts: int
+    threads_per_host: int
+    time_per_tick_s: float
+    power_w: float
+
+    @property
+    def energy_per_tick_j(self) -> float:
+        """Energy to advance the simulation one tick."""
+        return self.time_per_tick_s * self.power_w
+
+    @property
+    def slowdown_vs_real_time(self) -> float:
+        """How many times slower than the 1 ms biological tick."""
+        return self.time_per_tick_s / params.TICK_SECONDS
+
+
+class CompassCostModel:
+    """Evaluates Compass run points for one machine."""
+
+    def __init__(self, spec: MachineSpec) -> None:
+        self.spec = spec
+
+    def time_per_tick_s(
+        self, workload: WorkloadDescriptor, hosts: int = 1, threads_per_host: int | None = None
+    ) -> float:
+        """Wall-clock seconds per simulated tick."""
+        spec = self.spec
+        require(1 <= hosts <= spec.max_hosts, f"{spec.name} supports 1..{spec.max_hosts} hosts")
+        if threads_per_host is None:
+            threads_per_host = spec.max_threads_per_host
+        throughput = spec.effective_threads(threads_per_host)
+
+        # Synapse + Neuron phases: this host's share of the event work.
+        # load_imbalance makes the busiest host finish last.
+        neuron_work = workload.neuron_updates_per_tick / hosts * workload.load_imbalance
+        syn_work = workload.syn_events_per_tick / hosts * workload.load_imbalance
+        t_compute = (
+            neuron_work * spec.t_neuron_s + syn_work * spec.t_syn_event_s
+        ) / throughput
+
+        # Network phase: aggregated messages to each peer, in parallel
+        # across hosts; plus the two-step synchronization.
+        t_comm = (hosts - 1) * spec.t_message_s + 2 * spec.t_sync_s if hosts > 1 else 0.0
+
+        return spec.t_fixed_s + t_compute + t_comm
+
+    def power_w(self, hosts: int = 1) -> float:
+        """Aggregate machine power while running Compass."""
+        return hosts * self.spec.power_per_host_w
+
+    def run_point(
+        self, workload: WorkloadDescriptor, hosts: int = 1, threads_per_host: int | None = None
+    ) -> CompassRunPoint:
+        """Full time/power/energy evaluation for one configuration."""
+        if threads_per_host is None:
+            threads_per_host = self.spec.max_threads_per_host
+        return CompassRunPoint(
+            machine=self.spec.name,
+            hosts=hosts,
+            threads_per_host=threads_per_host,
+            time_per_tick_s=self.time_per_tick_s(workload, hosts, threads_per_host),
+            power_w=self.power_w(hosts),
+        )
+
+    def best_configuration(self, workload: WorkloadDescriptor) -> CompassRunPoint:
+        """Fastest configuration (max hosts, max threads)."""
+        return self.run_point(workload, self.spec.max_hosts, self.spec.max_threads_per_host)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """TrueNorth vs. Compass on one workload (Fig. 6/7 quantities)."""
+
+    workload: str
+    machine: str
+    speedup: float  # T_proc / T_TrueNorth
+    power_improvement: float  # P_proc / P_TrueNorth
+    energy_improvement: float  # E_proc / E_TrueNorth (per tick)
+    truenorth_power_w: float
+    truenorth_time_per_tick_s: float
+    compass_point: CompassRunPoint
+
+
+def compare_truenorth_vs_compass(
+    workload: WorkloadDescriptor,
+    spec: MachineSpec,
+    hosts: int | None = None,
+    threads_per_host: int | None = None,
+    voltage: float = params.NOMINAL_VOLTAGE,
+    tick_frequency_hz: float = params.REAL_TIME_HZ,
+) -> Comparison:
+    """Compute the paper's speedup / x-power / x-energy ratios.
+
+    Speedup = T_proc / T_TrueNorth, and the improvements are the
+    corresponding power and per-tick-energy ratios (paper Section VI-C).
+    TrueNorth runs the workload in real time (or at ``tick_frequency_hz``
+    when it is faster than real time, never beyond its own maximum).
+    """
+    energy_model = EnergyModel(voltage=voltage)
+    timing_model = TimingModel(voltage=voltage)
+
+    max_hz = timing_model.max_tick_frequency_hz(workload.busiest_core_events_per_tick)
+    tn_hz = min(tick_frequency_hz, max_hz)
+    tn_time_per_tick = 1.0 / tn_hz
+    tn_energy_per_tick = energy_model.energy_per_tick_j(
+        workload.syn_events_per_tick,
+        workload.neuron_updates_per_tick,
+        workload.spikes_per_tick,
+        workload.hops_per_tick,
+        tick_frequency_hz=tn_hz,
+    )
+    tn_power = tn_energy_per_tick * tn_hz
+
+    model = CompassCostModel(spec)
+    point = model.run_point(
+        workload, hosts if hosts is not None else spec.max_hosts, threads_per_host
+    )
+    return Comparison(
+        workload=workload.name,
+        machine=spec.name,
+        speedup=point.time_per_tick_s / tn_time_per_tick,
+        power_improvement=point.power_w / tn_power,
+        energy_improvement=point.energy_per_tick_j / tn_energy_per_tick,
+        truenorth_power_w=tn_power,
+        truenorth_time_per_tick_s=tn_time_per_tick,
+        compass_point=point,
+    )
+
+
+def bgq_weak_scaling_hosts(workload: WorkloadDescriptor, spec: MachineSpec) -> int:
+    """Host count for the paper's weak-scaling rule on BG/Q.
+
+    Fig. 7 used "a weak-scaling number of BG/Q processors (~2
+    neurosynaptic cores per thread, 32 threads per compute card)":
+    64 cores per card, capped at the 32 cards available.
+    """
+    cores_per_card = 2 * 32
+    return max(1, min(spec.max_hosts, -(-workload.n_cores // cores_per_card)))

@@ -1,0 +1,81 @@
+"""Strong-scaling sweeps of Compass on BG/Q (paper Fig. 8).
+
+Fig. 8 plots run time (s/tick) against power for the single-chip
+Neovision network, sweeping host count (1, 2, 4, 8, 16, 32) and thread
+count (8, 16, 32, 64), with an x86 reference curve (4, 6, 8, 12
+threads).  This module generates those grids from the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.workload import WorkloadDescriptor
+from repro.machines.cost import CompassCostModel, CompassRunPoint
+from repro.machines.specs import BGQ, X86, MachineSpec
+
+BGQ_HOST_SWEEP = (1, 2, 4, 8, 16, 32)
+BGQ_THREAD_SWEEP = (8, 16, 32, 64)
+X86_THREAD_SWEEP = (4, 6, 8, 12)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One Fig.-8 point: configuration, runtime, and power."""
+
+    machine: str
+    hosts: int
+    threads: int
+    time_per_tick_s: float
+    power_w: float
+    power_per_spike_w: float
+
+    @staticmethod
+    def from_run_point(point: CompassRunPoint, spikes_per_tick: float) -> "ScalingPoint":
+        """Annotate a run point with Fig. 8's power-per-spike y axis."""
+        per_spike = point.power_w / spikes_per_tick if spikes_per_tick > 0 else 0.0
+        return ScalingPoint(
+            machine=point.machine,
+            hosts=point.hosts,
+            threads=point.threads_per_host,
+            time_per_tick_s=point.time_per_tick_s,
+            power_w=point.power_w,
+            power_per_spike_w=per_spike,
+        )
+
+
+def strong_scaling_sweep(
+    workload: WorkloadDescriptor,
+    spec: MachineSpec = BGQ,
+    host_sweep: tuple = BGQ_HOST_SWEEP,
+    thread_sweep: tuple = BGQ_THREAD_SWEEP,
+) -> list[ScalingPoint]:
+    """All (hosts, threads) combinations for one machine."""
+    model = CompassCostModel(spec)
+    points = []
+    for hosts in host_sweep:
+        if hosts > spec.max_hosts:
+            continue
+        for threads in thread_sweep:
+            if threads > spec.max_threads_per_host:
+                continue
+            point = model.run_point(workload, hosts, threads)
+            points.append(ScalingPoint.from_run_point(point, workload.spikes_per_tick))
+    return points
+
+
+def x86_reference_sweep(
+    workload: WorkloadDescriptor, thread_sweep: tuple = X86_THREAD_SWEEP
+) -> list[ScalingPoint]:
+    """The x86 single-host reference curve of Fig. 8."""
+    return strong_scaling_sweep(workload, X86, host_sweep=(1,), thread_sweep=thread_sweep)
+
+
+def best_point(points: list[ScalingPoint]) -> ScalingPoint:
+    """Fastest configuration in a sweep."""
+    return min(points, key=lambda p: p.time_per_tick_s)
+
+
+def most_efficient_point(points: list[ScalingPoint]) -> ScalingPoint:
+    """Lowest energy-per-tick configuration in a sweep."""
+    return min(points, key=lambda p: p.time_per_tick_s * p.power_w)

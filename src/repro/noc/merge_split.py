@@ -1,0 +1,121 @@
+"""Merge/split boundary blocks: seamless chip-to-chip mesh extension.
+
+"To scale the 2D mesh across chip boundaries, where the number of
+inter-chip connections is limited, we use a merge-split structure at the
+four edges of the on-chip mesh boundary.  Packets leaving the mesh are
+tagged with their row (or column) before being merged onto a shared link
+that exits the chip.  Symmetrically, packets that enter the chip from a
+shared link are sent to the appropriate row (or column) using the tagged
+information." (paper Section III-C)
+
+Functionally the tag/merge/split round-trip is the identity — that is
+the point of the design — so this module models the *bandwidth* aspect:
+per-edge shared links with finite packets-per-tick capacity, tag
+encode/decode accounting, and link-utilization statistics used by the
+multi-chip scaling analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Edge(Enum):
+    """The four chip edges, each with one merge and one split block."""
+
+    EAST = "east"
+    WEST = "west"
+    NORTH = "north"
+    SOUTH = "south"
+
+
+@dataclass
+class MergeSplitLink:
+    """One shared chip-boundary link (a merge block feeding a split block).
+
+    ``capacity_per_tick`` bounds how many spike packets can cross this
+    edge in one 1 ms tick; TrueNorth's asynchronous boundary channels are
+    fast relative to spike rates, so the default is generous, but the
+    limit makes saturation observable in scaling studies.
+    """
+
+    edge: Edge
+    rows: int  # number of mesh rows (or columns) multiplexed onto the link
+    capacity_per_tick: int = 40_000
+    crossed: int = 0
+    peak_in_tick: int = 0
+    _in_tick: int = 0
+    dropped: int = 0
+
+    def begin_tick(self) -> None:
+        """Reset the per-tick occupancy window."""
+        self._in_tick = 0
+
+    def merge(self, row: int) -> tuple[int, bool]:
+        """Tag a packet with its *row* and send it through the shared link.
+
+        Returns (tag, accepted).  A packet beyond the tick capacity is
+        counted as dropped — physical hardware would instead backpressure,
+        stretching the tick; the timing model reads ``peak_in_tick`` to
+        account for that.
+        """
+        if not (0 <= row < self.rows):
+            raise ValueError(f"row {row} outside link with {self.rows} rows")
+        self._in_tick += 1
+        self.peak_in_tick = max(self.peak_in_tick, self._in_tick)
+        if self._in_tick > self.capacity_per_tick:
+            self.dropped += 1
+            return row, False
+        self.crossed += 1
+        return row, True
+
+    def split(self, tag: int) -> int:
+        """Decode the tag on the receiving chip: route to its row."""
+        if not (0 <= tag < self.rows):
+            raise ValueError(f"tag {tag} outside link with {self.rows} rows")
+        return tag
+
+    @property
+    def utilization(self) -> float:
+        """Peak per-tick occupancy as a fraction of capacity."""
+        return self.peak_in_tick / self.capacity_per_tick
+
+
+@dataclass
+class ChipBoundary:
+    """The four merge/split links of one chip."""
+
+    rows: int = 64
+    cols: int = 64
+    capacity_per_tick: int = 40_000
+    links: dict = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        self.links = {
+            Edge.EAST: MergeSplitLink(Edge.EAST, self.rows, self.capacity_per_tick),
+            Edge.WEST: MergeSplitLink(Edge.WEST, self.rows, self.capacity_per_tick),
+            Edge.NORTH: MergeSplitLink(Edge.NORTH, self.cols, self.capacity_per_tick),
+            Edge.SOUTH: MergeSplitLink(Edge.SOUTH, self.cols, self.capacity_per_tick),
+        }
+
+    def begin_tick(self) -> None:
+        """Open a new tick window on all four links."""
+        for link in self.links.values():
+            link.begin_tick()
+
+    def cross(self, edge: Edge, row_or_col: int) -> bool:
+        """Send one packet across *edge*; returns False when saturated.
+
+        The merge-tag-split round trip is validated to be the identity.
+        """
+        link = self.links[edge]
+        tag, accepted = link.merge(row_or_col)
+        if accepted and link.split(tag) != row_or_col:
+            raise AssertionError("merge/split tag round-trip must be the identity")
+        return accepted
+
+    @property
+    def total_crossings(self) -> int:
+        """Total accepted boundary crossings on all edges."""
+        return sum(link.crossed for link in self.links.values())

@@ -1,0 +1,39 @@
+"""Spike packets: the single-word messages of the event-driven NoC.
+
+"Spike events (single-word packets) are sent from neurons to axons via
+the communication network to implement long-range point-to-point
+connections" (paper Section III-C).  A packet carries its target core,
+target axon, and delivery tick (injection tick + programmable axonal
+delay 1..15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import params
+
+
+@dataclass(frozen=True, order=True)
+class SpikePacket:
+    """One spike event in flight on the mesh."""
+
+    inject_tick: int
+    src_core: int
+    dst_core: int
+    dst_axon: int
+    delivery_tick: int
+
+    def __post_init__(self) -> None:
+        delay = self.delivery_tick - self.inject_tick
+        if not (params.MIN_DELAY <= delay <= params.MAX_DELAY):
+            raise ValueError(
+                f"packet delay {delay} outside [{params.MIN_DELAY}, {params.MAX_DELAY}]"
+            )
+        if self.dst_axon < 0:
+            raise ValueError("dst_axon must be non-negative")
+
+    @property
+    def delay(self) -> int:
+        """Axonal delay in ticks."""
+        return self.delivery_tick - self.inject_tick

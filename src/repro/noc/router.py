@@ -1,0 +1,81 @@
+"""Five-port mesh router: port selection under dimension-order routing.
+
+Each TrueNorth core is "equipped with a five-port router that forms the
+backbone of our 2D mesh network"; packets travel "first in the x
+dimension then in the y dimension (deadlock-free dimension-order
+routing)" (paper Section III-C, citing Dally & Seitz).
+
+The router here is a functional + accounting model: it decides output
+ports, tallies per-port traffic, and exposes the occupancy statistics the
+timing/energy layers consume.  Flit-level arbitration is below the level
+of abstraction needed for the paper's metrics (spike hops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Port(Enum):
+    """Router ports: four mesh neighbours plus the local core."""
+
+    LOCAL = "local"
+    EAST = "east"
+    WEST = "west"
+    NORTH = "north"
+    SOUTH = "south"
+
+
+# Unit displacement for each mesh port.
+PORT_DELTA = {
+    Port.EAST: (1, 0),
+    Port.WEST: (-1, 0),
+    Port.NORTH: (0, 1),
+    Port.SOUTH: (0, -1),
+    Port.LOCAL: (0, 0),
+}
+
+
+def dimension_order_port(x: int, y: int, dst_x: int, dst_y: int) -> Port:
+    """Select the output port at router (x, y) for destination (dst_x, dst_y).
+
+    X-then-Y dimension-order routing: resolve the x offset fully before
+    turning into the y dimension; deliver locally on arrival.
+    """
+    if dst_x > x:
+        return Port.EAST
+    if dst_x < x:
+        return Port.WEST
+    if dst_y > y:
+        return Port.NORTH
+    if dst_y < y:
+        return Port.SOUTH
+    return Port.LOCAL
+
+
+@dataclass
+class Router:
+    """One mesh router with per-port traffic counters."""
+
+    x: int
+    y: int
+    enabled: bool = True
+    forwarded: dict = field(default_factory=lambda: {p: 0 for p in Port})
+
+    def select_port(self, dst_x: int, dst_y: int) -> Port:
+        """Pick the output port for a packet heading to (dst_x, dst_y)."""
+        return dimension_order_port(self.x, self.y, dst_x, dst_y)
+
+    def forward(self, dst_x: int, dst_y: int) -> Port:
+        """Route one packet, updating traffic counters; return the port."""
+        if not self.enabled:
+            raise RuntimeError(f"router ({self.x},{self.y}) is disabled (defective core)")
+        port = self.select_port(dst_x, dst_y)
+        self.forwarded[port] += 1
+        return port
+
+    @property
+    def total_forwarded(self) -> int:
+        """Total packets that traversed this router."""
+        return sum(self.forwarded.values())

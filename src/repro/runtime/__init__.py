@@ -1,0 +1,15 @@
+"""Deployment runtime: continuous streaming around the simulators."""
+
+from repro.runtime.streaming import (
+    FrameSource,
+    SceneSource,
+    StreamingRuntime,
+    StreamReport,
+)
+
+__all__ = [
+    "FrameSource",
+    "SceneSource",
+    "StreamingRuntime",
+    "StreamReport",
+]

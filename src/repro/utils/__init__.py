@@ -1,0 +1,15 @@
+"""Shared utilities: validation helpers and reproducible-seeding support."""
+
+from repro.utils.validation import (
+    check_array_shape,
+    check_in_range,
+    check_int_dtype,
+    require,
+)
+
+__all__ = [
+    "check_array_shape",
+    "check_in_range",
+    "check_int_dtype",
+    "require",
+]

@@ -1,0 +1,41 @@
+"""Validation helpers used across the library.
+
+All public constructors validate their inputs eagerly so that configuration
+errors surface at network-build time, not deep inside a simulation tick.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError`` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_array_shape(name: str, array: np.ndarray, shape: tuple[int, ...]) -> None:
+    """Validate that *array* has exactly the given *shape*."""
+    if not isinstance(array, np.ndarray):
+        raise TypeError(f"{name} must be a numpy array, got {type(array).__name__}")
+    if array.shape != shape:
+        raise ValueError(f"{name} must have shape {shape}, got {array.shape}")
+
+
+def check_int_dtype(name: str, array: np.ndarray) -> None:
+    """Validate that *array* has an integer (or bool) dtype."""
+    if array.dtype.kind not in "iub":
+        raise TypeError(f"{name} must have an integer dtype, got {array.dtype}")
+
+
+def check_in_range(name: str, array: np.ndarray, low: int, high: int) -> None:
+    """Validate that every element of *array* lies in [*low*, *high*]."""
+    if array.size == 0:
+        return
+    amin = int(array.min())
+    amax = int(array.max())
+    if amin < low or amax > high:
+        raise ValueError(
+            f"{name} values must lie in [{low}, {high}], got [{amin}, {amax}]"
+        )

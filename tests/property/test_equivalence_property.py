@@ -1,0 +1,141 @@
+"""Property-based equivalence: the paper's Section VI-A as a hypothesis test.
+
+For ANY randomly generated network, input schedule, and seed, the three
+kernel expressions must agree spike-for-spike.  This is the strongest
+invariant in the repository: hypothesis explores the configuration space
+(stochastic modes, rank counts, delays) adversarially.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.compass.simulator import run_compass
+from repro.core import params
+from repro.core.builders import poisson_inputs, random_network
+from repro.core.inputs import InputSchedule
+from repro.core.kernel import run_kernel
+from repro.core.network import Core, Network
+from repro.hardware.simulator import run_truenorth
+
+
+@st.composite
+def small_networks(draw):
+    n_cores = draw(st.integers(1, 4))
+    size = draw(st.sampled_from([4, 8, 12]))
+    stochastic = draw(st.booleans())
+    seed = draw(st.integers(0, 2**31))
+    connectivity = draw(st.floats(0.1, 0.9))
+    return random_network(
+        n_cores=n_cores, n_axons=size, n_neurons=size,
+        connectivity=connectivity, stochastic=stochastic, seed=seed,
+    )
+
+
+@st.composite
+def schedules(draw):
+    rate = draw(st.floats(50.0, 800.0))
+    seed = draw(st.integers(0, 2**31))
+    return rate, seed
+
+
+class TestExpressionEquivalence:
+    @given(net=small_networks(), sched=schedules(), n_ranks=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_compass_matches_kernel(self, net, sched, n_ranks):
+        rate, seed = sched
+        ins = poisson_inputs(net, 15, rate, seed=seed)
+        ref = run_kernel(net, 15, ins)
+        got = run_compass(net, 15, ins, n_ranks=n_ranks)
+        assert got.first_mismatch(ref) is None
+
+    @given(net=small_networks(), sched=schedules())
+    @settings(max_examples=25, deadline=None)
+    def test_truenorth_matches_kernel(self, net, sched):
+        rate, seed = sched
+        ins = poisson_inputs(net, 15, rate, seed=seed)
+        ref = run_kernel(net, 15, ins)
+        got = run_truenorth(net, 15, ins)
+        assert got.first_mismatch(ref) is None
+
+    @given(
+        n_cores=st.integers(1, 4),
+        size=st.sampled_from([4, 8, 12]),
+        connectivity=st.floats(0.1, 0.9),
+        net_seed=st.integers(0, 2**31),
+        sched=schedules(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fast_compass_matches_kernel(
+        self, n_cores, size, connectivity, net_seed, sched
+    ):
+        from repro.compass.fast import run_fast_compass
+
+        net = random_network(
+            n_cores=n_cores, n_axons=size, n_neurons=size,
+            connectivity=connectivity, stochastic=False, seed=net_seed,
+        )
+        rate, seed = sched
+        ins = poisson_inputs(net, 15, rate, seed=seed)
+        ref = run_kernel(net, 15, ins)
+        got = run_fast_compass(net, 15, ins)
+        assert got.first_mismatch(ref) is None
+
+    @given(
+        net=small_networks(),
+        sched=schedules(),
+        strategies=st.lists(
+            st.sampled_from(["block", "round_robin", "load_balanced"]),
+            min_size=2, max_size=2, unique=True,
+        ),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_partition_invariance(self, net, sched, strategies):
+        rate, seed = sched
+        ins = poisson_inputs(net, 12, rate, seed=seed)
+        a = run_compass(net, 12, ins, n_ranks=2, partition_strategy=strategies[0])
+        b = run_compass(net, 12, ins, n_ranks=3, partition_strategy=strategies[1])
+        assert a == b
+
+
+class TestKernelInvariants:
+    @given(net=small_networks(), sched=schedules())
+    @settings(max_examples=20, deadline=None)
+    def test_counters_consistent(self, net, sched):
+        rate, seed = sched
+        ins = poisson_inputs(net, 10, rate, seed=seed)
+        rec = run_kernel(net, 10, ins)
+        c = rec.counters
+        assert c.spikes == rec.n_spikes
+        assert c.neuron_updates == net.n_neurons * 10
+        assert c.synaptic_events_per_core.sum() == c.synaptic_events
+        assert c.max_core_events_per_tick <= c.synaptic_events or c.synaptic_events == 0
+
+    @given(net=small_networks(), sched=schedules())
+    @settings(max_examples=20, deadline=None)
+    def test_delays_honored(self, net, sched):
+        # No spike can cause another spike in the same tick: delivery is
+        # always at least one tick later (MIN_DELAY = 1).
+        rate, seed = sched
+        ins = poisson_inputs(net, 10, rate, seed=seed)
+        rec = run_kernel(net, 10, ins)
+        assert params.MIN_DELAY >= 1
+        assert rec.ticks.size == 0 or rec.ticks.max() <= 9
+
+    @given(
+        delay=st.integers(params.MIN_DELAY, params.MAX_DELAY),
+        axon=st.integers(0, 3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_delay_exactness(self, delay, axon):
+        # A self-recurrent neuron with delay d re-fires exactly every d ticks.
+        n = 4
+        core = Core.build(
+            n_axons=n, n_neurons=n, crossbar=np.eye(n, dtype=bool),
+            threshold=1, target_core=0, target_axon=np.arange(n), delay=delay,
+        )
+        net = Network(cores=[core], seed=0)
+        ins = InputSchedule.from_events([(0, 0, axon)])
+        horizon = 3 * delay + 1
+        rec = run_kernel(net, horizon, ins)
+        fired = [t for t, c, nn in rec.as_tuples() if nn == axon]
+        assert fired == [0, delay, 2 * delay, 3 * delay]

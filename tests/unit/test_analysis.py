@@ -1,0 +1,118 @@
+"""Tests for the analysis layer (repro.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.contour import (
+    default_rate_axis,
+    default_synapse_axis,
+    default_voltage_axis,
+    sweep,
+)
+from repro.analysis.metrics import (
+    energy_improvement,
+    gsops,
+    gsops_per_watt,
+    orders_of_magnitude,
+    sops,
+    sops_from_counters,
+    speedup,
+    within_band,
+)
+from repro.analysis.report import (
+    format_value,
+    render_contour,
+    render_markdown_table,
+    render_series,
+    render_table,
+)
+from repro.core.counters import EventCounters
+
+
+class TestMetrics:
+    def test_sops_definition(self):
+        assert sops(20, 128, 2**20) == 20 * 128 * 2**20
+        assert gsops(20, 128, 2**20) == pytest.approx(2.684, rel=1e-3)
+
+    def test_gsops_per_watt(self):
+        assert gsops_per_watt(46e9, 1.0) == pytest.approx(46.0)
+        assert gsops_per_watt(1.0, 0.0) == 0.0
+
+    def test_sops_from_counters(self):
+        c = EventCounters(ticks=100, synaptic_events=100 * 2560)
+        assert sops_from_counters(c) == pytest.approx(2560 * 1000)
+        assert sops_from_counters(EventCounters()) == 0.0
+
+    def test_ratios(self):
+        assert speedup(1.0, 0.001) == 1000.0
+        assert energy_improvement(10.0, 1e-4) == pytest.approx(1e5)
+
+    def test_orders_of_magnitude(self):
+        assert orders_of_magnitude(1e5) == pytest.approx(5.0)
+        assert orders_of_magnitude(0) == float("-inf")
+
+    def test_within_band(self):
+        assert within_band(46, 40, 50)
+        assert not within_band(46, 47, 50)
+
+
+class TestSweepGrid:
+    def make(self):
+        return sweep("r", np.array([0.0, 1.0, 2.0]), "c", np.array([0.0, 10.0]),
+                     lambda r, c: r * 10 + c, metric="m")
+
+    def test_values(self):
+        g = self.make()
+        assert g.values.shape == (3, 2)
+        assert g.at(2, 10) == 30.0
+        assert g.at(0.4, 2.0) == 0.0  # nearest-point lookup
+
+    def test_corners_and_extremes(self):
+        g = self.make()
+        assert g.corner(False, False) == 0.0
+        assert g.corner(True, True) == 30.0
+        assert g.min == 0.0 and g.max == 30.0
+
+    def test_monotonicity(self):
+        g = self.make()
+        assert g.monotone_rows(increasing=True)
+        assert g.monotone_cols(increasing=True)
+        assert not g.monotone_rows(increasing=False)
+
+    def test_default_axes(self):
+        assert default_rate_axis()[0] == 0.0 and default_rate_axis()[-1] == 200.0
+        assert default_synapse_axis()[-1] == 256.0
+        v = default_voltage_axis()
+        assert v[0] == pytest.approx(0.70) and v[-1] == pytest.approx(1.05)
+
+
+class TestReport:
+    def test_format_value(self):
+        assert format_value(0) == "0"
+        assert format_value(1234567.0) == "1.23e+06"
+        assert format_value(46.0) == "46.00"
+        assert format_value(0.0001) == "1.00e-04"
+
+    def test_render_table(self):
+        out = render_table(["a", "b"], [[1, 2.5], ["x", 3.0]], title="T")
+        assert "T" in out and "a" in out and "2.50" in out
+
+    def test_render_markdown_table(self):
+        out = render_markdown_table(["a"], [[1.0]])
+        assert out.splitlines()[1] == "|---|"
+
+    def test_render_contour(self):
+        g = sweep("r", np.array([0.0, 1.0]), "c", np.array([0.0, 1.0]),
+                  lambda r, c: r + c, metric="sum")
+        out = render_contour(g)
+        assert "sum" in out and "range" in out
+
+    def test_render_contour_log(self):
+        g = sweep("r", np.array([0.0, 1.0]), "c", np.array([0.0, 1.0]),
+                  lambda r, c: 10 ** (r + c), metric="exp")
+        out = render_contour(g, log_scale=True)
+        assert "exp" in out
+
+    def test_render_series(self):
+        out = render_series("s", [1, 2], [3.0, 4.0], "x", "y")
+        assert "3.00" in out

@@ -1,0 +1,126 @@
+"""Tests for the vision applications (Haar, LBP, saliency, saccade)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.haar import build_haar_pipeline, dominant_feature, run_haar
+from repro.apps.lbp import build_lbp_pipeline, oriented_kernels, run_lbp
+from repro.apps.saccade import build_saccade_pipeline, explored_locations, run_saccades
+from repro.apps.saliency import build_saliency_pipeline, run_saliency, salient_patches
+
+
+def patch_pattern(height, width, patch, py, px, kernel):
+    """Frame that paints +1 kernel cells bright inside one patch."""
+    frame = np.zeros((height, width))
+    block = (kernel.reshape(patch, patch) > 0).astype(float)
+    frame[py * patch : (py + 1) * patch, px * patch : (px + 1) * patch] = block
+    return frame
+
+
+class TestHaar:
+    @pytest.fixture(scope="class")
+    def pipe(self):
+        return build_haar_pipeline(16, 16, 4)
+
+    def test_structure(self, pipe):
+        assert pipe.n_patches == 16
+        assert pipe.n_features == 10
+        assert len(pipe.pixel_pins) == 256
+        assert len(pipe.feature_pins) == 160
+
+    def test_matched_patch_fires_its_feature(self, pipe):
+        from repro.corelets.library.filters import haar_kernels
+
+        kernels = haar_kernels(4)
+        frame = patch_pattern(16, 16, 4, 1, 2, kernels[:, 0])
+        _, fmap = run_haar(pipe, frame[None].repeat(2, axis=0), ticks_per_frame=20)
+        # the stimulated patch responds on feature 0 (and its twin 5)
+        patch_resp = fmap[1, 2]
+        assert patch_resp[[0, 5]].sum() > 0
+        assert patch_resp[0] == patch_resp.max()
+        # other patches mostly silent
+        others = fmap.sum(axis=2) - np.eye(4)[1][:, None] * fmap[1].sum(axis=1)
+        assert fmap[1, 2].sum() >= others.max()
+
+    def test_uniform_input_suppressed(self, pipe):
+        frame = np.full((16, 16), 0.8)
+        _, fmap = run_haar(pipe, frame[None].repeat(2, axis=0), ticks_per_frame=20)
+        # balanced kernels cancel on uniform input: any residual response
+        # is shot noise, far below the ~40-spike matched-pattern response
+        assert fmap.max() <= 6
+
+    def test_dominant_feature_shape(self, pipe):
+        frame = np.zeros((16, 16))
+        _, fmap = run_haar(pipe, frame[None], ticks_per_frame=5)
+        assert dominant_feature(fmap).shape == (4, 4)
+
+
+class TestLBP:
+    def test_oriented_kernels_cover_8_directions(self):
+        k = oriented_kernels(8)
+        assert k.shape == (64, 8)
+        # opposite orientations are sign-flipped
+        assert np.array_equal(k[:, 0], -k[:, 4])
+
+    def test_histograms_respond_to_oriented_edge(self):
+        pipe = build_lbp_pipeline(8, 8, patch=8, count_per_spike=2)
+        assert pipe.n_subpatches == 1
+        # vertical edge: bright left half -> orientation pointing left (d=4)
+        frame = np.zeros((8, 8))
+        frame[:, :4] = 1.0
+        _, hist = run_lbp(pipe, frame[None].repeat(2, axis=0), ticks_per_frame=25)
+        assert hist.shape == (1, 8)
+        assert hist.sum() > 0
+        # leftward orientation responds maximally (neighbours at
+        # saturation may tie); the opposite orientation stays silent
+        assert hist[0, 4] == hist[0].max()
+        assert hist[0, 0] == 0
+
+    def test_count_per_spike_divides_rate(self):
+        fast = build_lbp_pipeline(8, 8, patch=8, count_per_spike=1)
+        slow = build_lbp_pipeline(8, 8, patch=8, count_per_spike=4)
+        frame = np.zeros((8, 8))
+        frame[:, :4] = 1.0
+        frames = frame[None].repeat(2, axis=0)
+        _, h_fast = run_lbp(fast, frames, ticks_per_frame=25)
+        _, h_slow = run_lbp(slow, frames, ticks_per_frame=25)
+        assert h_fast.sum() >= 3 * h_slow.sum() > 0
+
+
+class TestSaliency:
+    @pytest.fixture(scope="class")
+    def pipe(self):
+        return build_saliency_pipeline(16, 16, 4)
+
+    def test_bright_blob_is_salient(self, pipe):
+        frame = np.zeros((16, 16))
+        frame[5:7, 9:11] = 1.0  # small blob inside patch (1, 2)
+        _, smap = run_saliency(pipe, frame[None].repeat(2, axis=0), ticks_per_frame=25)
+        assert smap.shape == (4, 4)
+        assert np.unravel_index(smap.argmax(), smap.shape) == (1, 2)
+
+    def test_salient_patches_threshold(self, pipe):
+        smap = np.array([[0, 0], [4, 10]])
+        mask = salient_patches(smap, fraction=0.5)
+        assert mask.tolist() == [[False, False], [False, True]]
+
+    def test_empty_map(self):
+        assert not salient_patches(np.zeros((2, 2))).any()
+
+
+class TestSaccade:
+    def test_wta_picks_strongest_then_explores(self):
+        pipe = build_saccade_pipeline(8, suppression=255, recovery=24)
+        rates = np.array([0.05, 0.05, 0.9, 0.05, 0.4, 0.05, 0.05, 0.05])
+        _, seq = run_saccades(pipe, rates, n_ticks=150, seed=3)
+        assert len(seq) > 0
+        locations = [loc for _, loc in seq]
+        # strongest location wins first
+        assert locations[0] == 2
+        # inhibition of return promotes exploration of the runner-up
+        assert 4 in explored_locations(seq)
+
+    def test_no_input_no_saccades(self):
+        pipe = build_saccade_pipeline(4)
+        _, seq = run_saccades(pipe, np.zeros(4), n_ticks=50)
+        assert seq == []

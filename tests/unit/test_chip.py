@@ -1,0 +1,103 @@
+"""Tests for chip geometry, placement, and defect maps (repro.core.chip)."""
+
+import numpy as np
+import pytest
+
+from repro.core.chip import ChipGeometry, DefectMap, Placement
+
+
+class TestGeometry:
+    def test_default_is_truenorth(self):
+        g = ChipGeometry()
+        assert g.cores_x == 64 and g.cores_y == 64
+        assert g.cores_per_chip == 4096
+
+
+class TestGridPlacement:
+    def test_row_major_single_chip(self):
+        p = Placement.grid(5, ChipGeometry(cores_x=2, cores_y=4))
+        assert p.x.tolist() == [0, 1, 0, 1, 0]
+        assert p.y.tolist() == [0, 0, 1, 1, 2]
+        assert p.n_chips == 1
+
+    def test_overflow_to_second_chip(self):
+        p = Placement.grid(10, ChipGeometry(cores_x=2, cores_y=4))
+        assert p.n_cores == 10
+        assert p.n_chips == 2
+        assert p.chip_x[8] == 1 and p.x[8] == 0 and p.y[8] == 0
+
+    def test_full_truenorth_chip(self):
+        p = Placement.grid(4096)
+        assert p.n_chips == 1
+        assert p.x.max() == 63 and p.y.max() == 63
+
+    def test_defects_are_skipped(self):
+        defects = DefectMap(frozenset({(0, 0, 0, 0), (0, 0, 1, 0)}))
+        p = Placement.grid(4, ChipGeometry(cores_x=2, cores_y=4), defects)
+        assert (p.x[0], p.y[0]) == (0, 1)  # first row skipped entirely
+        assert p.n_cores == 4
+
+    def test_too_many_defects_raises(self):
+        g = ChipGeometry(cores_x=2, cores_y=2)
+        slots = frozenset((cx, 0, x, y) for cx in range(64) for x in range(2) for y in range(2))
+        with pytest.raises(ValueError):
+            Placement.grid(4, g, DefectMap(slots))
+
+
+class TestHops:
+    def test_same_core_zero_hops(self):
+        p = Placement.compact(4)
+        assert p.hops_between(2, 2) == 0
+
+    def test_manhattan_distance(self):
+        p = Placement.grid(8, ChipGeometry(cores_x=4, cores_y=4))
+        # core0 at (0,0), core7 at (3,1): |3-0| + |1-0| = 4
+        assert p.hops_between(0, 7) == 4
+
+    def test_symmetric(self):
+        p = Placement.compact(9)
+        for a in range(9):
+            for b in range(9):
+                assert p.hops_between(a, b) == p.hops_between(b, a)
+
+    def test_cross_chip_hops_use_global_grid(self):
+        g = ChipGeometry(cores_x=2, cores_y=2)
+        p = Placement.grid(8, g)  # two 2x2 chips side by side
+        # core0 at chip0 (0,0) -> global (0,0); core4 at chip1 (0,0) -> global (2,0)
+        assert p.hops_between(0, 4) == 2
+        assert p.chip_crossings(0, 4) == 1
+
+    def test_vectorized_matches_scalar(self):
+        p = Placement.grid(12, ChipGeometry(cores_x=3, cores_y=3))
+        src = np.array([0, 3, 7])
+        dst = np.array([11, 2, 7])
+        hops = p.hop_matrix_for_targets(src, dst)
+        for k in range(3):
+            assert hops[k] == p.hops_between(int(src[k]), int(dst[k]))
+
+
+class TestCompactPlacement:
+    def test_near_square(self):
+        p = Placement.compact(10)
+        assert p.n_cores == 10
+        assert p.x.max() <= 3 and p.y.max() <= 3
+
+    def test_rejects_oversize(self):
+        with pytest.raises(ValueError):
+            Placement.compact(5000)
+
+
+class TestDefectMap:
+    def test_from_fraction_count(self):
+        g = ChipGeometry(cores_x=8, cores_y=8)
+        d = DefectMap.from_fraction(g, 0.25, seed=1)
+        assert len(d.defective) == 16
+
+    def test_is_defective(self):
+        d = DefectMap(frozenset({(0, 0, 3, 4)}))
+        assert d.is_defective(0, 0, 3, 4)
+        assert not d.is_defective(0, 0, 4, 3)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            DefectMap.from_fraction(ChipGeometry(), 1.5)

@@ -1,0 +1,152 @@
+"""Tests for the Compass software expression (repro.compass)."""
+
+import numpy as np
+import pytest
+
+from repro.compass.partition import (
+    partition,
+    partition_block,
+    partition_load_balanced,
+    partition_round_robin,
+    rank_loads,
+)
+from repro.compass.simmpi import SimMPI
+from repro.compass.simulator import CompassSimulator, run_compass
+from repro.core.builders import poisson_inputs, random_network
+from repro.core.kernel import run_kernel
+
+
+class TestSimMPI:
+    def test_local_delivery_is_free(self):
+        mpi = SimMPI(2)
+        mpi.send(0, 0, ("x",))
+        inboxes = mpi.exchange()
+        assert inboxes[0] == [("x",)]
+        assert mpi.messages_sent == 0
+
+    def test_aggregation_one_message_per_pair(self):
+        mpi = SimMPI(3)
+        for _ in range(10):
+            mpi.send(0, 1, ("e",))
+        mpi.send(0, 2, ("e",))
+        inboxes = mpi.exchange()
+        assert len(inboxes[1]) == 10 and len(inboxes[2]) == 1
+        assert mpi.messages_sent == 2  # aggregated
+        assert mpi.bytes_sent == 11 * 8
+
+    def test_two_step_sync(self):
+        mpi = SimMPI(8)
+        mpi.barrier_sync()
+        assert mpi.sync_steps == 2
+        assert mpi.sync_messages == 2 * 7
+
+    def test_outboxes_drain(self):
+        mpi = SimMPI(2)
+        mpi.send(0, 1, ("e",))
+        assert mpi.pending_events == 1
+        mpi.exchange()
+        assert mpi.pending_events == 0
+        assert mpi.exchange() == [[], []]
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            SimMPI(0)
+
+
+class TestPartition:
+    @pytest.fixture
+    def net(self):
+        return random_network(n_cores=10, seed=5)
+
+    def test_block_contiguous(self, net):
+        a = partition_block(net, 3)
+        assert (np.diff(a) >= 0).all()
+        assert set(a.tolist()) == {0, 1, 2}
+
+    def test_round_robin(self, net):
+        a = partition_round_robin(net, 4)
+        assert a.tolist() == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+    def test_load_balance_quality(self):
+        net = random_network(n_cores=16, connectivity=0.5, seed=2)
+        a = partition_load_balanced(net, 4)
+        loads = rank_loads(net, a, 4)
+        assert loads.max() - loads.min() <= max(c.n_synapses for c in net.cores)
+
+    def test_every_core_assigned(self, net):
+        for strategy in ("block", "round_robin", "load_balanced"):
+            a = partition(net, 3, strategy)
+            assert a.shape == (10,)
+            assert ((a >= 0) & (a < 3)).all()
+
+    def test_unknown_strategy(self, net):
+        with pytest.raises(ValueError):
+            partition(net, 2, "nope")
+
+    def test_more_ranks_than_cores(self, net):
+        a = partition(net, 32, "load_balanced")
+        assert ((a >= 0) & (a < 32)).all()
+
+
+class TestCompassEquivalence:
+    """Compass must be spike-for-spike identical to the reference kernel."""
+
+    @pytest.mark.parametrize("n_ranks", [1, 2, 5])
+    @pytest.mark.parametrize("stochastic", [False, True])
+    def test_matches_reference_kernel(self, n_ranks, stochastic):
+        net = random_network(
+            n_cores=5, n_axons=12, n_neurons=12, stochastic=stochastic, seed=21
+        )
+        ins = poisson_inputs(net, 25, 300.0, seed=9)
+        ref = run_kernel(net, 25, ins)
+        got = run_compass(net, 25, ins, n_ranks=n_ranks)
+        assert got.first_mismatch(ref) is None
+        assert got == ref
+
+    def test_partition_invariance(self):
+        net = random_network(n_cores=8, stochastic=True, seed=3)
+        ins = poisson_inputs(net, 20, 250.0, seed=1)
+        records = [
+            run_compass(net, 20, ins, n_ranks=r, partition_strategy=s)
+            for r, s in [(1, "block"), (3, "round_robin"), (8, "load_balanced")]
+        ]
+        assert records[0] == records[1] == records[2]
+
+    def test_counter_equivalence_with_kernel(self):
+        net = random_network(n_cores=4, seed=13)
+        ins = poisson_inputs(net, 15, 400.0, seed=2)
+        ref = run_kernel(net, 15, ins)
+        got = run_compass(net, 15, ins, n_ranks=2)
+        assert got.counters.synaptic_events == ref.counters.synaptic_events
+        assert got.counters.spikes == ref.counters.spikes
+        assert got.counters.deliveries == ref.counters.deliveries
+        assert got.counters.neuron_updates == ref.counters.neuron_updates
+        assert np.array_equal(
+            got.counters.synaptic_events_per_core, ref.counters.synaptic_events_per_core
+        )
+
+
+class TestCompassBehaviour:
+    def test_messages_counted_only_across_ranks(self):
+        net = random_network(n_cores=6, connectivity=0.5, seed=4)
+        ins = poisson_inputs(net, 10, 500.0, seed=3)
+        one = CompassSimulator(net, n_ranks=1)
+        one.run(10, ins)
+        assert one.counters.messages == 0  # everything is rank-local
+        many = CompassSimulator(net, n_ranks=6)
+        many.run(10, ins)
+        assert many.counters.messages > 0
+
+    def test_run_is_repeatable(self):
+        net = random_network(n_cores=3, stochastic=True, seed=8)
+        ins = poisson_inputs(net, 12, 350.0, seed=5)
+        assert run_compass(net, 12, ins) == run_compass(net, 12, ins)
+
+    def test_step_returns_current_tick_spikes(self):
+        net = random_network(n_cores=2, connectivity=0.8, seed=1)
+        ins = poisson_inputs(net, 5, 800.0, seed=1)
+        sim = CompassSimulator(net)
+        sim.load_inputs(ins)
+        for expected_tick in range(5):
+            for tick, _, _ in sim.step():
+                assert tick == expected_tick

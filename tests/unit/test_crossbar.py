@@ -1,0 +1,120 @@
+"""Tests for crossbar synaptic integration (repro.core.crossbar)."""
+
+import numpy as np
+
+from repro.core.crossbar import synaptic_input
+from repro.core.network import Core
+
+
+def make_core(crossbar, weights, axon_types=None, stoch=None):
+    n_axons, n_neurons = crossbar.shape
+    return Core.build(
+        n_axons=n_axons,
+        n_neurons=n_neurons,
+        crossbar=crossbar,
+        weights=weights,
+        axon_types=axon_types,
+        stoch_synapse=stoch,
+    )
+
+
+class TestDeterministicIntegration:
+    def test_no_active_axons(self):
+        core = make_core(np.ones((4, 4), dtype=bool), np.full((4, 4), 2))
+        syn, n = synaptic_input(core, np.array([], dtype=np.int64), 0, 0, 0)
+        assert n == 0 and np.array_equal(syn, np.zeros(4))
+
+    def test_single_axon_fanout(self):
+        xb = np.zeros((4, 4), dtype=bool)
+        xb[1, :] = [True, False, True, False]
+        core = make_core(xb, np.full((4, 4), 5))
+        syn, n = synaptic_input(core, np.array([1]), 0, 0, 0)
+        assert n == 2
+        assert syn.tolist() == [5, 0, 5, 0]
+
+    def test_event_count_is_sops(self):
+        # SOPS counts (active axon x programmed synapse) pairs only.
+        xb = np.zeros((4, 4), dtype=bool)
+        xb[0, 0] = xb[0, 1] = xb[2, 3] = True
+        core = make_core(xb, np.ones((4, 4), dtype=np.int64))
+        _, n = synaptic_input(core, np.array([0, 1, 2]), 0, 0, 0)
+        assert n == 3  # axon 1 has zero programmed synapses
+
+    def test_axon_types_select_weight(self):
+        xb = np.ones((2, 2), dtype=bool)
+        weights = np.array([[1, 10, 100, -100], [2, 20, 200, -200]])
+        core = make_core(xb, weights, axon_types=np.array([0, 2]))
+        syn, _ = synaptic_input(core, np.array([0, 1]), 0, 0, 0)
+        # neuron0: type0 w=1 + type2 w=100; neuron1: 2 + 200
+        assert syn.tolist() == [101, 202]
+
+    def test_inhibitory_weights(self):
+        xb = np.ones((2, 2), dtype=bool)
+        core = make_core(xb, np.full((2, 4), -3))
+        syn, _ = synaptic_input(core, np.array([0, 1]), 0, 0, 0)
+        assert syn.tolist() == [-6, -6]
+
+    def test_unprogrammed_synapse_contributes_nothing(self):
+        xb = np.zeros((2, 2), dtype=bool)
+        core = make_core(xb, np.full((2, 4), 99))
+        syn, n = synaptic_input(core, np.array([0, 1]), 0, 0, 0)
+        assert n == 0 and syn.tolist() == [0, 0]
+
+
+class TestStochasticIntegration:
+    def test_bernoulli_statistics(self):
+        n = 256
+        xb = np.ones((1, n), dtype=bool)
+        weights = np.full((n, 4), 64)  # P(contribution=1) = 64/256 = 0.25
+        core = make_core(xb, weights, stoch=np.ones((n, 4), dtype=bool))
+        total = 0
+        for tick in range(40):
+            syn, _ = synaptic_input(core, np.array([0]), 0, tick, 123)
+            assert set(np.unique(syn)).issubset({0, 1})
+            total += syn.sum()
+        mean = total / (40 * n)
+        assert 0.20 < mean < 0.30
+
+    def test_stochastic_sign_follows_weight(self):
+        n = 64
+        xb = np.ones((1, n), dtype=bool)
+        weights = np.full((n, 4), -128)
+        core = make_core(xb, weights, stoch=np.ones((n, 4), dtype=bool))
+        syn, _ = synaptic_input(core, np.array([0]), 0, 5, 7)
+        assert set(np.unique(syn)).issubset({-1, 0})
+        assert syn.sum() < 0  # P = 0.5, 64 trials: some must fire
+
+    def test_full_magnitude_always_contributes(self):
+        n = 16
+        xb = np.ones((1, n), dtype=bool)
+        weights = np.full((n, 4), -256)  # |w| = 256 > any u8 draw
+        core = make_core(xb, weights, stoch=np.ones((n, 4), dtype=bool))
+        syn, _ = synaptic_input(core, np.array([0]), 0, 0, 0)
+        assert np.array_equal(syn, np.full(n, -1))
+
+    def test_mixed_deterministic_and_stochastic(self):
+        xb = np.ones((1, 2), dtype=bool)
+        weights = np.array([[10, 0, 0, 0], [256 - 1, 0, 0, 0]])
+        stoch = np.array([[False] * 4, [True] * 4])
+        core = make_core(xb, weights, stoch=stoch)
+        syn, _ = synaptic_input(core, np.array([0]), 0, 0, 0)
+        assert syn[0] == 10  # deterministic neuron gets full weight
+        assert syn[1] in (0, 1)  # stochastic neuron gets a unit Bernoulli
+
+    def test_deterministic_repeatability(self):
+        n = 32
+        xb = np.ones((4, n), dtype=bool)
+        weights = np.full((n, 4), 100)
+        core = make_core(xb, weights, stoch=np.ones((n, 4), dtype=bool))
+        a = synaptic_input(core, np.array([0, 2]), 1, 9, 55)
+        b = synaptic_input(core, np.array([0, 2]), 1, 9, 55)
+        assert np.array_equal(a[0], b[0]) and a[1] == b[1]
+
+    def test_draws_differ_across_axons(self):
+        n = 128
+        xb = np.ones((2, n), dtype=bool)
+        weights = np.full((n, 4), 128)
+        core = make_core(xb, weights, stoch=np.ones((n, 4), dtype=bool))
+        a, _ = synaptic_input(core, np.array([0]), 0, 0, 0)
+        b, _ = synaptic_input(core, np.array([1]), 0, 0, 0)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,74 @@
+"""Tests for the defect-yield and multichip-scaling experiments."""
+
+import pytest
+
+from repro.apps.workloads import ANCHOR_A, ANCHOR_C
+from repro.experiments.defects import defect_sweep, defect_trial
+from repro.experiments.multichip import (
+    array_sweep,
+    full_scale_link_load,
+    measure_boundary_traffic,
+)
+
+
+class TestDefectStudy:
+    def test_zero_defects_identical(self):
+        point = defect_trial(0.0, n_cores=9, n_ticks=15, seed=1)
+        assert point.functional_match
+        assert point.hop_overhead == 0.0
+
+    def test_function_survives_defects(self):
+        # The central claim: dead routers never change the computation.
+        point = defect_trial(0.15, n_cores=9, n_ticks=15, seed=2)
+        assert point.functional_match
+        assert point.n_disabled_routers > 0
+
+    def test_hop_overhead_grows_with_defects(self):
+        sweep = defect_sweep(fractions=(0.0, 0.2), n_cores=9, n_ticks=15)
+        assert all(p.functional_match for p in sweep)
+        assert sweep[-1].defective_hops >= sweep[0].baseline_hops
+
+    def test_energy_overhead_tracks_hops(self):
+        point = defect_trial(0.2, n_cores=9, n_ticks=15, seed=4)
+        from repro.hardware.energy import E_HOP_J
+
+        expected = (point.defective_hops - point.baseline_hops) * E_HOP_J
+        assert point.energy_overhead_j == pytest.approx(expected)
+
+
+class TestMultichipScaling:
+    def test_single_chip_never_crosses(self):
+        point = measure_boundary_traffic(1, 1, n_packets=100)
+        assert point.boundary_crossings == 0
+        assert point.crossing_fraction == 0.0
+
+    def test_crossing_fraction_grows_with_array(self):
+        p2 = measure_boundary_traffic(2, 1, n_packets=300, seed=1)
+        p4 = measure_boundary_traffic(4, 1, n_packets=300, seed=1)
+        assert p2.boundary_crossings > 0
+        assert p4.crossing_fraction > p2.crossing_fraction
+
+    def test_sweep_covers_paper_boards(self):
+        points = array_sweep(n_packets=150)
+        sizes = {(p.chips_x, p.chips_y) for p in points}
+        assert (4, 1) in sizes and (4, 4) in sizes  # the paper's boards
+
+    def test_link_utilization_reported(self):
+        point = measure_boundary_traffic(2, 2, n_packets=400, link_capacity=200, seed=2)
+        assert 0.0 < point.peak_link_utilization <= 1.0
+
+    def test_locality_argument(self):
+        # The paper's bandwidth story, quantified: fully-uniform global
+        # traffic at the heavy operating point saturates the shared
+        # boundary links, while the moderate point and cortex-like
+        # clustered traffic (5% long-range) leave ample margin.
+        assert not full_scale_link_load(ANCHOR_A, 4, 4)["saturated"]
+        assert full_scale_link_load(ANCHOR_C, 4, 4)["saturated"]
+        local = full_scale_link_load(ANCHOR_C, 4, 4, long_range_fraction=0.05)
+        assert not local["saturated"]
+        assert local["link_utilization"] < 0.5
+
+    def test_heavier_traffic_loads_links_more(self):
+        light = full_scale_link_load(ANCHOR_A, 4, 4)
+        heavy = full_scale_link_load(ANCHOR_C, 4, 4)
+        assert heavy["per_link_load_per_tick"] > light["per_link_load_per_tick"]

@@ -1,0 +1,222 @@
+"""Edge-case tests: delay-buffer wraparound, merges, horizons, reuse."""
+
+import numpy as np
+import pytest
+
+from repro.compass.simulator import run_compass
+from repro.core import params
+from repro.core.builders import poisson_inputs, random_network
+from repro.core.inputs import InputSchedule
+from repro.core.kernel import run_kernel
+from repro.core.network import OUTPUT_TARGET, Core, Network
+from repro.hardware.simulator import TrueNorthSimulator, run_truenorth
+
+ALL_RUNNERS = [
+    ("kernel", run_kernel),
+    ("compass", lambda n, t, i=None: run_compass(n, t, i, n_ranks=2)),
+    ("truenorth", run_truenorth),
+]
+
+
+def relay_net(delays, n=4, threshold=1):
+    """Single recurrent core: axon i -> neuron i -> axon i with delay[i]."""
+    core = Core.build(
+        n_axons=n, n_neurons=n,
+        crossbar=np.eye(n, dtype=bool),
+        threshold=threshold,
+        target_core=0,
+        target_axon=np.arange(n),
+        delay=delays,
+    )
+    return Network(cores=[core], seed=1)
+
+
+class TestDelayBufferWraparound:
+    @pytest.mark.parametrize("runner_name,runner", ALL_RUNNERS)
+    def test_max_delay_15_cycles_exactly(self, runner_name, runner):
+        net = relay_net(np.full(4, 15))
+        ins = InputSchedule.from_events([(0, 0, 2)])
+        rec = runner(net, 61, ins)
+        fired = [t for t, c, n in rec.as_tuples() if n == 2]
+        assert fired == [0, 15, 30, 45, 60], runner_name
+
+    @pytest.mark.parametrize("runner_name,runner", ALL_RUNNERS)
+    def test_mixed_delays_on_one_core(self, runner_name, runner):
+        delays = np.array([1, 5, 15, 7])
+        net = relay_net(delays)
+        ins = InputSchedule.from_events([(0, 0, i) for i in range(4)])
+        rec = runner(net, 31, ins)
+        for i, d in enumerate(delays):
+            fired = [t for t, c, n in rec.as_tuples() if n == i]
+            assert fired == list(range(0, 31, int(d))), (runner_name, i)
+
+    def test_delays_1_and_15_to_same_axon_are_distinct_events(self):
+        # neuron 0 (delay 1) and neuron 1 (delay 15) both target axon 2;
+        # one source spike each must yield two separate deliveries.
+        core = Core.build(
+            n_axons=4, n_neurons=4,
+            crossbar=np.eye(4, dtype=bool),
+            threshold=1,
+            target_core=0,
+            target_axon=np.array([2, 2, 0, 0]),
+            delay=np.array([1, 15, 1, 1]),
+        )
+        core.target_core[2] = OUTPUT_TARGET
+        core.target_core[3] = OUTPUT_TARGET
+        net = Network(cores=[core], seed=0)
+        ins = InputSchedule.from_events([(0, 0, 0), (0, 0, 1)])
+        rec = run_kernel(net, 20, ins)
+        fired2 = [t for t, c, n in rec.as_tuples() if n == 2]
+        assert fired2 == [1, 15]
+
+
+class TestAxonMerge:
+    @pytest.mark.parametrize("runner_name,runner", ALL_RUNNERS)
+    def test_simultaneous_arrivals_merge(self, runner_name, runner):
+        # Two neurons fire at t=0, both target core 1 axon 0 with delay 1:
+        # a single synaptic event at t=1.
+        c0 = Core.build(
+            n_axons=2, n_neurons=2, crossbar=np.eye(2, dtype=bool),
+            threshold=1, target_core=1, target_axon=0, delay=1,
+        )
+        xb = np.zeros((2, 2), dtype=bool)
+        xb[0, 0] = True
+        c1 = Core.build(n_axons=2, n_neurons=2, crossbar=xb, threshold=1)
+        net = Network(cores=[c0, c1], seed=0)
+        ins = InputSchedule.from_events([(0, 0, 0), (0, 0, 1)])
+        rec = runner(net, 3, ins)
+        # core1 neuron0 received weight 1 (merged), fired once
+        assert (1, 1, 0) in rec.as_tuples(), runner_name
+        assert rec.counters.synaptic_events_per_core[1] == 1, runner_name
+
+    @pytest.mark.parametrize("runner_name,runner", ALL_RUNNERS)
+    def test_staggered_arrivals_do_not_merge(self, runner_name, runner):
+        # Same two senders with delays 1 and 2: two separate events.
+        c0 = Core.build(
+            n_axons=2, n_neurons=2, crossbar=np.eye(2, dtype=bool),
+            threshold=1, target_core=1, target_axon=0,
+            delay=np.array([1, 2]),
+        )
+        xb = np.zeros((2, 2), dtype=bool)
+        xb[0, 0] = True
+        c1 = Core.build(n_axons=2, n_neurons=2, crossbar=xb, threshold=1)
+        net = Network(cores=[c0, c1], seed=0)
+        ins = InputSchedule.from_events([(0, 0, 0), (0, 0, 1)])
+        rec = runner(net, 4, ins)
+        assert rec.counters.synaptic_events_per_core[1] == 2, runner_name
+
+
+class TestHorizons:
+    def test_zero_tick_run(self):
+        net = random_network(n_cores=2, seed=1)
+        rec = run_truenorth(net, 0)
+        assert rec.n_spikes == 0 and rec.counters.ticks == 0
+
+    @pytest.mark.parametrize("runner_name,runner", ALL_RUNNERS)
+    def test_inputs_beyond_horizon_ignored(self, runner_name, runner):
+        net = relay_net(np.full(4, 1))
+        ins = InputSchedule.from_events([(2, 0, 0), (50, 0, 1)])
+        rec = runner(net, 10, ins)
+        neurons = set(rec.neurons.tolist())
+        assert 0 in neurons and 1 not in neurons, runner_name
+
+    def test_spikes_scheduled_past_horizon_are_dropped(self):
+        # a spike at t=8 with delay 15 schedules delivery at t=23 > 10:
+        # run ends cleanly with no delivery
+        net = relay_net(np.full(4, 15))
+        ins = InputSchedule.from_events([(8, 0, 0)])
+        rec = run_kernel(net, 10, ins)
+        assert [t for t, _, n in rec.as_tuples() if n == 0] == [8]
+
+
+class TestSimulatorReuse:
+    def test_continued_stepping_extends_run(self):
+        net = random_network(n_cores=3, stochastic=True, seed=5)
+        ins = poisson_inputs(net, 30, 300.0, seed=2)
+        one_shot = run_truenorth(net, 30, ins)
+
+        sim = TrueNorthSimulator(net)
+        sim.load_inputs(ins)
+        events = []
+        for _ in range(10):
+            events.extend(sim.step())
+        for _ in range(20):
+            events.extend(sim.step())
+        from repro.core.record import SpikeRecord
+
+        assert SpikeRecord.from_events(events) == one_shot
+
+    def test_compass_more_ranks_than_cores(self):
+        net = random_network(n_cores=2, seed=4)
+        ins = poisson_inputs(net, 10, 400.0, seed=1)
+        assert run_compass(net, 10, ins, n_ranks=16) == run_kernel(net, 10, ins)
+
+
+class TestSaturationCorners:
+    @pytest.mark.parametrize("runner_name,runner", ALL_RUNNERS)
+    def test_saturated_membrane_still_fires(self, runner_name, runner):
+        # huge positive weights push V to MEMBRANE_MAX; threshold at the
+        # architectural max is still reachable (MAX > THRESHOLD_MAX)
+        core = Core.build(
+            n_axons=1, n_neurons=1,
+            crossbar=np.ones((1, 1), dtype=bool),
+            weights=np.full((1, 4), params.WEIGHT_MAX),
+            threshold=params.THRESHOLD_MAX,
+        )
+        net = Network(cores=[core], seed=0)
+        # hammer the axon every tick: V climbs by 255/tick, saturating
+        ins = InputSchedule.from_events([(t, 0, 0) for t in range(2100)])
+        rec = runner(net, 2100, ins)
+        assert rec.n_spikes >= 1, runner_name
+
+    def test_negative_saturation_respects_floor_modes(self):
+        core = Core.build(
+            n_axons=1, n_neurons=2,
+            crossbar=np.ones((1, 2), dtype=bool),
+            weights=np.full((2, 4), params.WEIGHT_MIN),
+            threshold=params.THRESHOLD_MAX,
+            neg_threshold=np.array([100, 100]),
+            neg_floor_mode=np.array([params.NEG_FLOOR_SATURATE, params.NEG_FLOOR_RESET]),
+            reset_value=np.array([5, 5]),
+        )
+        net = Network(cores=[core], seed=0)
+        ins = InputSchedule.from_events([(0, 0, 0)])
+        run_kernel(net, 1, ins)
+        kernel_membranes = []
+        from repro.core.kernel import ReferenceKernel
+
+        k = ReferenceKernel(net)
+        k.inject(ins)
+        k.step()
+        assert k.membranes[0][0] == -100  # saturate at -beta
+        assert k.membranes[0][1] == -5  # reset to -R
+
+    def test_linear_reset_with_stochastic_threshold(self):
+        # RESET_LINEAR must subtract the *drawn* theta, not alpha: the
+        # residue equals V - theta, identical across expressions.
+        core = Core.build(
+            n_axons=1, n_neurons=8,
+            crossbar=np.ones((1, 8), dtype=bool),
+            weights=np.full((8, 4), 200),
+            threshold=50,
+            threshold_mask=63,
+            reset_mode=params.RESET_LINEAR,
+        )
+        net = Network(cores=[core], seed=9)
+        ins = InputSchedule.from_events([(t, 0, 0) for t in range(6)])
+        ref = run_kernel(net, 6, ins)
+        assert run_compass(net, 6, ins, n_ranks=1) == ref
+        assert run_truenorth(net, 6, ins) == ref
+        assert ref.n_spikes > 0
+
+
+class TestFullSizeCore:
+    def test_256x256_core_equivalence(self):
+        net = random_network(
+            n_cores=1, n_axons=256, n_neurons=256, connectivity=0.1,
+            stochastic=True, seed=44,
+        )
+        ins = poisson_inputs(net, 6, 100.0, seed=3)
+        ref = run_kernel(net, 6, ins)
+        assert run_compass(net, 6, ins, n_ranks=1) == ref
+        assert run_truenorth(net, 6, ins) == ref

@@ -1,0 +1,171 @@
+"""Tests for the experiment drivers (repro.experiments).
+
+Each test asserts the *shape* properties the paper reports: who wins,
+by roughly what factor, where the extremes sit.
+"""
+
+import pytest
+
+from repro.experiments import equivalence, fig5, fig6, fig7, fig8, future_systems
+
+
+class TestFig5:
+    def test_fig5a_gsops_grows_with_both_axes(self):
+        g = fig5.fig5a_gsops(n=5)
+        assert g.monotone_rows() and g.monotone_cols()
+        assert g.corner(True, True) == pytest.approx(200 * 256 * 2**20 / 1e9)
+
+    def test_fig5b_frequency_decreases_with_load(self):
+        g = fig5.fig5b_max_frequency(n=5)
+        assert g.monotone_rows(increasing=False)
+        assert g.monotone_cols(increasing=False)
+        assert 6.0 <= g.corner(False, False) <= 7.0  # light-load ceiling
+        assert 1.0 <= g.corner(True, True) <= 4.0  # heavy corner slows down
+
+    def test_fig5c_frequency_increases_with_voltage(self):
+        g = fig5.fig5c_frequency_vs_voltage(n=5)
+        assert g.monotone_rows(increasing=True)  # rows are voltages
+        assert g.monotone_cols(increasing=False)
+
+    def test_fig5d_energy_monotone(self):
+        g = fig5.fig5d_energy_per_tick(n=5)
+        assert g.monotone_rows() and g.monotone_cols()
+        # light corner: passive + neuron floor ~ 53 uJ
+        assert 40 <= g.corner(False, False) <= 60
+
+    def test_fig5e_efficiency_peaks_upper_right(self):
+        g = fig5.fig5e_efficiency(n=5)
+        assert g.values.argmax() == g.values.size - 1
+        assert g.corner(True, True) > 400  # paper: exceeds 400 GSOPS/W
+
+    def test_fig5f_efficiency_drops_with_voltage(self):
+        g = fig5.fig5f_efficiency_vs_voltage(n=5)
+        assert g.monotone_rows(increasing=False)  # rows are voltages
+
+    def test_headline_points(self):
+        h = fig5.headline_points()
+        assert 50 <= h["power_mw_20hz_128syn"] <= 70  # paper: 65 mW
+        assert 43 <= h["gsops_per_watt_real_time"] <= 50  # paper: 46
+        assert 76 <= h["gsops_per_watt_5x"] <= 86  # paper: 81
+        assert h["gsops_per_watt_200hz_256syn"] > 400
+        assert h["power_density_mw_per_cm2"] < 50  # paper: ~20 mW/cm^2
+
+    def test_empirical_validation_agrees_with_model(self):
+        result = fig5.empirical_validation(
+            rate_hz=100.0, active_synapses=8, grid_side=3,
+            neurons_per_core=32, n_ticks=150,
+        )
+        assert result["measured_syn_events_per_tick"] == pytest.approx(
+            result["analytic_syn_events_per_tick"], rel=0.15
+        )
+        assert result["measured_rate_hz"] == pytest.approx(
+            result["target_rate_hz"], rel=0.15
+        )
+        assert result["measured_energy_per_tick_j"] > 0
+
+
+class TestFig6:
+    def test_panel_bands(self):
+        s = fig6.fig6_summary()
+        # (a) ~1 order vs BG/Q
+        assert 1.0 <= s["speedup_bgq"]["orders_min"] <= 2.0
+        # (b,d) ~5 orders energy
+        assert 5.0 <= s["energy_bgq"]["orders_min"] <= 6.0
+        assert 5.0 <= s["energy_x86"]["orders_min"] <= 6.0
+        # (c) 2-3 orders vs x86
+        assert 1.5 <= s["speedup_x86"]["orders_min"]
+        assert s["speedup_x86"]["orders_max"] <= 3.2
+
+    def test_speedup_grows_with_load(self):
+        g = fig6.fig6c_speedup_vs_x86()
+        assert g.monotone_rows() and g.monotone_cols()
+
+
+class TestFig7:
+    def test_points_cover_all_apps_and_platforms(self):
+        points = fig7.fig7_points()
+        assert len(points) == 10
+        assert {p.platform for p in points} == {"BG/Q", "x86"}
+
+    def test_energy_improvement_over_1e5(self):
+        # Paper: "TrueNorth uses over five orders of magnitude less
+        # energy per time step than Compass" on all five apps.
+        bars = fig7.fig7b_energy_bars()
+        assert min(bars.values()) > 1e5
+
+    def test_speedup_orders(self):
+        s = fig7.fig7_summary()
+        assert s["bgq_speedup_range"][0] >= 5  # ~1 order vs BG/Q
+        assert s["x86_speedup_range"][0] >= 20  # ~2 orders vs x86
+
+    def test_power_improvement_orders(self):
+        # "consumes four and three orders of magnitude less power"
+        s = fig7.fig7_summary()
+        assert 1e4 <= s["bgq_power_range"][0]
+        assert 1e3 <= s["x86_power_range"][0] <= 1e4
+
+
+class TestFig8:
+    def test_best_point_about_12x_slower(self):
+        s = fig8.fig8_summary()
+        assert 8 <= s["best_slowdown_vs_real_time"] <= 16
+        assert s["best_hosts"] == 32 and s["best_threads"] == 64
+
+    def test_single_host_most_efficient(self):
+        s = fig8.fig8_summary()
+        assert s["most_efficient_hosts"] == 1
+
+    def test_x86_reference_present(self):
+        points = fig8.fig8_x86_points()
+        assert [p.threads for p in points] == [4, 6, 8, 12]
+
+
+class TestEquivalence:
+    def test_single_core_regressions_all_match(self):
+        report = equivalence.single_core_regressions(n_networks=4, n_ticks=20)
+        assert report.all_matched
+        assert report.n_regressions == 8
+        assert report.total_spikes_compared > 0
+
+    def test_multi_core_regressions_all_match(self):
+        report = equivalence.multi_core_regressions(n_networks=2, n_ticks=25)
+        assert report.all_matched
+
+    def test_recurrent_regressions_all_match(self):
+        report = equivalence.recurrent_network_regressions(n_ticks=40)
+        assert report.all_matched
+
+    def test_wall_clock_projection(self):
+        wc = equivalence.regression_wall_clock()
+        assert wc["truenorth_hours"] == pytest.approx(27.8, abs=0.2)
+        assert 55 <= wc["x86_legacy_days"] <= 95  # paper: 74 days
+
+
+class TestFutureSystems:
+    def test_board_capacity(self):
+        board = future_systems.BoardModel()
+        assert board.n_neurons == 16 * 2**20
+        assert board.n_synapses == 4 * 2**30
+
+    def test_board_power_matches_measurement(self):
+        # Paper: 7.2 W total = 2.5 W array + 4.7 W support.
+        board = future_systems.BoardModel()
+        assert board.array_power_w() == pytest.approx(2.5, rel=0.25)
+        assert board.total_power_w() == pytest.approx(7.2, rel=0.15)
+
+    def test_rat_scale_ratio(self):
+        assert future_systems.rat_scale_energy_ratio() == pytest.approx(6400, rel=0.01)
+
+    def test_human1pct_ratio(self):
+        assert future_systems.human1pct_energy_ratio() == pytest.approx(128_000, rel=0.01)
+
+    def test_human_scale_100_trillion_synapses(self):
+        h = future_systems.human_scale_system()
+        assert h["n_synapses"] >= 1e14  # "100 trillion synapses"
+        assert h["power_w"] == 96 * 4000
+
+    def test_tier_table(self):
+        rows = future_systems.tier_table()
+        assert any(r["tier"] == "rack" and r["chips"] == 4096 for r in rows)
+        # every tier beats 1e6 synapses/W by far
+        assert all(r["synapses_per_watt"] > 1e6 for r in rows)

@@ -1,0 +1,104 @@
+"""Tests for the sparse-matrix FastCompass simulator."""
+
+import numpy as np
+import pytest
+
+from repro.compass.fast import FastCompassSimulator, run_fast_compass
+from repro.compass.simulator import run_compass
+from repro.core.builders import poisson_inputs, random_network
+from repro.core.kernel import run_kernel
+
+
+class TestFastCompassEquivalence:
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_matches_reference_kernel(self, seed):
+        net = random_network(
+            n_cores=5, n_axons=12, n_neurons=12, connectivity=0.4,
+            stochastic=False, seed=seed,
+        )
+        ins = poisson_inputs(net, 25, 350.0, seed=seed + 100)
+        ref = run_kernel(net, 25, ins)
+        got = run_fast_compass(net, 25, ins)
+        assert got.first_mismatch(ref) is None
+        assert got == ref
+
+    def test_counters_match_standard_compass(self):
+        net = random_network(n_cores=4, connectivity=0.5, seed=11)
+        ins = poisson_inputs(net, 20, 400.0, seed=5)
+        std = run_compass(net, 20, ins)
+        fast = run_fast_compass(net, 20, ins)
+        assert fast == std
+        for field in ("synaptic_events", "spikes", "deliveries",
+                      "neuron_updates", "max_core_events_per_tick"):
+            assert getattr(fast.counters, field) == getattr(std.counters, field), field
+        assert np.array_equal(
+            fast.counters.synaptic_events_per_core,
+            std.counters.synaptic_events_per_core,
+        )
+
+    def test_rejects_stochastic_networks(self):
+        net = random_network(n_cores=2, stochastic=True, seed=3)
+        with pytest.raises(ValueError, match="stochastic"):
+            FastCompassSimulator(net)
+
+    def test_mixed_core_sizes(self):
+        from repro.core.network import Core, Network
+
+        big = Core.build(
+            n_axons=16, n_neurons=16,
+            crossbar=np.eye(16, dtype=bool), threshold=1,
+            target_core=1, target_axon=np.arange(16) % 4, delay=2,
+        )
+        small = Core.build(
+            n_axons=4, n_neurons=4,
+            crossbar=np.ones((4, 4), dtype=bool), threshold=2,
+        )
+        net = Network(cores=[big, small], seed=2)
+        ins = poisson_inputs(net, 15, 300.0, seed=1, cores=[0])
+        ref = run_kernel(net, 15, ins)
+        assert run_fast_compass(net, 15, ins) == ref
+
+    def test_vision_pipeline_on_fast_compass(self):
+        # Compiled corelet networks are deterministic: FastCompass runs
+        # them unchanged.
+        from repro.apps.haar import build_haar_pipeline
+        from repro.apps.transduction import transduce_video
+        from repro.apps.video import static_pattern
+
+        pipe = build_haar_pipeline(8, 8, 4)
+        frames = static_pattern(8, 8, "noise", seed=5)[None]
+        ins = transduce_video(frames, pipe.pixel_pins, ticks_per_frame=10)
+        ref = run_compass(pipe.compiled.network, 12, ins)
+        assert run_fast_compass(pipe.compiled.network, 12, ins) == ref
+
+    def test_empty_network_edge(self):
+        from repro.core.network import Core, Network
+
+        core = Core.build(n_axons=2, n_neurons=2)  # no synapses at all
+        net = Network(cores=[core], seed=0)
+        rec = run_fast_compass(net, 5)
+        assert rec.n_spikes == 0
+        assert rec.counters.neuron_updates == 10
+
+
+class TestFastCompassPerformance:
+    def test_faster_than_standard_on_many_cores(self):
+        import time
+
+        net = random_network(
+            n_cores=40, n_axons=32, n_neurons=32, connectivity=0.3, seed=6
+        )
+        ins = poisson_inputs(net, 10, 300.0, seed=2)
+
+        start = time.perf_counter()
+        std = run_compass(net, 10, ins)
+        t_std = time.perf_counter() - start
+
+        start = time.perf_counter()
+        fast = run_fast_compass(net, 10, ins)
+        t_fast = time.perf_counter() - start
+
+        assert fast == std
+        # flat execution removes the per-core Python loop; allow slack
+        # for timer noise but expect a clear win
+        assert t_fast < t_std

@@ -1,0 +1,89 @@
+"""Tests for the optical-flow and audio applications."""
+
+import numpy as np
+import pytest
+
+from repro.apps.audio import (
+    AUDIO_CLASSES,
+    AudioClassifier,
+    cochlea_filterbank,
+    synth_event,
+)
+from repro.apps.optical_flow import build_flow_pipeline, estimate_flow
+
+
+class TestOpticalFlow:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        return build_flow_pipeline(8, velocities=(1, 2, 4))
+
+    @pytest.mark.parametrize("velocity", [1, 2, 4])
+    def test_velocity_tuning(self, pipeline, velocity):
+        _, flow = estimate_flow(pipeline, velocity=velocity, direction=+1)
+        assert flow == ("+x", velocity)
+
+    def test_direction_selectivity(self, pipeline):
+        _, flow = estimate_flow(pipeline, velocity=2, direction=-1)
+        assert flow == ("-x", 2)
+
+    def test_energy_map_covers_all_banks(self, pipeline):
+        rec, _ = estimate_flow(pipeline, velocity=2, direction=+1)
+        energies = pipeline.direction_energies(rec)
+        assert set(energies) == {
+            (d, v) for d in ("+x", "-x") for v in (1, 2, 4)
+        }
+        # the matched bank dominates all others
+        matched = energies[("+x", 2)]
+        assert matched > max(v for k, v in energies.items() if k != ("+x", 2))
+
+    def test_untuned_velocity_weak(self, pipeline):
+        # stimulus at v=3 matches no bank exactly: no bank should show
+        # the strong response a matched stimulus produces
+        rec, _ = estimate_flow(pipeline, velocity=3, direction=+1)
+        energies = pipeline.direction_energies(rec)
+        rec2, _ = estimate_flow(pipeline, velocity=2, direction=+1)
+        matched = pipeline.direction_energies(rec2)[("+x", 2)]
+        assert max(energies.values()) < matched
+
+
+class TestCochlea:
+    def test_filterbank_shape_and_range(self):
+        e = cochlea_filterbank(synth_event("steady", seed=1))
+        assert e.shape == (10, 8)
+        assert 0.0 <= e.min() and e.max() <= 1.0
+
+    def test_chirps_move_through_bands(self):
+        e = cochlea_filterbank(synth_event("rising", seed=1))
+        # energy centroid moves to higher bands over time
+        bands = np.arange(8)
+        first = (e[0] * bands).sum() / e[0].sum()
+        last = (e[-1] * bands).sum() / max(e[-1].sum(), 1e-9)
+        assert last > first
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ValueError):
+            synth_event("whistle")
+
+
+class TestAudioClassifier:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        clf = AudioClassifier(seed=1)
+        clf.train(n_per_class=16)
+        return clf
+
+    def test_weights_are_ternary(self, trained):
+        assert set(np.unique(trained.weights)).issubset({-1, 0, 1})
+
+    def test_accuracy_above_chance(self, trained):
+        acc = trained.accuracy(n_per_class=5)
+        assert acc > 0.6  # chance is 1/3
+
+    def test_classify_returns_known_label(self, trained):
+        label = trained.classify(synth_event("rising", seed=321))
+        assert label in AUDIO_CLASSES
+
+    def test_untrained_rejects(self):
+        clf = AudioClassifier(seed=2)
+        with pytest.raises(ValueError):
+            clf.classify(synth_event("steady"))

@@ -1,0 +1,165 @@
+"""Tests for AER streams, model files, and checkpoints (repro.io)."""
+
+import numpy as np
+import pytest
+
+from repro.compass.simulator import CompassSimulator
+from repro.core.builders import poisson_inputs, random_network
+from repro.core.inputs import InputSchedule
+from repro.core.record import SpikeRecord
+from repro.hardware.simulator import TrueNorthSimulator, run_truenorth
+from repro.io.aer import (
+    AERStream,
+    aer_from_schedule,
+    decode_aer,
+    encode_aer,
+    read_aer_file,
+    record_to_aer,
+    schedule_from_aer,
+    write_aer_file,
+)
+from repro.io.checkpoint import Checkpoint, restore_simulator, snapshot_simulator
+from repro.io.model_files import load_network, save_network
+
+
+class TestAER:
+    def test_roundtrip(self):
+        stream = AERStream.from_events([(3, 1, 7), (0, 0, 2), (3, 1, 6)])
+        again = decode_aer(encode_aer(stream))
+        assert again == stream
+        assert again.n_events == 3
+
+    def test_empty_stream(self):
+        s = decode_aer(encode_aer(AERStream()))
+        assert s.n_events == 0
+
+    def test_file_roundtrip(self, tmp_path):
+        stream = AERStream.from_events([(5, 2, 9), (1, 0, 0)])
+        path = tmp_path / "spikes.aer"
+        write_aer_file(path, stream)
+        assert read_aer_file(path) == stream
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            decode_aer(b"NOPE" + b"\x00" * 16)
+
+    def test_truncated_rejected(self):
+        data = encode_aer(AERStream.from_events([(1, 1, 1)]))
+        with pytest.raises(ValueError):
+            decode_aer(data[:-4])
+
+    def test_window_and_shift(self):
+        stream = AERStream.from_events([(0, 0, 0), (5, 0, 1), (9, 0, 2)])
+        assert stream.window(1, 9).as_tuples() == [(5, 0, 1)]
+        shifted = stream.shifted(10)
+        assert shifted.as_tuples()[0] == (10, 0, 0)
+        with pytest.raises(ValueError):
+            stream.shifted(-1)
+
+    def test_merge_ordered(self):
+        a = AERStream.from_events([(0, 0, 0), (4, 0, 0)])
+        b = AERStream.from_events([(2, 1, 1)])
+        merged = a.merge(b)
+        assert merged.as_tuples() == [(0, 0, 0), (2, 1, 1), (4, 0, 0)]
+
+    def test_schedule_conversions(self):
+        ins = InputSchedule.from_events([(0, 0, 1), (2, 1, 3)])
+        stream = aer_from_schedule(ins)
+        back = schedule_from_aer(stream)
+        assert list(back) == list(ins)
+
+    def test_record_capture_and_replay(self):
+        # Capture one network's output as AER, replay it as another
+        # network's input — the chip-to-chip streaming pattern.
+        net = random_network(n_cores=2, connectivity=0.5, seed=3)
+        ins = poisson_inputs(net, 10, 500.0, seed=1)
+        rec = run_truenorth(net, 10, ins)
+        out_stream = record_to_aer(rec)
+        assert out_stream.n_events == rec.n_spikes
+        replay = schedule_from_aer(out_stream.window(0, 10))
+        assert replay.n_events <= out_stream.n_events
+
+
+class TestModelFiles:
+    def test_roundtrip_behaviour(self, tmp_path):
+        net = random_network(n_cores=3, stochastic=True, seed=11)
+        path = tmp_path / "model.npz"
+        save_network(path, net)
+        loaded = load_network(path)
+        assert loaded.n_cores == 3 and loaded.seed == net.seed
+        ins = poisson_inputs(net, 15, 300.0, seed=2)
+        assert run_truenorth(net, 15, ins) == run_truenorth(loaded, 15, ins)
+
+    def test_core_names_preserved(self, tmp_path):
+        net = random_network(n_cores=2, seed=1)
+        net.cores[0].name = "alpha"
+        path = tmp_path / "m.npz"
+        save_network(path, net)
+        assert load_network(path).cores[0].name == "alpha"
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, junk=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_network(path)
+
+    def test_invalid_network_not_saved(self, tmp_path):
+        from repro.core.network import Core, Network
+
+        bad = Network(cores=[Core.build(n_axons=2, n_neurons=2, target_core=9)])
+        with pytest.raises(ValueError):
+            save_network(tmp_path / "bad.npz", bad)
+
+
+class TestCheckpoint:
+    @pytest.mark.parametrize("sim_cls", [TrueNorthSimulator, CompassSimulator])
+    def test_resume_is_bit_exact(self, sim_cls):
+        net = random_network(n_cores=3, stochastic=True, seed=21)
+        ins = poisson_inputs(net, 30, 300.0, seed=5)
+
+        full_sim = sim_cls(net)
+        full_sim.load_inputs(ins)
+        full_events = []
+        for _ in range(30):
+            full_events.extend(full_sim.step())
+
+        first = sim_cls(net)
+        first.load_inputs(ins)
+        part_events = []
+        for _ in range(12):
+            part_events.extend(first.step())
+        ckpt = snapshot_simulator(first)
+
+        resumed = sim_cls(net)
+        restore_simulator(resumed, ckpt)
+        for _ in range(18):
+            part_events.extend(resumed.step())
+
+        assert SpikeRecord.from_events(part_events) == SpikeRecord.from_events(full_events)
+
+    def test_checkpoint_serialization(self):
+        net = random_network(n_cores=2, seed=3)
+        sim = TrueNorthSimulator(net)
+        sim.load_inputs(poisson_inputs(net, 10, 400.0, seed=1))
+        for _ in range(5):
+            sim.step()
+        ckpt = snapshot_simulator(sim)
+        again = Checkpoint.from_bytes(ckpt.to_bytes())
+        assert again.tick == ckpt.tick
+        assert all(
+            np.array_equal(a, b) for a, b in zip(again.membranes, ckpt.membranes)
+        )
+
+    def test_core_count_mismatch_rejected(self):
+        a = random_network(n_cores=2, seed=1)
+        b = random_network(n_cores=3, seed=1)
+        ckpt = snapshot_simulator(TrueNorthSimulator(a))
+        with pytest.raises(ValueError):
+            restore_simulator(TrueNorthSimulator(b), ckpt)
+
+    def test_snapshot_is_deep(self):
+        net = random_network(n_cores=1, seed=2)
+        sim = TrueNorthSimulator(net)
+        ckpt = snapshot_simulator(sim)
+        sim.membranes[0][:] = 999
+        assert not np.array_equal(sim.membranes[0], ckpt.membranes[0])

@@ -1,0 +1,178 @@
+"""Tests for the reference kernel (repro.core.kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.core import params
+from repro.core.builders import poisson_inputs, random_network
+from repro.core.inputs import InputSchedule
+from repro.core.kernel import run_kernel
+from repro.core.network import OUTPUT_TARGET, Core, Network
+
+
+def single_core_net(threshold=1, weight=1, delay=1, recurrent=False, **kwargs):
+    """One core where axon i drives neuron i one-to-one."""
+    n = 4
+    xb = np.eye(n, dtype=bool)
+    core = Core.build(
+        n_axons=n,
+        n_neurons=n,
+        crossbar=xb,
+        weights=np.full((n, params.NUM_AXON_TYPES), weight),
+        threshold=threshold,
+        target_core=0 if recurrent else OUTPUT_TARGET,
+        target_axon=np.arange(n) if recurrent else 0,
+        delay=delay,
+        **kwargs,
+    )
+    return Network(cores=[core], seed=3)
+
+
+class TestBasicDynamics:
+    def test_quiescent_network_never_spikes(self):
+        net = single_core_net()
+        rec = run_kernel(net, 20)
+        assert rec.n_spikes == 0
+        assert rec.counters.synaptic_events == 0
+        assert rec.counters.neuron_updates == 4 * 20
+
+    def test_input_spike_causes_firing(self):
+        net = single_core_net(threshold=1, weight=1)
+        ins = InputSchedule.from_events([(0, 0, 2)])
+        rec = run_kernel(net, 3, ins)
+        assert rec.as_tuples() == [(0, 0, 2)]
+
+    def test_subthreshold_accumulates(self):
+        net = single_core_net(threshold=3, weight=1)
+        ins = InputSchedule.from_events([(0, 0, 1), (1, 0, 1), (2, 0, 1)])
+        rec = run_kernel(net, 4, ins)
+        assert rec.as_tuples() == [(2, 0, 1)]
+
+    def test_leak_decays_accumulated_charge(self):
+        net = single_core_net(threshold=3, weight=2, leak=-1, neg_threshold=0)
+        # +2 then leak -1 each tick; never reaches 3 with a 2-tick gap.
+        ins = InputSchedule.from_events([(0, 0, 0), (3, 0, 0)])
+        rec = run_kernel(net, 6, ins)
+        assert rec.n_spikes == 0
+
+    def test_leak_integrates_to_threshold(self):
+        net = single_core_net(threshold=5, weight=0, leak=1)
+        rec = run_kernel(net, 12)
+        # V grows by 1 each tick: fires at tick 4 (V=5), resets, fires at 9.
+        ticks = sorted(set(rec.ticks.tolist()))
+        assert ticks == [4, 9]
+
+
+class TestSpikeRouting:
+    def test_recurrent_delivery_honors_delay(self):
+        net = single_core_net(threshold=1, weight=1, delay=3, recurrent=True)
+        ins = InputSchedule.from_events([(0, 0, 0)])
+        rec = run_kernel(net, 10, ins)
+        # Spike at t=0 re-arrives at t=3, fires again, etc.
+        fired = [t for (t, c, n) in rec.as_tuples() if n == 0]
+        assert fired == [0, 3, 6, 9]
+
+    def test_two_core_chain(self):
+        n = 2
+        xb = np.eye(n, dtype=bool)
+        c0 = Core.build(
+            n_axons=n, n_neurons=n, crossbar=xb, threshold=1,
+            target_core=1, target_axon=np.arange(n), delay=1,
+        )
+        c1 = Core.build(n_axons=n, n_neurons=n, crossbar=xb, threshold=1)
+        net = Network(cores=[c0, c1], seed=0)
+        ins = InputSchedule.from_events([(0, 0, 0)])
+        rec = run_kernel(net, 4, ins)
+        assert (0, 0, 0) in rec.as_tuples()
+        assert (1, 1, 0) in rec.as_tuples()
+        assert rec.n_spikes == 2
+
+    def test_output_neurons_do_not_deliver(self):
+        net = single_core_net(threshold=1, weight=1, recurrent=False)
+        ins = InputSchedule.from_events([(0, 0, 0)])
+        rec = run_kernel(net, 6, ins)
+        assert rec.n_spikes == 1  # no recurrence
+
+    def test_axon_merge_semantics(self):
+        # Two neurons target the same axon at the same tick; the axon
+        # event merges (single delivery, single synaptic integration).
+        n = 2
+        xb = np.zeros((n, n), dtype=bool)
+        xb[0, 0] = True
+        c0 = Core.build(
+            n_axons=n, n_neurons=n, crossbar=np.eye(n, dtype=bool), threshold=1,
+            target_core=1, target_axon=0, delay=1,
+        )
+        c1 = Core.build(n_axons=n, n_neurons=n, crossbar=xb, threshold=1, weights=np.ones((n, 4), dtype=np.int64))
+        net = Network(cores=[c0, c1], seed=0)
+        ins = InputSchedule.from_events([(0, 0, 0), (0, 0, 1)])
+        rec = run_kernel(net, 3, ins)
+        # both c0 neurons fire at t0; merged single axon event at c1 t1
+        assert rec.counters.deliveries == 2 + 1
+        assert (1, 1, 0) in rec.as_tuples()
+
+
+class TestCounters:
+    def test_synaptic_event_accounting(self):
+        net = single_core_net(threshold=10_000, weight=1)
+        ins = InputSchedule.from_events([(t, 0, a) for t in range(5) for a in range(4)])
+        rec = run_kernel(net, 5, ins)
+        # identity crossbar: each active axon = 1 event; 4 axons x 5 ticks
+        assert rec.counters.synaptic_events == 20
+        assert rec.counters.max_core_events_per_tick == 4
+
+    def test_tick_count(self):
+        net = single_core_net()
+        rec = run_kernel(net, 17)
+        assert rec.counters.ticks == 17
+
+
+class TestStochasticModes:
+    def test_stochastic_network_is_deterministic_given_seed(self):
+        net = random_network(n_cores=2, stochastic=True, seed=11)
+        ins = poisson_inputs(net, 20, 300.0, seed=4)
+        a = run_kernel(net, 20, ins)
+        b = run_kernel(net, 20, ins)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        # All-stochastic synapses at P=0.5: the spike pattern must depend
+        # on the network seed.
+        def build(seed):
+            n = 16
+            core = Core.build(
+                n_axons=n,
+                n_neurons=n,
+                crossbar=np.ones((n, n), dtype=bool),
+                weights=np.full((n, params.NUM_AXON_TYPES), 128),
+                stoch_synapse=True,
+                threshold=4,
+            )
+            return Network(cores=[core], seed=seed)
+
+        ins = InputSchedule.from_events([(t, 0, a) for t in range(10) for a in range(8)])
+        a = run_kernel(build(1), 10, ins)
+        b = run_kernel(build(2), 10, ins)
+        assert a != b
+
+
+class TestValidation:
+    def test_bad_target_core_rejected(self):
+        core = Core.build(n_axons=2, n_neurons=2, target_core=5)
+        net = Network(cores=[core])
+        with pytest.raises(ValueError):
+            net.validate()
+
+    def test_bad_target_axon_rejected(self):
+        core = Core.build(n_axons=2, n_neurons=2, target_core=0, target_axon=7)
+        net = Network(cores=[core])
+        with pytest.raises(ValueError):
+            net.validate()
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            Network(cores=[]).validate()
+
+    def test_negative_input_tick_rejected(self):
+        with pytest.raises(ValueError):
+            InputSchedule.from_events([(-1, 0, 0)])

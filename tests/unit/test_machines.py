@@ -1,0 +1,151 @@
+"""Tests for the machine cost models (repro.machines)."""
+
+import pytest
+
+from repro.core.workload import WorkloadDescriptor
+from repro.machines.cost import (
+    CompassCostModel,
+    bgq_weak_scaling_hosts,
+    compare_truenorth_vs_compass,
+)
+from repro.machines.scaling import (
+    best_point,
+    most_efficient_point,
+    strong_scaling_sweep,
+    x86_reference_sweep,
+)
+from repro.machines.specs import BGQ, X86, X86_LEGACY
+
+
+def characterization(rate=20.0, syn=128.0):
+    return WorkloadDescriptor(
+        name=f"char-{rate}-{syn}",
+        n_neurons=2**20,
+        n_cores=4096,
+        rate_hz=rate,
+        active_synapses=syn,
+    )
+
+
+NEOVISION = WorkloadDescriptor(
+    name="neovision", n_neurons=660_009, n_cores=4018, rate_hz=12.8, active_synapses=128.0
+)
+
+
+class TestEffectiveThreads:
+    def test_physical_scaling(self):
+        assert BGQ.effective_threads(8) == pytest.approx(8 * 0.9)
+
+    def test_smt_marginal_gain(self):
+        full = BGQ.effective_threads(64)
+        phys = BGQ.effective_threads(16)
+        assert phys == pytest.approx(14.4)
+        assert full == pytest.approx(14.4 + 48 * 0.25)
+
+    def test_oversubscription_capped(self):
+        assert X86.effective_threads(100) == X86.effective_threads(24)
+
+    def test_requires_one_thread(self):
+        with pytest.raises(ValueError):
+            X86.effective_threads(0)
+
+
+class TestCostModelShape:
+    def test_more_hosts_is_faster(self):
+        model = CompassCostModel(BGQ)
+        t1 = model.time_per_tick_s(characterization(), hosts=1, threads_per_host=64)
+        t32 = model.time_per_tick_s(characterization(), hosts=32, threads_per_host=64)
+        assert t32 < t1
+
+    def test_more_threads_is_faster(self):
+        model = CompassCostModel(BGQ)
+        t8 = model.time_per_tick_s(characterization(), hosts=4, threads_per_host=8)
+        t64 = model.time_per_tick_s(characterization(), hosts=4, threads_per_host=64)
+        assert t64 < t8
+
+    def test_heavier_workload_is_slower(self):
+        model = CompassCostModel(X86)
+        assert model.time_per_tick_s(characterization(200, 256)) > model.time_per_tick_s(
+            characterization(20, 128)
+        )
+
+    def test_host_limit_enforced(self):
+        with pytest.raises(ValueError):
+            CompassCostModel(X86).time_per_tick_s(characterization(), hosts=2)
+
+    def test_power_scales_with_hosts(self):
+        model = CompassCostModel(BGQ)
+        assert model.power_w(32) == 32 * 65.0
+
+    def test_energy_per_tick(self):
+        pt = CompassCostModel(X86).run_point(characterization())
+        assert pt.energy_per_tick_j == pytest.approx(pt.time_per_tick_s * 150.0)
+
+
+class TestPaperAnchors:
+    """Fig. 6 / Fig. 8 / Section VI-A calibration targets."""
+
+    def test_fig6a_bgq_speedup_one_order(self):
+        cmp = compare_truenorth_vs_compass(characterization(), BGQ)
+        assert 5 <= cmp.speedup <= 50  # "one order of magnitude"
+
+    def test_fig6c_x86_speedup_two_to_three_orders(self):
+        light = compare_truenorth_vs_compass(characterization(20, 128), X86)
+        heavy = compare_truenorth_vs_compass(characterization(200, 256), X86)
+        assert 50 <= light.speedup <= 1000
+        assert 100 <= heavy.speedup <= 2000
+        assert heavy.speedup > light.speedup
+
+    def test_fig6b_bgq_energy_five_orders(self):
+        cmp = compare_truenorth_vs_compass(characterization(), BGQ)
+        assert 1e5 <= cmp.energy_improvement <= 1e6
+
+    def test_fig6d_x86_energy_five_orders(self):
+        cmp = compare_truenorth_vs_compass(characterization(), X86)
+        assert 1e5 <= cmp.energy_improvement <= 1e6
+
+    def test_fig8_best_bgq_point_about_12x_slower(self):
+        points = strong_scaling_sweep(NEOVISION, BGQ)
+        best = best_point(points)
+        assert best.hosts == 32 and best.threads == 64
+        slowdown = best.time_per_tick_s / 1e-3
+        assert 8 <= slowdown <= 16  # paper: "12x slower than real-time"
+
+    def test_fig8_single_host_slowest(self):
+        points = strong_scaling_sweep(NEOVISION, BGQ)
+        one_host_8t = [p for p in points if p.hosts == 1 and p.threads == 8][0]
+        assert 0.1 <= one_host_8t.time_per_tick_s <= 0.25  # Fig. 8 upper right
+
+    def test_fig8_single_host_most_power_efficient(self):
+        # Paper: "a single host is the most power-efficient but slowest;
+        # 32 hosts is the fastest but requires more power."
+        points = strong_scaling_sweep(NEOVISION, BGQ)
+        eff = most_efficient_point(points)
+        assert eff.hosts == 1
+        assert best_point(points).hosts == 32
+
+    def test_regression_74_days_on_legacy_xeon(self):
+        # Section VI-A: the 100M-tick regression took 74 days on the
+        # 8-thread X7350 server vs. 27.7 hours on TrueNorth.
+        model = CompassCostModel(X86_LEGACY)
+        t = model.time_per_tick_s(characterization(20, 128), hosts=1, threads_per_host=8)
+        days = t * 100_000_000 / 86400
+        assert 55 <= days <= 95
+
+    def test_x86_reference_sweep_threads(self):
+        points = x86_reference_sweep(NEOVISION)
+        assert [p.threads for p in points] == [4, 6, 8, 12]
+        assert points[0].time_per_tick_s > points[-1].time_per_tick_s
+
+    def test_weak_scaling_host_rule(self):
+        assert bgq_weak_scaling_hosts(NEOVISION, BGQ) == 32
+        small = WorkloadDescriptor("s", 1000, 100, 10, 10)
+        assert bgq_weak_scaling_hosts(small, BGQ) == 2
+
+    def test_truenorth_faster_than_real_time_counts_in_speedup(self):
+        # When TrueNorth can run faster than real time, speedup grows.
+        rt = compare_truenorth_vs_compass(characterization(20, 128), X86)
+        fast = compare_truenorth_vs_compass(
+            characterization(20, 128), X86, tick_frequency_hz=5000.0
+        )
+        assert fast.speedup > rt.speedup

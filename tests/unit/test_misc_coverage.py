@@ -1,0 +1,91 @@
+"""Coverage for small utility paths: validation, cost points, reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_value
+from repro.apps.workloads import ANCHOR_A
+from repro.core.counters import EventCounters
+from repro.hardware.energy import EnergyModel
+from repro.machines.cost import CompassCostModel
+from repro.machines.specs import BGQ, X86
+from repro.utils.validation import (
+    check_array_shape,
+    check_in_range,
+    check_int_dtype,
+    require,
+)
+
+
+class TestValidationHelpers:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="nope"):
+            require(False, "nope")
+
+    def test_check_array_shape(self):
+        check_array_shape("x", np.zeros((2, 3)), (2, 3))
+        with pytest.raises(ValueError):
+            check_array_shape("x", np.zeros(3), (4,))
+        with pytest.raises(TypeError):
+            check_array_shape("x", [1, 2, 3], (3,))
+
+    def test_check_int_dtype(self):
+        check_int_dtype("x", np.zeros(3, dtype=np.int64))
+        check_int_dtype("x", np.zeros(3, dtype=bool))
+        with pytest.raises(TypeError):
+            check_int_dtype("x", np.zeros(3, dtype=float))
+
+    def test_check_in_range(self):
+        check_in_range("x", np.array([1, 2, 3]), 1, 3)
+        check_in_range("x", np.zeros(0), 5, 6)  # empty is fine
+        with pytest.raises(ValueError):
+            check_in_range("x", np.array([0]), 1, 3)
+
+
+class TestCostModelExtras:
+    def test_best_configuration(self):
+        model = CompassCostModel(BGQ)
+        best = model.best_configuration(ANCHOR_A)
+        assert best.hosts == 32
+        assert best.threads_per_host == 64
+
+    def test_run_point_slowdown(self):
+        point = CompassCostModel(X86).run_point(ANCHOR_A)
+        assert point.slowdown_vs_real_time == pytest.approx(
+            point.time_per_tick_s / 1e-3
+        )
+
+    def test_comparison_fields(self):
+        from repro.machines.cost import compare_truenorth_vs_compass
+
+        cmp = compare_truenorth_vs_compass(ANCHOR_A, X86)
+        assert cmp.workload == ANCHOR_A.name
+        assert cmp.machine == X86.name
+        assert cmp.truenorth_time_per_tick_s == pytest.approx(1e-3)
+        assert cmp.compass_point.machine == X86.name
+
+
+class TestEnergyExtras:
+    def test_boundary_crossing_energy_term(self):
+        m = EnergyModel()
+        base = m.active_energy_per_tick_j(1000, 1000, 10, 100)
+        with_crossings = m.active_energy_per_tick_j(
+            1000, 1000, 10, 100, boundary_crossings=50
+        )
+        assert with_crossings > base
+
+    def test_energy_for_run_with_boundary(self):
+        c = EventCounters(ticks=10, synaptic_events=100, spikes=5,
+                          neuron_updates=1000, hops=50)
+        m = EnergyModel()
+        assert m.energy_for_run_j(c, boundary_crossings=20) > m.energy_for_run_j(c)
+
+
+class TestFormatValue:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, "0"), (150.0, "150"), (3.14159, "3.14"), (0.25, "0.2500")],
+    )
+    def test_formats(self, value, expected):
+        assert format_value(value) == expected

@@ -1,0 +1,71 @@
+"""Tests for the multi-process ParallelCompass expression."""
+
+import numpy as np
+import pytest
+
+from repro.compass.parallel import ParallelCompassSimulator, run_parallel_compass
+from repro.compass.simulator import run_compass
+from repro.core.builders import poisson_inputs, random_network
+from repro.core.kernel import run_kernel
+
+
+class TestParallelCompass:
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_matches_reference_kernel(self, n_workers):
+        net = random_network(
+            n_cores=5, n_axons=10, n_neurons=10, stochastic=True, seed=37
+        )
+        ins = poisson_inputs(net, 15, 300.0, seed=4)
+        ref = run_kernel(net, 15, ins)
+        got = run_parallel_compass(net, 15, ins, n_workers=n_workers)
+        assert got.first_mismatch(ref) is None
+
+    def test_counters_match_in_process_compass(self):
+        net = random_network(n_cores=4, connectivity=0.5, seed=21)
+        ins = poisson_inputs(net, 12, 400.0, seed=2)
+        serial = run_compass(net, 12, ins, n_ranks=2)
+        parallel = run_parallel_compass(net, 12, ins, n_workers=2)
+        assert parallel == serial
+        for field in ("synaptic_events", "spikes", "deliveries", "neuron_updates"):
+            assert getattr(parallel.counters, field) == getattr(
+                serial.counters, field
+            ), field
+        assert np.array_equal(
+            parallel.counters.synaptic_events_per_core,
+            serial.counters.synaptic_events_per_core,
+        )
+
+    def test_cross_worker_messages_counted(self):
+        net = random_network(n_cores=6, connectivity=0.6, seed=5)
+        ins = poisson_inputs(net, 8, 600.0, seed=1)
+        sim = ParallelCompassSimulator(net, n_workers=3)
+        rec = sim.run(8, ins)
+        assert rec.counters.messages > 0
+
+    def test_close_is_idempotent_and_step_after_close_fails(self):
+        net = random_network(n_cores=2, seed=1)
+        sim = ParallelCompassSimulator(net, n_workers=2)
+        sim.step()
+        sim.close()
+        sim.close()
+        with pytest.raises(RuntimeError):
+            sim.step()
+
+    def test_far_future_inputs_not_aliased_into_ring_buffer(self):
+        # Regression: external inputs beyond DELAY_SLOTS ticks ahead must
+        # not wrap into the 16-slot ring buffer early.
+        from repro.core.inputs import InputSchedule
+
+        net = random_network(n_cores=2, n_axons=8, n_neurons=8, seed=3)
+        ins = InputSchedule.from_events(
+            [(0, 0, 1), (16, 0, 2), (33, 1, 3), (40, 0, 4)]
+        )
+        ref = run_kernel(net, 45, ins)
+        got = run_parallel_compass(net, 45, ins, n_workers=2)
+        assert got.first_mismatch(ref) is None
+
+    def test_workers_shut_down_after_run(self):
+        net = random_network(n_cores=2, seed=2)
+        sim = ParallelCompassSimulator(net, n_workers=2)
+        sim.run(5)
+        assert all(not p.is_alive() for p in sim._procs)

@@ -1,0 +1,73 @@
+"""Tests for the power-measurement emulation (repro.hardware.power)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.energy import EnergyModel
+from repro.hardware.power import (
+    ADC_SAMPLE_RATE_HZ,
+    CALIBRATION_RMS_ERROR,
+    adc_sample,
+    level_triggered_average,
+    measure_power,
+    synthesize_tick_waveform,
+)
+
+
+class TestWaveform:
+    def test_energy_conserved(self):
+        wave = synthesize_tick_waveform(50e-6, 0.030, tick_seconds=1e-3)
+        # integral of waveform over one tick = active energy + passive
+        energy = wave.mean() * 1e-3
+        assert energy == pytest.approx(50e-6 + 0.030 * 1e-3, rel=1e-9)
+
+    def test_burst_at_start(self):
+        wave = synthesize_tick_waveform(50e-6, 0.030)
+        assert wave[0] > wave[-1]
+        assert wave[-1] == pytest.approx(0.030)
+
+    def test_bad_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_tick_waveform(1e-6, 0.01, resolution=2)
+
+
+class TestADC:
+    def test_sample_count(self):
+        wave = synthesize_tick_waveform(50e-6, 0.030)
+        samples = adc_sample(wave, n_ticks=1000)
+        expected = int(1000 * 1e-3 * ADC_SAMPLE_RATE_HZ)
+        assert abs(samples.size - expected) <= 1
+
+    def test_noise_seeded(self):
+        wave = synthesize_tick_waveform(50e-6, 0.030)
+        a = adc_sample(wave, 600, seed=1)
+        b = adc_sample(wave, 600, seed=1)
+        c = adc_sample(wave, 600, seed=2)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestMeasurement:
+    def test_requires_over_500_ticks(self):
+        wave = synthesize_tick_waveform(50e-6, 0.030)
+        samples = adc_sample(wave, 400)
+        with pytest.raises(ValueError):
+            level_triggered_average(samples, 400)
+
+    def test_measures_true_power_within_calibration(self):
+        # Anchor A: ~55 mW true power; measurement must land within the
+        # 3% calibration error of the paper's instrument.
+        m = EnergyModel()
+        c = m.workload_counts_per_tick(20, 128)
+        active = m.active_energy_per_tick_j(
+            c["synaptic_events"], c["neuron_updates"], c["spikes"], c["hops"]
+        )
+        true_power = active * 1000 + m.passive_power_w
+        meas = measure_power(active, m.passive_power_w, n_ticks=1000)
+        assert abs(meas.mean_power_w - true_power) / true_power < CALIBRATION_RMS_ERROR
+
+    def test_measurement_metadata(self):
+        meas = measure_power(10e-6, 0.030, n_ticks=800)
+        assert meas.n_ticks_averaged == 800
+        assert meas.n_samples > 500
+        assert meas.worst_case_error_w == pytest.approx(meas.mean_power_w * 0.03)

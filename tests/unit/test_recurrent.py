@@ -1,0 +1,108 @@
+"""Tests for the probabilistic recurrent network generator."""
+
+import pytest
+
+from repro.apps.recurrent import (
+    characterization_grid,
+    chip_placement,
+    probabilistic_recurrent_network,
+    rate_parameters,
+)
+from repro.compass.simulator import run_compass
+from repro.hardware.simulator import TrueNorthSimulator
+
+
+class TestRateParameters:
+    def test_zero_rate(self):
+        lam, _ = rate_parameters(0.0)
+        assert lam == 0
+
+    @pytest.mark.parametrize("rate", [20.0, 50.0, 100.0, 200.0])
+    def test_rate_formula(self, rate):
+        lam, threshold = rate_parameters(rate)
+        achieved = lam / (256.0 * threshold) * 1000.0
+        assert achieved == pytest.approx(rate, abs=1.5)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            rate_parameters(500.0)
+
+
+class TestGenerator:
+    def test_structure(self):
+        net = probabilistic_recurrent_network(
+            50.0, 8, grid_side=3, neurons_per_core=16, seed=1
+        )
+        assert net.n_cores == 9
+        for core in net.cores:
+            # exactly K programmed synapses per axon row
+            assert (core.crossbar.sum(axis=1) == 8).all()
+
+    def test_measured_rate_matches_target(self):
+        target = 100.0
+        net = probabilistic_recurrent_network(
+            target, 8, grid_side=2, neurons_per_core=64, seed=2
+        )
+        rec = run_compass(net, 200)
+        measured = rec.counters.mean_firing_rate_hz
+        assert measured == pytest.approx(target, rel=0.15)
+
+    def test_measured_fanout_matches_k(self):
+        net = probabilistic_recurrent_network(
+            100.0, 12, grid_side=2, neurons_per_core=32, seed=3
+        )
+        rec = run_compass(net, 100)
+        # every delivered spike crosses exactly K=12 programmed synapses
+        assert rec.counters.synaptic_events == 12 * rec.counters.deliveries
+
+    def test_zero_rate_network_is_silent(self):
+        net = probabilistic_recurrent_network(0.0, 16, grid_side=2, neurons_per_core=16)
+        rec = run_compass(net, 50)
+        assert rec.n_spikes == 0
+
+    def test_zero_synapses_network_still_fires(self):
+        net = probabilistic_recurrent_network(100.0, 0, grid_side=2, neurons_per_core=32)
+        rec = run_compass(net, 100)
+        assert rec.n_spikes > 0
+        assert rec.counters.synaptic_events == 0
+
+    def test_zero_coupling_rate_independent_of_k(self):
+        a = probabilistic_recurrent_network(80.0, 0, grid_side=2, neurons_per_core=32, seed=4)
+        b = probabilistic_recurrent_network(80.0, 24, grid_side=2, neurons_per_core=32, seed=4)
+        ra = run_compass(a, 120).counters.mean_firing_rate_hz
+        rb = run_compass(b, 120).counters.mean_firing_rate_hz
+        assert ra == pytest.approx(rb, rel=1e-9)  # zero weights: exact
+
+    def test_balanced_coupling_changes_dynamics(self):
+        a = probabilistic_recurrent_network(
+            80.0, 24, grid_side=2, neurons_per_core=32, coupling="balanced", seed=4
+        )
+        rec = run_compass(a, 120)
+        assert rec.n_spikes > 0
+
+    def test_hop_distance_scales_with_grid(self):
+        net = probabilistic_recurrent_network(
+            120.0, 4, grid_side=8, neurons_per_core=16, seed=5
+        )
+        sim = TrueNorthSimulator(net, placement=chip_placement(8))
+        rec = sim.run(60)
+        mean_hops = rec.counters.hops / max(rec.counters.spikes, 1)
+        expected = 2 * 21.66 * 8 / 64  # scaled to the 8x8 grid
+        assert mean_hops == pytest.approx(expected, rel=0.4)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValueError):
+            probabilistic_recurrent_network(10.0, 300)
+
+
+class TestCharacterizationGrid:
+    def test_88_points(self):
+        grid = characterization_grid()
+        assert len(grid) == 88
+
+    def test_spans_paper_ranges(self):
+        grid = characterization_grid()
+        rates = sorted({r for r, _ in grid})
+        synapses = sorted({k for _, k in grid})
+        assert rates[0] == 25.0 and rates[-1] == 200.0
+        assert synapses[0] == 0 and synapses[-1] == 256
