@@ -6,10 +6,13 @@ scalar reference kernel, on the same recurrent workload.  These numbers
 are this repository's own "Compass on a workstation" datapoints.
 """
 
+import time
+
 import pytest
 
 from benchmarks.conftest import emit
 from repro.apps.recurrent import probabilistic_recurrent_network
+from repro.compass.compile import compile_network, n_builds
 from repro.compass.fast import FastCompassSimulator
 from repro.compass.simulator import CompassSimulator
 from repro.core.kernel import ReferenceKernel
@@ -64,10 +67,8 @@ class TestKernelThroughput:
         assert counters.ticks == N_TICKS
 
     def test_fast_compass_throughput(self, benchmark):
-        # FastCompass requires deterministic networks: zero-coupling
-        # workloads exercise the same event volume without stochastic
-        # modes... but zero-coupling uses stochastic leak, so build a
-        # deterministic driven network instead.
+        # Deterministic driven network: the pure-matvec path with no
+        # PRNG draws (the stochastic path is benched separately below).
         from repro.core.builders import poisson_inputs, random_network
 
         net = random_network(
@@ -88,6 +89,72 @@ class TestKernelThroughput:
             f"{N_TICKS} ticks on one sparse matrix ({net.n_cores} cores)"
         )
         assert counters.ticks == N_TICKS
+
+    def test_fast_compass_stochastic_throughput(self, benchmark, workload_network):
+        # The characterization workload drives neurons by stochastic
+        # leak — the modes the sparse engine now runs directly.
+        compiled = compile_network(workload_network)
+
+        def run():
+            sim = FastCompassSimulator(compiled)
+            for _ in range(N_TICKS):
+                sim.step()
+            return sim.counters
+
+        counters = benchmark(run)
+        emit(
+            f"KERN fast-compass/stochastic: {counters.synaptic_events} synaptic "
+            f"events / {N_TICKS} ticks on {workload_network.n_cores} cores"
+        )
+        assert counters.ticks == N_TICKS
+
+    def test_sparse_engine_stochastic_speedup(self, benchmark):
+        # The PR-claimed win, measured: the sparse engine vs the per-core
+        # Python loop on the same stochastic recurrent workload.
+        net = probabilistic_recurrent_network(
+            100.0, 32, grid_side=6, neurons_per_core=64,
+            coupling="balanced", seed=5,
+        )
+        compiled = compile_network(net)
+        n_ticks = 40
+
+        def run_pair():
+            start = time.perf_counter()
+            std = CompassSimulator(compiled)
+            for _ in range(n_ticks):
+                std.step()
+            t_std = time.perf_counter() - start
+
+            start = time.perf_counter()
+            fast = FastCompassSimulator(compiled)
+            for _ in range(n_ticks):
+                fast.step()
+            t_fast = time.perf_counter() - start
+            return std.counters, fast.counters, t_std, t_fast
+
+        std_c, fast_c, t_std, t_fast = benchmark.pedantic(
+            run_pair, rounds=1, iterations=1
+        )
+        speedup = t_std / t_fast
+        emit(
+            f"KERN sparse stochastic speedup: {speedup:.1f}x "
+            f"({t_std * 1e3:.0f} ms -> {t_fast * 1e3:.0f} ms over {n_ticks} "
+            f"ticks, {net.n_cores} cores)"
+        )
+        assert fast_c.spikes == std_c.spikes
+        assert fast_c.synaptic_events == std_c.synaptic_events
+        assert speedup >= 5.0
+
+    def test_compiled_network_shared_across_simulators(self, workload_network):
+        # Constructing further simulators from a CompiledNetwork must do
+        # no sparse-matrix rebuild.
+        compiled = compile_network(workload_network)
+        before = n_builds()
+        a = FastCompassSimulator(compiled)
+        b = FastCompassSimulator(workload_network)
+        c = CompassSimulator(compiled)
+        assert n_builds() == before
+        assert a.compiled is b.compiled is c.compiled is compiled
 
     def test_reference_kernel_throughput(self, benchmark):
         # The scalar kernel is the slow ground truth: bench a small net.

@@ -139,16 +139,14 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    from repro.compass.simulator import run_compass
+    from repro.compass.engine import run_engine
     from repro.hardware.energy import EnergyModel
-    from repro.hardware.simulator import run_truenorth
     from repro.io.model_files import load_network
 
     network = load_network(args.model)
-    if args.expression == "compass":
-        record = run_compass(network, args.ticks, n_ranks=args.ranks)
-    else:
-        record = run_truenorth(network, args.ticks)
+    record = run_engine(
+        network, args.ticks, engine=args.expression, n_ranks=args.ranks
+    )
     c = record.counters
     print(f"{network.name or args.model}: {network.n_cores} cores, "
           f"{args.ticks} ticks on {args.expression}")
@@ -171,6 +169,7 @@ def _cmd_characterize(args) -> int:
     result = fig5.empirical_validation(
         rate_hz=args.rate, active_synapses=args.synapses,
         grid_side=args.grid, neurons_per_core=args.neurons, n_ticks=args.ticks,
+        engine=args.engine,
     )
     rows = [
         ["synaptic events/tick", result["measured_syn_events_per_tick"],
@@ -208,11 +207,13 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--output", help="write markdown to this path")
     pr.set_defaults(fn=_cmd_report)
 
+    from repro.compass.engine import ENGINES
+
     ps = sub.add_parser("simulate")
     ps.add_argument("model", help="path to a .npz model file")
     ps.add_argument("--ticks", type=int, default=100)
-    ps.add_argument("--expression", choices=["compass", "truenorth"],
-                    default="truenorth")
+    ps.add_argument("--expression", choices=list(ENGINES), default="auto",
+                    help="kernel expression to run (auto = sparse fast path)")
     ps.add_argument("--ranks", type=int, default=1)
     ps.add_argument("--output", help="write output spikes to this AER file")
     ps.set_defaults(fn=_cmd_simulate)
@@ -223,6 +224,9 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--grid", type=int, default=4)
     pc.add_argument("--neurons", type=int, default=64)
     pc.add_argument("--ticks", type=int, default=200)
+    pc.add_argument("--engine", choices=list(ENGINES), default="truenorth",
+                    help="kernel expression for the sweep point "
+                         "(auto/fast = the sparse engine)")
     pc.set_defaults(fn=_cmd_characterize)
 
     return parser

@@ -1,5 +1,7 @@
 """Compass: the software expression of the neurosynaptic kernel."""
 
+from repro.compass.compile import CompiledNetwork, compile_network
+from repro.compass.engine import ENGINES, run_engine, select_engine
 from repro.compass.partition import (
     partition,
     partition_block,
@@ -13,6 +15,11 @@ from repro.compass.simmpi import SimMPI
 from repro.compass.simulator import CompassSimulator, run_compass
 
 __all__ = [
+    "ENGINES",
+    "CompiledNetwork",
+    "compile_network",
+    "select_engine",
+    "run_engine",
     "partition",
     "partition_block",
     "partition_load_balanced",

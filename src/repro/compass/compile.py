@@ -1,0 +1,277 @@
+"""Compile a :class:`~repro.core.network.Network` into flat engine state.
+
+Compass earned its speed from "highly compressed data structures for
+maintaining neuron and synapse states" (paper Section III-B).  This
+module is the compressed representation made explicit: a one-time
+compilation pass flattens a network of per-core configuration blocks
+into
+
+* one global CSR signed-weight matrix (block-diagonal by core) split
+  into its deterministic part (dense matvec path) and a stochastic
+  crosspoint table (per-row ``(core, unit)`` coordinates feeding the
+  counter-based PRNG),
+* flat per-neuron parameter vectors spanning every core,
+* flat routing tables (global target axon, delay) for spike delivery.
+
+The resulting :class:`CompiledNetwork` is immutable shared state: it is
+built **once per Network** (cached on the network object) and reused by
+every simulator constructed over it — :class:`FastCompassSimulator`,
+:class:`CompassSimulator`, and the :class:`ParallelCompassSimulator`
+coordinator all accept either a ``Network`` or a ``CompiledNetwork``,
+so constructing a second simulator does no sparse-matrix rebuild.
+
+Mutable simulator state (membrane potentials, delay ring buffers,
+counters) stays in the simulators; compiling has no observable effect
+on simulation semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.core import prng
+from repro.core.network import OUTPUT_TARGET, Network
+
+_CACHE_ATTR = "_compiled_network_cache"
+_n_builds = 0
+
+
+def n_builds() -> int:
+    """Number of full compilation passes performed (cache-miss count)."""
+    return _n_builds
+
+
+@dataclass(eq=False)
+class CompiledNetwork:
+    """Flattened, immutable execution artifact for one network.
+
+    All arrays are global (concatenated across cores in core order) and
+    must be treated as read-only: simulators copy what they mutate
+    (membrane state) and share the rest.
+    """
+
+    network: Network
+
+    # -- global index maps -------------------------------------------------
+    axon_base: np.ndarray  # (C+1,) global axon offset per core
+    neuron_base: np.ndarray  # (C+1,) global neuron offset per core
+    n_axons: int
+    n_neurons: int
+    core_of_axon: np.ndarray  # (A,) owning core per global axon
+    core_of_neuron: np.ndarray  # (N,) owning core per global neuron
+    local_neuron: np.ndarray  # (N,) local index per global neuron
+
+    # -- synapse state -----------------------------------------------------
+    # Full signed-weight matrix over every programmed crosspoint (the
+    # paper's one big block-diagonal matrix) and its split used by the
+    # sparse engine: deterministic entries as a transposed CSR for the
+    # matvec, stochastic entries as flat per-row coordinate tables.
+    weight_matrix: sparse.csr_matrix  # (A, N) all crosspoints, signed
+    det_matrix_t: sparse.csr_matrix  # (N, A) stochastic entries zeroed
+    row_nnz: np.ndarray  # (A,) programmed crosspoints per axon row
+    stoch_indptr: np.ndarray  # (A+1,) CSR row pointer over stochastic entries
+    stoch_col: np.ndarray  # (S,) global target neuron per stochastic entry
+    stoch_core: np.ndarray  # (S,) owning core id (PRNG core coordinate)
+    stoch_unit: np.ndarray  # (S,) local (axon, neuron) PRNG unit index
+    stoch_weight: np.ndarray  # (S,) signed weight s^{G_a}_n
+
+    # -- flat neuron parameter vectors ------------------------------------
+    leak: np.ndarray
+    leak_reversal: np.ndarray
+    stoch_leak_idx: np.ndarray  # global indices of stochastic-leak neurons
+    threshold: np.ndarray
+    threshold_mask: np.ndarray
+    stoch_threshold_idx: np.ndarray  # global indices with non-zero mask
+    neg_threshold: np.ndarray
+    reset_value: np.ndarray
+    reset_mode: np.ndarray
+    neg_floor_mode: np.ndarray
+    initial_v: np.ndarray
+
+    # -- flat routing tables ----------------------------------------------
+    target_axon: np.ndarray  # (N,) global destination axon, -1 = output
+    delay: np.ndarray  # (N,) delivery delay in ticks
+
+    @property
+    def n_cores(self) -> int:
+        """Number of cores in the compiled network."""
+        return self.network.n_cores
+
+    @property
+    def any_stoch_synapse(self) -> bool:
+        """True when any programmed crosspoint is stochastic."""
+        return self.stoch_col.size > 0
+
+    @property
+    def any_stoch_leak(self) -> bool:
+        """True when any neuron uses stochastic leak."""
+        return self.stoch_leak_idx.size > 0
+
+    @property
+    def any_stoch_threshold(self) -> bool:
+        """True when any neuron uses a stochastic threshold mask."""
+        return self.stoch_threshold_idx.size > 0
+
+    @property
+    def is_stochastic(self) -> bool:
+        """True when any stochastic mode is in use anywhere."""
+        return self.any_stoch_synapse or self.any_stoch_leak or self.any_stoch_threshold
+
+    def membranes_per_core(self) -> list[np.ndarray]:
+        """Fresh per-core membrane arrays initialized to V(0)."""
+        return [
+            self.initial_v[self.neuron_base[i] : self.neuron_base[i + 1]].copy()
+            for i in range(self.n_cores)
+        ]
+
+
+def _build(network: Network) -> CompiledNetwork:
+    """One full compilation pass (no caching)."""
+    global _n_builds
+    _n_builds += 1
+    network.validate()
+
+    n_cores = network.n_cores
+    axon_base = np.zeros(n_cores + 1, dtype=np.int64)
+    neuron_base = np.zeros(n_cores + 1, dtype=np.int64)
+    for i, core in enumerate(network.cores):
+        axon_base[i + 1] = axon_base[i] + core.n_axons
+        neuron_base[i + 1] = neuron_base[i] + core.n_neurons
+    n_axons = int(axon_base[-1])
+    n_neurons = int(neuron_base[-1])
+
+    core_of_axon = np.repeat(
+        np.arange(n_cores), [core.n_axons for core in network.cores]
+    )
+    core_of_neuron = np.repeat(
+        np.arange(n_cores), [core.n_neurons for core in network.cores]
+    )
+    local_neuron = np.concatenate(
+        [np.arange(core.n_neurons, dtype=np.int64) for core in network.cores]
+    )
+
+    # Crosspoint enumeration, block-diagonal by core.  np.nonzero yields
+    # row-major (axon, then neuron) order per core, so concatenating the
+    # per-core blocks keeps global rows sorted — the stochastic table
+    # below is therefore already in CSR row order.
+    rows, cols, vals, stoch_flags = [], [], [], []
+    row_nnz = np.zeros(n_axons, dtype=np.int64)
+    s_units, s_cores = [], []
+    for i, core in enumerate(network.cores):
+        a, n = np.nonzero(core.crossbar)
+        g = core.axon_types[a]
+        rows.append(a + axon_base[i])
+        cols.append(n + neuron_base[i])
+        vals.append(core.weights[n, g].astype(np.int64))
+        stoch_flags.append(core.stoch_synapse[n, g])
+        s_units.append(np.asarray(prng.synapse_unit(a, n), dtype=np.int64))
+        s_cores.append(np.full(a.size, i, dtype=np.int64))
+        row_nnz[axon_base[i] : axon_base[i + 1]] = core.crossbar.sum(axis=1)
+
+    if rows:
+        row = np.concatenate(rows)
+        col = np.concatenate(cols)
+        val = np.concatenate(vals)
+        stoch = np.concatenate(stoch_flags)
+        unit = np.concatenate(s_units)
+        core_id = np.concatenate(s_cores)
+    else:
+        row = col = val = unit = core_id = np.zeros(0, dtype=np.int64)
+        stoch = np.zeros(0, dtype=bool)
+
+    weight_matrix = sparse.csr_matrix(
+        (val, (row, col)), shape=(n_axons, n_neurons), dtype=np.int64
+    )
+    det_matrix_t = sparse.csr_matrix(
+        (np.where(stoch, 0, val), (col, row)),
+        shape=(n_neurons, n_axons),
+        dtype=np.int64,
+    )
+
+    stoch_col = col[stoch]
+    stoch_core = core_id[stoch]
+    stoch_unit = unit[stoch]
+    stoch_weight = val[stoch]
+    stoch_indptr = np.zeros(n_axons + 1, dtype=np.int64)
+    np.cumsum(np.bincount(row[stoch], minlength=n_axons), out=stoch_indptr[1:])
+
+    def flat(attr, dtype=np.int64):
+        return np.concatenate(
+            [np.asarray(getattr(core, attr), dtype=dtype) for core in network.cores]
+        )
+
+    leak = flat("leak")
+    leak_reversal = flat("leak_reversal", bool)
+    stoch_leak = flat("stoch_leak", bool)
+    threshold = flat("threshold")
+    threshold_mask = flat("threshold_mask")
+
+    # Routing: neuron -> global target axon (or -1) and delay.
+    target_axon = np.full(n_neurons, -1, dtype=np.int64)
+    delay = np.ones(n_neurons, dtype=np.int64)
+    for i, core in enumerate(network.cores):
+        sl = slice(neuron_base[i], neuron_base[i + 1])
+        routed = core.target_core != OUTPUT_TARGET
+        ta = np.full(core.n_neurons, -1, dtype=np.int64)
+        ta[routed] = axon_base[core.target_core[routed]] + core.target_axon[routed]
+        target_axon[sl] = ta
+        delay[sl] = core.delay
+
+    return CompiledNetwork(
+        network=network,
+        axon_base=axon_base,
+        neuron_base=neuron_base,
+        n_axons=n_axons,
+        n_neurons=n_neurons,
+        core_of_axon=core_of_axon,
+        core_of_neuron=core_of_neuron,
+        local_neuron=local_neuron,
+        weight_matrix=weight_matrix,
+        det_matrix_t=det_matrix_t,
+        row_nnz=row_nnz,
+        stoch_indptr=stoch_indptr,
+        stoch_col=stoch_col,
+        stoch_core=stoch_core,
+        stoch_unit=stoch_unit,
+        stoch_weight=stoch_weight,
+        leak=leak,
+        leak_reversal=leak_reversal,
+        stoch_leak_idx=np.nonzero(stoch_leak)[0],
+        threshold=threshold,
+        threshold_mask=threshold_mask,
+        stoch_threshold_idx=np.nonzero(threshold_mask != 0)[0],
+        neg_threshold=flat("neg_threshold"),
+        reset_value=flat("reset_value"),
+        reset_mode=flat("reset_mode"),
+        neg_floor_mode=flat("neg_floor_mode"),
+        initial_v=flat("initial_v"),
+        target_axon=target_axon,
+        delay=delay,
+    )
+
+
+def compile_network(network: Network | CompiledNetwork) -> CompiledNetwork:
+    """Return the compiled artifact for *network*, building at most once.
+
+    The artifact is cached on the network object, so every simulator
+    constructed over the same ``Network`` instance shares one compiled
+    representation.  Networks are treated as frozen once compiled;
+    mutate a network's cores only before the first simulator is built
+    (or call :func:`invalidate` after).
+    """
+    if isinstance(network, CompiledNetwork):
+        return network
+    cached = network.__dict__.get(_CACHE_ATTR)
+    if cached is not None:
+        return cached
+    compiled = _build(network)
+    network.__dict__[_CACHE_ATTR] = compiled
+    return compiled
+
+
+def invalidate(network: Network) -> None:
+    """Drop *network*'s cached compiled artifact (after mutation)."""
+    network.__dict__.pop(_CACHE_ATTR, None)

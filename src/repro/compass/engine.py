@@ -1,0 +1,94 @@
+"""Engine selection: one entry point over every kernel expression.
+
+The paper's central claim is that one neurosynaptic kernel (Listing 1)
+admits many expressions — scalar reference, vectorized software,
+multi-process, event-driven silicon — that are spike-for-spike
+interchangeable.  This module makes that interchangeability an API:
+:func:`select_engine` constructs the right simulator for a network and
+an ``engine`` name, and ``engine="auto"`` picks the fastest applicable
+expression (the sparse FastCompass path, which since the stochastic
+extension applies to *every* network) unless the caller asks for
+rank-level features only the Compass expression models.
+
+Every returned simulator exposes the common driving surface:
+``load_inputs(schedule)``, ``step() -> [(tick, core, neuron)]`` and
+``run(n_ticks, inputs) -> SpikeRecord``.
+"""
+
+from __future__ import annotations
+
+from repro.compass.compile import CompiledNetwork, compile_network
+from repro.core.inputs import InputSchedule
+from repro.core.network import Network
+from repro.core.record import SpikeRecord
+from repro.utils.validation import require
+
+#: Recognized engine names, in rough speed order for typical workloads.
+ENGINES = ("auto", "fast", "compass", "parallel", "truenorth", "reference")
+
+
+def select_engine(
+    network: Network | CompiledNetwork,
+    engine: str = "auto",
+    *,
+    n_ranks: int = 1,
+    n_workers: int = 2,
+    partition_strategy: str = "load_balanced",
+    profile: bool = False,
+):
+    """Construct a simulator for *network* under the named *engine*.
+
+    ``engine="auto"`` resolves to the sparse FastCompass path whenever
+    it applies — which, with stochastic modes now supported, is any
+    network — falling back to the rank-partitioned Compass expression
+    only when the caller requests rank-level behaviour (``n_ranks > 1``
+    or ``profile=True``, features the flat engine does not model).
+
+    The compass-family engines accept a pre-built
+    :class:`CompiledNetwork` and share it; the hardware and reference
+    expressions take the underlying :class:`Network`.
+    """
+    require(engine in ENGINES, f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if engine == "auto":
+        engine = "compass" if (n_ranks > 1 or profile) else "fast"
+
+    if engine == "fast":
+        from repro.compass.fast import FastCompassSimulator
+
+        return FastCompassSimulator(network)
+    if engine == "compass":
+        from repro.compass.simulator import CompassSimulator
+
+        return CompassSimulator(
+            network, n_ranks=n_ranks,
+            partition_strategy=partition_strategy, profile=profile,
+        )
+    if engine == "parallel":
+        from repro.compass.parallel import ParallelCompassSimulator
+
+        return ParallelCompassSimulator(
+            network, n_workers=n_workers, partition_strategy=partition_strategy
+        )
+
+    raw = network.network if isinstance(network, CompiledNetwork) else network
+    if engine == "truenorth":
+        from repro.hardware.simulator import TrueNorthSimulator
+
+        return TrueNorthSimulator(raw)
+    from repro.core.kernel import ReferenceKernel
+
+    return ReferenceKernel(raw)
+
+
+def run_engine(
+    network: Network | CompiledNetwork,
+    n_ticks: int,
+    inputs: InputSchedule | None = None,
+    engine: str = "auto",
+    **kwargs,
+) -> SpikeRecord:
+    """One-shot: select an engine, run *n_ticks*, return the record."""
+    return select_engine(network, engine, **kwargs).run(n_ticks, inputs)
+
+
+__all__ = ["ENGINES", "select_engine", "run_engine", "compile_network", "CompiledNetwork"]

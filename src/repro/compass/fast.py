@@ -4,116 +4,52 @@ Compass owed much of its performance to "highly compressed data
 structures for maintaining neuron and synapse states" (paper III-B).
 This simulator is the same idea taken to its NumPy/SciPy conclusion:
 the *entire network* becomes one sparse signed-weight matrix and flat
-state vectors, so a tick is a single sparse mat-vec plus vectorized
-neuron updates — no per-core Python loop at all.
+state vectors (built once per network by :mod:`repro.compass.compile`),
+so a tick is a single sparse mat-vec plus vectorized neuron updates —
+no per-core Python loop at all.
 
-Scope: deterministic networks (no stochastic synapse/leak/threshold
-modes — those draw per-event randomness that defeats the single-matvec
-formulation; use :class:`~repro.compass.simulator.CompassSimulator` for
-them).  Within that scope, FastCompass is spike-for-spike identical to
-the other kernel expressions, and the equivalence suite enforces it.
+Stochastic synapse, stochastic leak, and stochastic threshold modes are
+fully supported: the counter-based PRNG (:mod:`repro.core.prng`) makes
+every draw a pure function of (seed, purpose, core, tick, unit), so the
+sparse engine draws vectorized batches only for the *active* stochastic
+crosspoints (enumerated from the CSR rows of spiking axons) and the
+stochastic neurons, and still observes bit-identical random streams to
+the scalar reference kernel.  Spike-for-spike equivalence across every
+mode is enforced by the equivalence suites.
 """
 
 from __future__ import annotations
 
 import numpy as np
-from scipy import sparse
 
-from repro.core import params
+from repro.compass.compile import CompiledNetwork, compile_network
+from repro.core import params, prng
 from repro.core.counters import EventCounters
 from repro.core.inputs import InputSchedule
-from repro.core.network import OUTPUT_TARGET, Network
+from repro.core.network import Network
 from repro.core.record import SpikeRecord
-from repro.utils.validation import require
 
 
 class FastCompassSimulator:
-    """Flat sparse-matrix simulator for deterministic networks."""
+    """Flat sparse-matrix simulator over a compiled network.
 
-    def __init__(self, network: Network) -> None:
-        network.validate()
-        for idx, core in enumerate(network.cores):
-            require(
-                not core.stoch_synapse.any()
-                and not core.stoch_leak.any()
-                and not (core.threshold_mask != 0).any(),
-                f"core {idx} uses stochastic modes; FastCompass supports "
-                "deterministic networks only (use CompassSimulator)",
-            )
-        self.network = network
+    Accepts either a :class:`~repro.core.network.Network` (compiled on
+    first use, cached on the network) or an existing
+    :class:`~repro.compass.compile.CompiledNetwork` — constructing a
+    second simulator from either form does no sparse-matrix rebuild.
+    """
 
-        # Global index maps.
-        axon_base = np.zeros(network.n_cores + 1, dtype=np.int64)
-        neuron_base = np.zeros(network.n_cores + 1, dtype=np.int64)
-        for i, core in enumerate(network.cores):
-            axon_base[i + 1] = axon_base[i] + core.n_axons
-            neuron_base[i + 1] = neuron_base[i] + core.n_neurons
-        self.axon_base = axon_base
-        self.neuron_base = neuron_base
-        self.n_axons = int(axon_base[-1])
-        self.n_neurons = int(neuron_base[-1])
+    def __init__(self, network: Network | CompiledNetwork) -> None:
+        compiled = compile_network(network)
+        self.compiled = compiled
+        self.network = compiled.network
 
-        # Core id per axon (for per-core event accounting).
-        self.core_of_axon = np.repeat(
-            np.arange(network.n_cores),
-            [core.n_axons for core in network.cores],
-        )
-
-        # The one big signed-weight matrix: value = s^{G_a}_n on every
-        # programmed crosspoint, block-diagonal by core.
-        rows, cols, vals = [], [], []
-        self.row_nnz = np.zeros(self.n_axons, dtype=np.int64)
-        for i, core in enumerate(network.cores):
-            a, n = np.nonzero(core.crossbar)
-            w = core.weights[n, core.axon_types[a]]
-            rows.append(a + axon_base[i])
-            cols.append(n + neuron_base[i])
-            vals.append(w)
-            self.row_nnz[axon_base[i] : axon_base[i + 1]] = core.crossbar.sum(axis=1)
-        if rows:
-            self.weight_matrix = sparse.csr_matrix(
-                (
-                    np.concatenate(vals).astype(np.int64),
-                    (np.concatenate(rows), np.concatenate(cols)),
-                ),
-                shape=(self.n_axons, self.n_neurons),
-            )
-        else:
-            self.weight_matrix = sparse.csr_matrix(
-                (self.n_axons, self.n_neurons), dtype=np.int64
-            )
-
-        def flat(attr):
-            return np.concatenate(
-                [np.asarray(getattr(core, attr), dtype=np.int64) for core in network.cores]
-            )
-
-        self.leak = flat("leak")
-        self.leak_reversal = flat("leak_reversal").astype(bool)
-        self.threshold = flat("threshold")
-        self.neg_threshold = flat("neg_threshold")
-        self.reset_value = flat("reset_value")
-        self.reset_mode = flat("reset_mode")
-        self.neg_floor_mode = flat("neg_floor_mode")
-        self.v = flat("initial_v")
-
-        # Routing: neuron -> global target axon (or -1) and delay.
-        target_axon = np.full(self.n_neurons, -1, dtype=np.int64)
-        delay = np.ones(self.n_neurons, dtype=np.int64)
-        for i, core in enumerate(network.cores):
-            sl = slice(neuron_base[i], neuron_base[i + 1])
-            routed = core.target_core != OUTPUT_TARGET
-            ta = np.full(core.n_neurons, -1, dtype=np.int64)
-            ta[routed] = axon_base[core.target_core[routed]] + core.target_axon[routed]
-            target_axon[sl] = ta
-            delay[sl] = core.delay
-        self.target_axon = target_axon
-        self.delay = delay
-
-        self.buffers = np.zeros((params.DELAY_SLOTS, self.n_axons), dtype=bool)
+        # Mutable per-run state (everything else is shared, read-only).
+        self.v = compiled.initial_v.copy()
+        self.buffers = np.zeros((params.DELAY_SLOTS, compiled.n_axons), dtype=bool)
         self.tick = 0
         self.counters = EventCounters()
-        self.counters.ensure_cores(network.n_cores)
+        self.counters.ensure_cores(compiled.n_cores)
         self._input_by_tick: dict[int, list[int]] = {}
 
     # -- input handling ----------------------------------------------------
@@ -121,14 +57,111 @@ class FastCompassSimulator:
         """Stage external input events as global axon indices."""
         if inputs is None:
             return
+        axon_base = self.compiled.axon_base
         for tick, core, axon in inputs:
             self._input_by_tick.setdefault(tick, []).append(
-                int(self.axon_base[core] + axon)
+                int(axon_base[core] + axon)
             )
 
-    # -- one tick ----------------------------------------------------------
-    def step(self) -> list[tuple[int, int, int]]:
-        """Advance the whole network one tick with flat vector ops."""
+    # -- tick phases -------------------------------------------------------
+    def _synapse_phase(self, active: np.ndarray, active_idx: np.ndarray) -> np.ndarray:
+        """Integrate this tick's deliveries: matvec + stochastic draws."""
+        c = self.compiled
+        syn = np.asarray(c.det_matrix_t.dot(active.astype(np.int64))).reshape(-1)
+
+        if c.any_stoch_synapse:
+            # Enumerate the active *stochastic* crosspoints from the CSR
+            # rows of spiking axons and draw one Bernoulli per event.
+            starts = c.stoch_indptr[active_idx]
+            counts = c.stoch_indptr[active_idx + 1] - starts
+            total = int(counts.sum())
+            if total:
+                cum = np.cumsum(counts)
+                flat = np.arange(total, dtype=np.int64) + np.repeat(
+                    starts - (cum - counts), counts
+                )
+                w = c.stoch_weight[flat]
+                rho = prng.draw_u8_multi(
+                    self.network.seed,
+                    prng.PURPOSE_SYNAPSE,
+                    c.stoch_core[flat],
+                    self.tick,
+                    c.stoch_unit[flat],
+                )
+                contrib = np.sign(w) * (rho < np.abs(w))
+                syn += np.bincount(
+                    c.stoch_col[flat], weights=contrib, minlength=c.n_neurons
+                ).astype(np.int64)
+
+        events_per_axon = c.row_nnz[active_idx]
+        self.counters.synaptic_events += int(events_per_axon.sum())
+        per_core = np.bincount(
+            c.core_of_axon[active_idx],
+            weights=events_per_axon,
+            minlength=c.n_cores,
+        ).astype(np.int64)
+        self.counters.synaptic_events_per_core += per_core
+        if per_core.size:
+            self.counters.max_core_events_per_tick = max(
+                self.counters.max_core_events_per_tick, int(per_core.max())
+            )
+        return syn
+
+    def _neuron_phase(self, syn: np.ndarray) -> np.ndarray:
+        """Leak, threshold, fire, reset — flat across every core."""
+        c = self.compiled
+        seed = self.network.seed
+        v = self.v + syn
+
+        # Leak (identical algebra to repro.core.neuron, flat): the
+        # deterministic contribution is dir * lam; stochastic-leak
+        # neurons replace |lam| with a Bernoulli(|lam|/256) unit step.
+        direction = np.where(c.leak_reversal, np.sign(v), 1)
+        leak = c.leak
+        if c.any_stoch_leak:
+            sl = c.stoch_leak_idx
+            rho = prng.draw_u8_multi(
+                seed, prng.PURPOSE_LEAK, c.core_of_neuron[sl], self.tick,
+                c.local_neuron[sl],
+            )
+            leak = leak.copy()
+            leak[sl] = np.sign(leak[sl]) * (rho < np.abs(leak[sl]))
+        v = np.clip(v + direction * leak, params.MEMBRANE_MIN, params.MEMBRANE_MAX)
+
+        # Threshold: theta = alpha + (rho16 & TM) on masked neurons.
+        theta = c.threshold
+        if c.any_stoch_threshold:
+            ti = c.stoch_threshold_idx
+            rho = prng.draw_u16_multi(
+                seed, prng.PURPOSE_THRESHOLD, c.core_of_neuron[ti], self.tick,
+                c.local_neuron[ti],
+            )
+            theta = theta.copy()
+            theta[ti] = theta[ti] + (rho & c.threshold_mask[ti])
+
+        spiked = v >= theta
+        v_reset = np.select(
+            [c.reset_mode == params.RESET_TO_VALUE,
+             c.reset_mode == params.RESET_LINEAR],
+            [c.reset_value, v - theta],
+            default=v,
+        )
+        v = np.where(spiked, v_reset, v)
+        below = (~spiked) & (v < -c.neg_threshold)
+        if below.any():
+            floored = np.where(
+                c.neg_floor_mode == params.NEG_FLOOR_SATURATE,
+                -c.neg_threshold,
+                -c.reset_value,
+            )
+            v = np.where(below, floored, v)
+        self.v = np.clip(v, params.MEMBRANE_MIN, params.MEMBRANE_MAX)
+        self.counters.neuron_updates += c.n_neurons
+        return spiked
+
+    def _advance(self) -> tuple[int, np.ndarray, np.ndarray]:
+        """Advance one tick; return (tick, fired core ids, local neurons)."""
+        c = self.compiled
         slot = self.tick % params.DELAY_SLOTS
         for ga in self._input_by_tick.pop(self.tick, ()):
             self.buffers[slot, ga] = True
@@ -138,80 +171,71 @@ class FastCompassSimulator:
         active_idx = np.nonzero(active)[0]
         self.counters.deliveries += int(active_idx.size)
 
-        # Synapse phase: one sparse matvec.
         if active_idx.size:
-            syn = np.asarray(
-                self.weight_matrix.T.dot(active.astype(np.int64))
-            ).reshape(-1)
-            events_per_axon = self.row_nnz[active_idx]
-            self.counters.synaptic_events += int(events_per_axon.sum())
-            per_core = np.bincount(
-                self.core_of_axon[active_idx],
-                weights=events_per_axon,
-                minlength=self.network.n_cores,
-            ).astype(np.int64)
-            self.counters.synaptic_events_per_core += per_core
-            if per_core.size:
-                self.counters.max_core_events_per_tick = max(
-                    self.counters.max_core_events_per_tick, int(per_core.max())
-                )
+            syn = self._synapse_phase(active, active_idx)
         else:
-            syn = np.zeros(self.n_neurons, dtype=np.int64)
+            syn = np.zeros(c.n_neurons, dtype=np.int64)
 
-        # Neuron phase (identical algebra to repro.core.neuron, flat).
-        v = self.v + syn
-        direction = np.where(self.leak_reversal, np.sign(v), 1)
-        v = np.clip(v + direction * self.leak, params.MEMBRANE_MIN, params.MEMBRANE_MAX)
-
-        spiked = v >= self.threshold
-        v_reset = np.select(
-            [self.reset_mode == params.RESET_TO_VALUE,
-             self.reset_mode == params.RESET_LINEAR],
-            [self.reset_value, v - self.threshold],
-            default=v,
-        )
-        v = np.where(spiked, v_reset, v)
-        below = (~spiked) & (v < -self.neg_threshold)
-        if below.any():
-            floored = np.where(
-                self.neg_floor_mode == params.NEG_FLOOR_SATURATE,
-                -self.neg_threshold,
-                -self.reset_value,
-            )
-            v = np.where(below, floored, v)
-        self.v = np.clip(v, params.MEMBRANE_MIN, params.MEMBRANE_MAX)
-        self.counters.neuron_updates += self.n_neurons
+        spiked = self._neuron_phase(syn)
 
         fired = np.nonzero(spiked)[0]
-        emitted: list[tuple[int, int, int]] = []
         if fired.size:
             self.counters.spikes += int(fired.size)
-            core_ids = np.searchsorted(self.neuron_base, fired, side="right") - 1
-            local = fired - self.neuron_base[core_ids]
-            emitted = [
-                (self.tick, int(c), int(n)) for c, n in zip(core_ids, local)
-            ]
+            core_ids = c.core_of_neuron[fired]
+            local = c.local_neuron[fired]
             # Network phase: vectorized delivery into the ring buffer.
-            routed = self.target_axon[fired] >= 0
-            dst = self.target_axon[fired[routed]]
-            when = (self.tick + self.delay[fired[routed]]) % params.DELAY_SLOTS
+            routed = c.target_axon[fired] >= 0
+            dst = c.target_axon[fired[routed]]
+            when = (self.tick + c.delay[fired[routed]]) % params.DELAY_SLOTS
             self.buffers[when, dst] = True
+        else:
+            core_ids = local = np.zeros(0, dtype=np.int64)
 
+        emitted_tick = self.tick
         self.tick += 1
         self.counters.ticks = self.tick
-        return emitted
+        return emitted_tick, core_ids, local
+
+    # -- public API --------------------------------------------------------
+    def step(self) -> list[tuple[int, int, int]]:
+        """Advance the whole network one tick with flat vector ops."""
+        tick, core_ids, local = self._advance()
+        return [(tick, int(cc), int(nn)) for cc, nn in zip(core_ids, local)]
 
     def run(self, n_ticks: int, inputs: InputSchedule | None = None) -> SpikeRecord:
-        """Run *n_ticks* ticks and return the spike record."""
+        """Run *n_ticks* ticks and return the spike record.
+
+        Spikes accumulate as per-tick numpy arrays and the record is
+        assembled array-at-once — no per-spike Python tuples on this
+        path.
+        """
         self.load_inputs(inputs)
-        events: list[tuple[int, int, int]] = []
+        ticks_acc: list[np.ndarray] = []
+        cores_acc: list[np.ndarray] = []
+        neurons_acc: list[np.ndarray] = []
         for _ in range(n_ticks):
-            events.extend(self.step())
-        return SpikeRecord.from_events(events, self.counters)
+            tick, core_ids, local = self._advance()
+            if core_ids.size:
+                ticks_acc.append(np.full(core_ids.size, tick, dtype=np.int64))
+                cores_acc.append(core_ids)
+                neurons_acc.append(local)
+        if ticks_acc:
+            return SpikeRecord.from_arrays(
+                np.concatenate(ticks_acc),
+                np.concatenate(cores_acc),
+                np.concatenate(neurons_acc),
+                self.counters,
+            )
+        return SpikeRecord.from_arrays(
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            self.counters,
+        )
 
 
 def run_fast_compass(
-    network: Network, n_ticks: int, inputs: InputSchedule | None = None
+    network: Network | CompiledNetwork, n_ticks: int, inputs: InputSchedule | None = None
 ) -> SpikeRecord:
     """Convenience one-shot FastCompass run."""
     return FastCompassSimulator(network).run(n_ticks, inputs)

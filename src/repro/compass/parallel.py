@@ -7,6 +7,11 @@ cores, exchanging spike events with the coordinator over pipes at every
 tick barrier — the kernel's "parallelism across threads" realized with
 Python's multiprocessing in place of MPI/OpenMP.
 
+Wire format: per-tick delivery batches and spike/routing replies travel
+as packed int64 numpy arrays (one ``(k, 3)`` block per direction), not
+per-event Python tuples — the same compressed-representation idea the
+paper credits for Compass's speed, applied to the pipe protocol.
+
 Determinism: the counter-based PRNG makes every worker's draws a pure
 function of (seed, core, tick, unit), so results are bit-identical to
 every other expression regardless of process scheduling — verified by
@@ -22,10 +27,10 @@ speed.
 from __future__ import annotations
 
 import multiprocessing as mp
-from collections import defaultdict
 
 import numpy as np
 
+from repro.compass.compile import CompiledNetwork, compile_network
 from repro.compass.partition import partition
 from repro.core import params
 from repro.core.counters import EventCounters
@@ -36,15 +41,17 @@ from repro.core.neuron import neuron_tick
 from repro.core.record import SpikeRecord
 
 _STOP = "stop"
+_EMPTY = np.zeros((0, 3), dtype=np.int64)
 
 
 def _worker_main(conn, cores, core_ids, seed):
     """Worker process: own a core partition, advance on command.
 
     Protocol per tick: receive ``(tick, deliveries)`` where deliveries
-    are (local_core_index, axon, absolute_tick) events to buffer; reply
-    with ``(spikes, outgoing, stats)`` where spikes are (tick,
-    global_core, neuron), outgoing are (global_target_core, axon,
+    are a ``(k, 3)`` int64 array of (local_core, axon, absolute_tick)
+    events to buffer; reply with ``(spikes, outgoing, stats)`` where
+    spikes is a ``(s, 2)`` int64 array of (global_core, neuron),
+    outgoing is a ``(m, 3)`` int64 array of (global_target_core, axon,
     absolute_tick), and stats are counter increments.
     """
     membranes = [core.initial_v.astype(np.int64).copy() for core in cores]
@@ -57,12 +64,12 @@ def _worker_main(conn, cores, core_ids, seed):
             conn.close()
             return
         tick, deliveries = message
-        for local, axon, when in deliveries:
+        for local, axon, when in deliveries.tolist():
             buffers[local][when % params.DELAY_SLOTS, axon] = True
 
         slot = tick % params.DELAY_SLOTS
-        spikes = []
-        outgoing = []
+        spike_blocks = []
+        outgoing_blocks = []
         stats = {
             "synaptic_events": 0,
             "spikes": 0,
@@ -89,28 +96,44 @@ def _worker_main(conn, cores, core_ids, seed):
             if fired.size == 0:
                 continue
             stats["spikes"] += int(fired.size)
-            spikes.extend((tick, gid, int(n)) for n in fired)
-            for n in fired:
-                target = int(core.target_core[n])
-                if target == OUTPUT_TARGET:
-                    continue
-                outgoing.append(
-                    (target, int(core.target_axon[n]), tick + int(core.delay[n]))
+            spike_blocks.append(
+                np.column_stack([np.full(fired.size, gid, dtype=np.int64), fired])
+            )
+            routed = core.target_core[fired] != OUTPUT_TARGET
+            if routed.any():
+                hit = fired[routed]
+                outgoing_blocks.append(
+                    np.column_stack([
+                        core.target_core[hit],
+                        core.target_axon[hit],
+                        tick + core.delay[hit],
+                    ]).astype(np.int64)
                 )
+        spikes = (
+            np.concatenate(spike_blocks) if spike_blocks
+            else np.zeros((0, 2), dtype=np.int64)
+        )
+        outgoing = np.concatenate(outgoing_blocks) if outgoing_blocks else _EMPTY
         conn.send((spikes, outgoing, stats))
 
 
 class ParallelCompassSimulator:
-    """Coordinator for a pool of worker-rank processes."""
+    """Coordinator for a pool of worker-rank processes.
+
+    Accepts a :class:`~repro.core.network.Network` or a pre-built
+    :class:`~repro.compass.compile.CompiledNetwork` (shared, not
+    rebuilt); workers receive only their own core partitions.
+    """
 
     def __init__(
         self,
-        network: Network,
+        network: Network | CompiledNetwork,
         n_workers: int = 2,
         partition_strategy: str = "load_balanced",
     ) -> None:
-        network.validate()
-        self.network = network
+        compiled = compile_network(network)
+        self.compiled = compiled
+        self.network = network = compiled.network
         self.n_workers = n_workers
         self.rank_of_core = partition(network, n_workers, partition_strategy)
         self.local_index = np.zeros(network.n_cores, dtype=np.int64)
@@ -146,6 +169,9 @@ class ParallelCompassSimulator:
         # _future_inputs until their own tick.
         self._staged: list[list] = [[] for _ in range(n_workers)]
         self._future_inputs: dict[int, list] = {}
+        # True while the matching worker owes us a reply; used by
+        # close() to drain a worker stuck mid-protocol.
+        self._awaiting = [False] * n_workers
         self._closed = False
 
     # -- input handling ----------------------------------------------------
@@ -167,14 +193,21 @@ class ParallelCompassSimulator:
         for rank, local, axon in self._future_inputs.pop(self.tick, ()):
             self._staged[rank].append((local, axon, self.tick))
         for rank, conn in enumerate(self._conns):
-            conn.send((self.tick, self._staged[rank]))
+            batch = (
+                np.asarray(self._staged[rank], dtype=np.int64)
+                if self._staged[rank] else _EMPTY
+            )
+            conn.send((self.tick, batch))
+            self._awaiting[rank] = True
             self._staged[rank] = []
 
         emitted: list[tuple[int, int, int]] = []
-        routed_by_pair = defaultdict(list)  # (src_rank, dst_rank) -> events
         for rank, conn in enumerate(self._conns):
             spikes, outgoing, stats = conn.recv()
-            emitted.extend(spikes)
+            self._awaiting[rank] = False
+            emitted.extend(
+                (self.tick, gid, neuron) for gid, neuron in spikes.tolist()
+            )
             self.counters.synaptic_events += stats["synaptic_events"]
             self.counters.spikes += stats["spikes"]
             self.counters.deliveries += stats["deliveries"]
@@ -183,16 +216,20 @@ class ParallelCompassSimulator:
                 self.counters.synaptic_events_per_core[gid] += n_events
                 if n_events > self.counters.max_core_events_per_tick:
                     self.counters.max_core_events_per_tick = n_events
-            for target, axon, when in outgoing:
-                dst_rank = int(self.rank_of_core[target])
-                routed_by_pair[(rank, dst_rank)].append(
-                    (int(self.local_index[target]), axon, when)
-                )
-        # Aggregated messaging: one message per non-empty cross-rank pair.
-        for (src, dst), deliveries in routed_by_pair.items():
-            self._staged[dst].extend(deliveries)
-            if src != dst:
-                self.counters.messages += 1
+            if outgoing.size == 0:
+                continue
+            # Aggregated messaging: one message per non-empty cross-rank
+            # pair; deliveries stage as (local_core, axon, when) rows.
+            targets = outgoing[:, 0]
+            dst_ranks = self.rank_of_core[targets]
+            staged_rows = np.column_stack([
+                self.local_index[targets], outgoing[:, 1], outgoing[:, 2]
+            ])
+            for dst in np.unique(dst_ranks).tolist():
+                mask = dst_ranks == dst
+                self._staged[dst].extend(map(tuple, staged_rows[mask].tolist()))
+                if dst != rank:
+                    self.counters.messages += 1
 
         self.tick += 1
         self.counters.ticks = self.tick
@@ -210,10 +247,25 @@ class ParallelCompassSimulator:
         return SpikeRecord.from_events(events, self.counters)
 
     def close(self) -> None:
-        """Terminate the worker pool."""
+        """Terminate the worker pool.
+
+        If a previous :meth:`step` raised mid-protocol, a worker may be
+        blocked in ``send`` on a full pipe (its reply never collected),
+        in which case it would never see the stop message and ``join``
+        would hang.  Drain any outstanding reply first so shutdown
+        cannot deadlock.
+        """
         if self._closed:
             return
         self._closed = True
+        for rank, conn in enumerate(self._conns):
+            if self._awaiting[rank]:
+                try:
+                    if conn.poll(1.0):
+                        conn.recv()
+                except (EOFError, OSError):
+                    pass
+                self._awaiting[rank] = False
         for conn in self._conns:
             try:
                 conn.send(_STOP)
@@ -233,7 +285,7 @@ class ParallelCompassSimulator:
 
 
 def run_parallel_compass(
-    network: Network,
+    network: Network | CompiledNetwork,
     n_ticks: int,
     inputs: InputSchedule | None = None,
     n_workers: int = 2,

@@ -19,6 +19,8 @@ integer update rules.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core import params
@@ -28,6 +30,7 @@ from repro.core.inputs import InputSchedule
 from repro.core.network import OUTPUT_TARGET, Network
 from repro.core.neuron import neuron_tick
 from repro.core.record import SpikeRecord
+from repro.compass.compile import CompiledNetwork, compile_network
 from repro.compass.partition import partition
 from repro.compass.simmpi import SimMPI
 
@@ -37,19 +40,25 @@ class CompassSimulator:
 
     def __init__(
         self,
-        network: Network,
+        network: Network | CompiledNetwork,
         n_ranks: int = 1,
         partition_strategy: str = "load_balanced",
         profile: bool = False,
     ) -> None:
         """Build a Compass simulator over *n_ranks* simulated MPI ranks.
 
+        Accepts a :class:`~repro.core.network.Network` or an already
+        compiled :class:`~repro.compass.compile.CompiledNetwork`; the
+        compiled artifact (flat initial state, validated configuration)
+        is shared across simulators instead of being rebuilt here.
+
         With ``profile=True`` the three kernel phases are wall-clock
         timed per tick into :attr:`phase_seconds` — the measurement
         Compass used to overlap communication with computation.
         """
-        network.validate()
-        self.network = network
+        compiled = compile_network(network)
+        self.compiled = compiled
+        self.network = network = compiled.network
         self.n_ranks = n_ranks
         self.profile = profile
         self.phase_seconds = {"synapse_neuron": 0.0, "network": 0.0}
@@ -62,8 +71,8 @@ class CompassSimulator:
         self.counters = EventCounters()
         self.counters.ensure_cores(network.n_cores)
         self.tick = 0
-        # Membrane state per core.
-        self.membranes = [core.initial_v.astype(np.int64).copy() for core in network.cores]
+        # Membrane state per core, sliced from the compiled flat V(0).
+        self.membranes = compiled.membranes_per_core()
         # Pending axon events: per core, a (DELAY_SLOTS, n_axons) ring buffer
         # indexed by delivery tick mod DELAY_SLOTS.
         self.axon_buffers = [
@@ -87,8 +96,6 @@ class CompassSimulator:
     # -- one tick --------------------------------------------------------------
     def step(self) -> list[tuple[int, int, int]]:
         """Advance the network one tick; return spikes (tick, core, neuron)."""
-        import time
-
         net = self.network
         seed = net.seed
         slot = self.tick % params.DELAY_SLOTS
@@ -140,11 +147,14 @@ class CompassSimulator:
             phase_start = now
 
         # Network phase: aggregated exchange, then delivery into buffers.
+        # ``messages`` accumulates per tick (see EventCounters), so count
+        # only this exchange's newly sent messages.
+        sent_before = self.mpi.messages_sent
         inboxes = self.mpi.exchange()
         for inbox in inboxes:
             for t_core, t_axon, when in inbox:
                 self.axon_buffers[t_core][when % params.DELAY_SLOTS, t_axon] = True
-        self.counters.messages = self.mpi.messages_sent
+        self.counters.messages += self.mpi.messages_sent - sent_before
 
         if self.profile:
             self.phase_seconds["network"] += time.perf_counter() - phase_start
@@ -165,7 +175,7 @@ class CompassSimulator:
 
 
 def run_compass(
-    network: Network,
+    network: Network | CompiledNetwork,
     n_ticks: int,
     inputs: InputSchedule | None = None,
     n_ranks: int = 1,

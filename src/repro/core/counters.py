@@ -24,7 +24,12 @@ class EventCounters:
     deliveries: int = 0  # axon events delivered (incl. external inputs)
     neuron_updates: int = 0  # neurons evaluated (leak/threshold) per tick
     hops: int = 0  # mesh router hops traversed by spike packets
-    messages: int = 0  # aggregated inter-rank messages (Compass expression)
+    # Aggregated inter-rank messages (Compass/Parallel expressions).
+    # Semantics: a cumulative tally over the whole run — every simulator
+    # *increments* this by the number of non-empty cross-rank (src, dst)
+    # pairs it exchanged each tick (never assigns a snapshot), so records
+    # from any expression merge and compare interchangeably.
+    messages: int = 0
     max_core_events_per_tick: int = 0  # busiest core-tick synaptic event load
     synaptic_events_per_core: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
 

@@ -149,6 +149,17 @@ class ReferenceKernel:
         for tick, core, axon in inputs:
             self.pending[tick].add((core, axon))
 
+    # Alias matching the common simulator surface (engine selection).
+    load_inputs = inject
+
+    def run(self, n_ticks: int, inputs: InputSchedule | None = None) -> SpikeRecord:
+        """Run *n_ticks* ticks and return the spike record."""
+        self.inject(inputs)
+        events: list[tuple[int, int, int]] = []
+        for _ in range(n_ticks):
+            events.extend(self.step())
+        return SpikeRecord.from_events(events, self.counters)
+
     def step(self) -> list[tuple[int, int, int]]:
         """Advance the whole network one tick; return spikes emitted."""
         deliveries = self.pending.pop(self.tick, set())
@@ -184,9 +195,4 @@ def run_kernel(
     network: Network, n_ticks: int, inputs: InputSchedule | None = None
 ) -> SpikeRecord:
     """Run the reference kernel for *n_ticks* and return the spike record."""
-    kernel = ReferenceKernel(network)
-    kernel.inject(inputs)
-    events: list[tuple[int, int, int]] = []
-    for _ in range(n_ticks):
-        events.extend(kernel.step())
-    return SpikeRecord.from_events(events, kernel.counters)
+    return ReferenceKernel(network).run(n_ticks, inputs)

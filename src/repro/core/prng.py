@@ -74,9 +74,46 @@ def _key(seed: int, purpose: int, core: int, tick: int, units: np.ndarray) -> np
     return _mix64(np.uint64(k) + _GOLDEN * u)
 
 
+def _key_multi(
+    seed: int, purpose: int, cores: np.ndarray, tick: int, units: np.ndarray
+) -> np.ndarray:
+    """Like :func:`_key` but vectorized over a per-unit *cores* array.
+
+    Bit-identical to calling :func:`_key` element-wise with each unit's
+    core id: the (seed, purpose) prefix mixes in exact Python integers,
+    then the core and tick stages run on uint64 arrays whose wrap-around
+    arithmetic matches the explicitly masked scalar chain.  This is what
+    lets a whole-network engine draw for crosspoints spanning many cores
+    in one call.
+    """
+    k0 = _mix64_int((seed & _MASK64) + _GOLDEN_INT * (purpose & 0xFFFFFFFF))
+    c = np.asarray(cores, dtype=np.uint64)
+    k = _mix64(np.uint64(k0) + _GOLDEN * c)
+    # Pre-wrap the tick term as a Python int: scalar uint64 overflow
+    # warns in numpy even though wrapping is exactly what we want here.
+    tick_term = np.uint64((_GOLDEN_INT * (tick & 0xFFFFFFFFFFFF)) & _MASK64)
+    k = _mix64(k + tick_term)
+    u = np.asarray(units, dtype=np.uint64)
+    return _mix64(k + _GOLDEN * u)
+
+
 def draw_u8(seed: int, purpose: int, core: int, tick: int, units: np.ndarray) -> np.ndarray:
     """Return uniform uint8 draws in [0, 255], one per entry of *units*."""
     return (_key(seed, purpose, core, tick, units) & _U8MASK).astype(np.int64)
+
+
+def draw_u8_multi(
+    seed: int, purpose: int, cores: np.ndarray, tick: int, units: np.ndarray
+) -> np.ndarray:
+    """Uniform uint8 draws for units living on per-unit *cores* ids."""
+    return (_key_multi(seed, purpose, cores, tick, units) & _U8MASK).astype(np.int64)
+
+
+def draw_u16_multi(
+    seed: int, purpose: int, cores: np.ndarray, tick: int, units: np.ndarray
+) -> np.ndarray:
+    """Uniform uint16 draws for units living on per-unit *cores* ids."""
+    return (_key_multi(seed, purpose, cores, tick, units) & _U16MASK).astype(np.int64)
 
 
 def draw_u16(seed: int, purpose: int, core: int, tick: int, units: np.ndarray) -> np.ndarray:

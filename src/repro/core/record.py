@@ -41,6 +41,32 @@ class SpikeRecord:
             counters=counters or EventCounters(),
         )
 
+    @staticmethod
+    def from_arrays(
+        ticks: np.ndarray,
+        cores: np.ndarray,
+        neurons: np.ndarray,
+        counters: EventCounters | None = None,
+    ) -> "SpikeRecord":
+        """Build a record from parallel (ticks, cores, neurons) arrays.
+
+        The array path avoids per-spike Python tuples entirely; the
+        canonical (tick, core, neuron) sort order matches
+        :meth:`from_events`, so records built either way compare equal.
+        """
+        ticks = np.asarray(ticks, dtype=np.int64)
+        cores = np.asarray(cores, dtype=np.int64)
+        neurons = np.asarray(neurons, dtype=np.int64)
+        if ticks.size:
+            order = np.lexsort((neurons, cores, ticks))
+            ticks, cores, neurons = ticks[order], cores[order], neurons[order]
+        return SpikeRecord(
+            ticks=ticks,
+            cores=cores,
+            neurons=neurons,
+            counters=counters or EventCounters(),
+        )
+
     @property
     def n_spikes(self) -> int:
         """Total number of recorded spikes."""

@@ -2,8 +2,9 @@
 
 The paper verified TrueNorth against Compass with 413,333 single-core
 and 7,536+289 full-chip regressions, 10k-100M time steps, with "not a
-single spike mismatch".  Here the three kernel expressions — reference
-kernel, Compass (multiple rank counts), TrueNorth (with and without the
+single spike mismatch".  Here the kernel expressions — reference
+kernel, Compass (multiple rank counts), the sparse FastCompass engine
+(including every stochastic mode), TrueNorth (with and without the
 detailed NoC) — are run over suites of randomized networks and compared
 spike-for-spike.
 
@@ -18,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.apps.recurrent import probabilistic_recurrent_network
 from repro.apps.workloads import characterization_workload
+from repro.compass.engine import run_engine
 from repro.compass.simulator import run_compass
 from repro.core.builders import poisson_inputs, random_network
 from repro.core.kernel import run_kernel
@@ -57,6 +59,7 @@ def single_core_regressions(
         ref = run_kernel(net, n_ticks, ins)
         for record in (
             run_compass(net, n_ticks, ins, n_ranks=1),
+            run_engine(net, n_ticks, ins, engine="auto"),  # sparse fast path
             run_truenorth(net, n_ticks, ins),
         ):
             report.n_regressions += 1
@@ -84,6 +87,7 @@ def multi_core_regressions(
         for record in (
             run_compass(net, n_ticks, ins, n_ranks=1),
             run_compass(net, n_ticks, ins, n_ranks=3, partition_strategy="round_robin"),
+            run_engine(net, n_ticks, ins, engine="fast"),  # sparse, stochastic
             run_parallel_compass(net, n_ticks, ins, n_workers=2),
             run_truenorth(net, n_ticks, ins),
             run_truenorth(net, n_ticks, ins, detailed_noc=True),
@@ -115,6 +119,7 @@ def recurrent_network_regressions(
         ref = run_kernel(net, n_ticks)
         for record in (
             run_compass(net, n_ticks, n_ranks=2),
+            run_engine(net, n_ticks, engine="auto"),  # sparse fast path
             run_truenorth(net, n_ticks),
         ):
             report.n_regressions += 1

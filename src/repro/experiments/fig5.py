@@ -122,19 +122,31 @@ def empirical_validation(
     neurons_per_core: int = 64,
     n_ticks: int = 200,
     seed: int = 11,
+    engine: str = "truenorth",
 ) -> dict:
     """Cross-check analytic event counts against a simulated network.
 
-    Runs a scaled recurrent network on the hardware expression, measures
-    its event counters, and compares the per-tick synaptic-event and
-    spike counts against the analytic workload model used by Fig. 5.
-    Returns both so benches can assert agreement.
+    Runs a scaled recurrent network on the chosen kernel expression,
+    measures its event counters, and compares the per-tick
+    synaptic-event and spike counts against the analytic workload model
+    used by Fig. 5.  Returns both so benches can assert agreement.
+
+    The default engine is the hardware expression (it additionally
+    accounts mesh hops, feeding the energy figure); any engine name from
+    :data:`repro.compass.engine.ENGINES` works — the sweep's stochastic
+    recurrent networks run end to end on the sparse ``"fast"`` /
+    ``"auto"`` path, with identical spike and synaptic-event counts.
     """
     net = probabilistic_recurrent_network(
         rate_hz, active_synapses, grid_side=grid_side,
         neurons_per_core=neurons_per_core, seed=seed,
     )
-    sim = TrueNorthSimulator(net, placement=chip_placement(grid_side))
+    if engine == "truenorth":
+        sim = TrueNorthSimulator(net, placement=chip_placement(grid_side))
+    else:
+        from repro.compass.engine import select_engine
+
+        sim = select_engine(net, engine)
     record = sim.run(n_ticks)
     c = record.counters
 

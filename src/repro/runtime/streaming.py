@@ -24,8 +24,11 @@ import numpy as np
 
 from repro.apps.transduction import rate_code_frame
 from repro.apps.video import Scene
+from repro.compass.compile import CompiledNetwork
+from repro.compass.engine import select_engine
 from repro.core import params
 from repro.core.inputs import InputSchedule
+from repro.core.network import Network
 from repro.utils.validation import require
 
 
@@ -86,8 +89,19 @@ class StreamingRuntime:
         ticks_per_frame: int = 33,
         max_rate: float = 0.8,
         seed: int = 0,
+        engine: str = "auto",
     ) -> None:
+        """Wrap *simulator* (or build one) in the streaming loop.
+
+        *simulator* may be any constructed kernel expression, or a
+        :class:`~repro.core.network.Network` /
+        :class:`~repro.compass.compile.CompiledNetwork`, in which case
+        :func:`repro.compass.engine.select_engine` constructs the
+        *engine* expression for it (``"auto"`` picks the sparse path).
+        """
         require(ticks_per_frame >= 1, "need at least one tick per frame")
+        if isinstance(simulator, (Network, CompiledNetwork)):
+            simulator = select_engine(simulator, engine)
         self.simulator = simulator
         self.input_pins = input_pins
         self.ticks_per_frame = ticks_per_frame

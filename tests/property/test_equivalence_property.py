@@ -61,24 +61,46 @@ class TestExpressionEquivalence:
         n_cores=st.integers(1, 4),
         size=st.sampled_from([4, 8, 12]),
         connectivity=st.floats(0.1, 0.9),
+        stochastic=st.booleans(),
         net_seed=st.integers(0, 2**31),
         sched=schedules(),
     )
     @settings(max_examples=25, deadline=None)
     def test_fast_compass_matches_kernel(
-        self, n_cores, size, connectivity, net_seed, sched
+        self, n_cores, size, connectivity, stochastic, net_seed, sched
     ):
         from repro.compass.fast import run_fast_compass
 
         net = random_network(
             n_cores=n_cores, n_axons=size, n_neurons=size,
-            connectivity=connectivity, stochastic=False, seed=net_seed,
+            connectivity=connectivity, stochastic=stochastic, seed=net_seed,
         )
         rate, seed = sched
         ins = poisson_inputs(net, 15, rate, seed=seed)
         ref = run_kernel(net, 15, ins)
         got = run_fast_compass(net, 15, ins)
         assert got.first_mismatch(ref) is None
+
+    @given(net=small_networks(), sched=schedules())
+    @settings(max_examples=25, deadline=None)
+    def test_sparse_engine_three_way_stochastic(self, net, sched):
+        # FastCompass ≡ ReferenceKernel ≡ CompassSimulator spike-for-spike
+        # on networks exercising stochastic synapse, stochastic leak and
+        # masked-threshold modes (small_networks draws all of them), with
+        # randomized seeds and per-neuron delays.
+        from repro.compass.engine import select_engine
+        from repro.compass.fast import FastCompassSimulator, run_fast_compass
+
+        rate, seed = sched
+        ins = poisson_inputs(net, 15, rate, seed=seed)
+        ref = run_kernel(net, 15, ins)
+        fast = run_fast_compass(net, 15, ins)
+        std = run_compass(net, 15, ins)
+        assert fast.first_mismatch(ref) is None
+        assert std.first_mismatch(fast) is None
+        # The auto selector routes every network — stochastic included —
+        # to the sparse path.
+        assert isinstance(select_engine(net, "auto"), FastCompassSimulator)
 
     @given(
         net=small_networks(),

@@ -1,0 +1,149 @@
+"""Tests for network compilation, caching, and engine selection."""
+
+import numpy as np
+import pytest
+
+from repro.compass import compile as compile_mod
+from repro.compass.compile import CompiledNetwork, compile_network, invalidate
+from repro.compass.engine import ENGINES, run_engine, select_engine
+from repro.compass.fast import FastCompassSimulator
+from repro.compass.parallel import ParallelCompassSimulator
+from repro.compass.simulator import CompassSimulator
+from repro.core import prng
+from repro.core.builders import poisson_inputs, random_network
+from repro.core.kernel import ReferenceKernel, run_kernel
+from repro.core.record import SpikeRecord
+from repro.hardware.simulator import TrueNorthSimulator
+
+
+class TestCompiledNetwork:
+    def test_compile_is_cached_per_network(self):
+        net = random_network(n_cores=3, stochastic=True, seed=1)
+        before = compile_mod.n_builds()
+        a = compile_network(net)
+        b = compile_network(net)
+        assert a is b
+        assert compile_mod.n_builds() == before + 1
+
+    def test_simulators_share_one_artifact(self):
+        net = random_network(n_cores=3, stochastic=True, seed=2)
+        compiled = compile_network(net)
+        before = compile_mod.n_builds()
+        sims = [
+            FastCompassSimulator(net),
+            FastCompassSimulator(compiled),
+            CompassSimulator(compiled, n_ranks=2),
+        ]
+        assert compile_mod.n_builds() == before  # no rebuild anywhere
+        assert all(s.compiled is compiled for s in sims)
+
+    def test_invalidate_forces_rebuild(self):
+        net = random_network(n_cores=2, seed=3)
+        a = compile_network(net)
+        invalidate(net)
+        b = compile_network(net)
+        assert a is not b
+
+    def test_flat_layout_consistency(self):
+        net = random_network(n_cores=4, n_axons=8, n_neurons=12, stochastic=True, seed=4)
+        c = compile_network(net)
+        assert c.n_axons == sum(core.n_axons for core in net.cores)
+        assert c.n_neurons == net.n_neurons
+        assert c.weight_matrix.shape == (c.n_axons, c.n_neurons)
+        assert c.det_matrix_t.shape == (c.n_neurons, c.n_axons)
+        # every programmed crosspoint is either deterministic or stochastic
+        assert c.weight_matrix.nnz == int(c.row_nnz.sum())
+        assert c.stoch_indptr[-1] == c.stoch_col.size
+        # stochastic unit indices encode (local axon, local neuron)
+        if c.stoch_unit.size:
+            assert (c.stoch_unit >= 0).all()
+        # per-neuron maps invert the base offsets
+        gids = np.arange(c.n_neurons)
+        assert np.array_equal(
+            c.neuron_base[c.core_of_neuron] + c.local_neuron, gids
+        )
+
+    def test_stochastic_flags(self):
+        det = random_network(n_cores=2, stochastic=False, seed=5)
+        sto = random_network(n_cores=2, stochastic=True, seed=5)
+        assert not compile_network(det).is_stochastic
+        assert compile_network(sto).is_stochastic
+
+
+class TestEngineSelection:
+    def test_auto_picks_sparse_path(self):
+        net = random_network(n_cores=2, stochastic=True, seed=6)
+        assert isinstance(select_engine(net), FastCompassSimulator)
+        assert isinstance(select_engine(net, "auto"), FastCompassSimulator)
+
+    def test_auto_falls_back_for_rank_features(self):
+        net = random_network(n_cores=2, seed=7)
+        assert isinstance(select_engine(net, n_ranks=2), CompassSimulator)
+        assert isinstance(select_engine(net, profile=True), CompassSimulator)
+
+    def test_explicit_engines(self):
+        net = random_network(n_cores=2, seed=8)
+        assert isinstance(select_engine(net, "fast"), FastCompassSimulator)
+        assert isinstance(select_engine(net, "compass"), CompassSimulator)
+        assert isinstance(select_engine(net, "truenorth"), TrueNorthSimulator)
+        assert isinstance(select_engine(net, "reference"), ReferenceKernel)
+        par = select_engine(net, "parallel", n_workers=2)
+        try:
+            assert isinstance(par, ParallelCompassSimulator)
+        finally:
+            par.close()
+
+    def test_unknown_engine_rejected(self):
+        net = random_network(n_cores=1, seed=9)
+        with pytest.raises(ValueError, match="unknown engine"):
+            select_engine(net, "warp")
+
+    def test_engines_accept_compiled_artifact(self):
+        net = random_network(n_cores=2, stochastic=True, seed=10)
+        compiled = compile_network(net)
+        ins = poisson_inputs(net, 12, 300.0, seed=1)
+        ref = run_kernel(net, 12, ins)
+        for engine in ENGINES:
+            kwargs = {"n_workers": 2} if engine == "parallel" else {}
+            got = run_engine(compiled, 12, ins, engine=engine, **kwargs)
+            assert got.first_mismatch(ref) is None, engine
+
+    def test_run_engine_matches_reference_on_stochastic(self):
+        net = random_network(n_cores=3, stochastic=True, seed=11)
+        ins = poisson_inputs(net, 20, 400.0, seed=2)
+        ref = run_kernel(net, 20, ins)
+        assert run_engine(net, 20, ins) == ref
+
+
+class TestMultiCorePrngDraws:
+    def test_multi_matches_scalar_chain(self):
+        rng = np.random.default_rng(0)
+        cores = rng.integers(0, 64, size=200)
+        units = rng.integers(0, 1 << 16, size=200)
+        for purpose in (prng.PURPOSE_SYNAPSE, prng.PURPOSE_LEAK, prng.PURPOSE_THRESHOLD):
+            got8 = prng.draw_u8_multi(7, purpose, cores, 13, units)
+            got16 = prng.draw_u16_multi(7, purpose, cores, 13, units)
+            for i in range(cores.size):
+                assert got8[i] == prng.draw_u8_scalar(7, purpose, int(cores[i]), 13, int(units[i]))
+                assert got16[i] == prng.draw_u16_scalar(7, purpose, int(cores[i]), 13, int(units[i]))
+
+
+class TestSpikeRecordArrays:
+    def test_from_arrays_matches_from_events(self):
+        rng = np.random.default_rng(3)
+        n = 200
+        ticks = rng.integers(0, 20, size=n)
+        cores = rng.integers(0, 4, size=n)
+        neurons = rng.integers(0, 16, size=n)
+        events = list(zip(ticks.tolist(), cores.tolist(), neurons.tolist()))
+        a = SpikeRecord.from_events(events)
+        b = SpikeRecord.from_arrays(ticks, cores, neurons)
+        assert a == b
+
+    def test_from_arrays_empty(self):
+        rec = SpikeRecord.from_arrays(
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+        )
+        assert rec.n_spikes == 0

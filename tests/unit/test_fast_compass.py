@@ -36,10 +36,33 @@ class TestFastCompassEquivalence:
             std.counters.synaptic_events_per_core,
         )
 
-    def test_rejects_stochastic_networks(self):
-        net = random_network(n_cores=2, stochastic=True, seed=3)
-        with pytest.raises(ValueError, match="stochastic"):
-            FastCompassSimulator(net)
+    @pytest.mark.parametrize("seed", [3, 17, 41])
+    def test_stochastic_networks_match_reference(self, seed):
+        # Stochastic synapse/leak/threshold modes run on the sparse path
+        # and stay bit-identical to the scalar reference kernel.
+        net = random_network(
+            n_cores=3, n_axons=12, n_neurons=12, connectivity=0.5,
+            stochastic=True, seed=seed,
+        )
+        ins = poisson_inputs(net, 25, 350.0, seed=seed + 7)
+        ref = run_kernel(net, 25, ins)
+        got = run_fast_compass(net, 25, ins)
+        assert got.first_mismatch(ref) is None
+        assert got == ref
+
+    def test_stochastic_counters_match_standard_compass(self):
+        net = random_network(n_cores=4, connectivity=0.5, stochastic=True, seed=11)
+        ins = poisson_inputs(net, 20, 400.0, seed=5)
+        std = run_compass(net, 20, ins)
+        fast = run_fast_compass(net, 20, ins)
+        assert fast == std
+        for field in ("synaptic_events", "spikes", "deliveries",
+                      "neuron_updates", "max_core_events_per_tick"):
+            assert getattr(fast.counters, field) == getattr(std.counters, field), field
+        assert np.array_equal(
+            fast.counters.synaptic_events_per_core,
+            std.counters.synaptic_events_per_core,
+        )
 
     def test_mixed_core_sizes(self):
         from repro.core.network import Core, Network

@@ -69,3 +69,31 @@ class TestParallelCompass:
         sim = ParallelCompassSimulator(net, n_workers=2)
         sim.run(5)
         assert all(not p.is_alive() for p in sim._procs)
+
+    def test_close_drains_workers_mid_protocol(self):
+        # If step() dies between scatter and gather, workers still owe a
+        # reply; close() must drain it so join cannot deadlock.
+        from repro.compass.parallel import _EMPTY
+
+        net = random_network(n_cores=4, connectivity=0.6, seed=6)
+        sim = ParallelCompassSimulator(net, n_workers=2)
+        for rank, conn in enumerate(sim._conns):
+            conn.send((0, _EMPTY))
+            sim._awaiting[rank] = True
+        sim.close()  # must not hang
+        assert all(not p.is_alive() for p in sim._procs)
+
+    def test_delivery_batches_travel_as_arrays(self):
+        # The wire protocol stages deliveries as packed int64 blocks.
+        net = random_network(n_cores=4, connectivity=0.6, seed=7)
+        ins = poisson_inputs(net, 10, 500.0, seed=3)
+        sim = ParallelCompassSimulator(net, n_workers=2)
+        try:
+            sim.load_inputs(ins)
+            for _ in range(10):
+                sim.step()
+            staged = [row for per_rank in sim._staged for row in per_rank]
+            for row in staged:
+                assert len(row) == 3
+        finally:
+            sim.close()
