@@ -144,8 +144,10 @@ def _cmd_simulate(args) -> int:
     from repro.io.model_files import load_network
 
     network = load_network(args.model)
+    workers = args.workers if args.workers == "auto" else int(args.workers)
     record = run_engine(
-        network, args.ticks, engine=args.expression, n_ranks=args.ranks
+        network, args.ticks, engine=args.expression, n_ranks=args.ranks,
+        n_workers=workers,
     )
     c = record.counters
     print(f"{network.name or args.model}: {network.n_cores} cores, "
@@ -215,6 +217,9 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--expression", choices=list(ENGINES), default="auto",
                     help="kernel expression to run (auto = sparse fast path)")
     ps.add_argument("--ranks", type=int, default=1)
+    ps.add_argument("--workers", default="auto",
+                    help="worker processes for the parallel engine "
+                         "('auto' sizes to the host and network)")
     ps.add_argument("--output", help="write output spikes to this AER file")
     ps.set_defaults(fn=_cmd_simulate)
 

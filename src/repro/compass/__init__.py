@@ -1,6 +1,12 @@
 """Compass: the software expression of the neurosynaptic kernel."""
 
-from repro.compass.compile import CompiledNetwork, compile_network
+from repro.compass.compile import (
+    CompiledNetwork,
+    CompiledPartition,
+    PartitionedNetwork,
+    compile_network,
+    partition_compiled,
+)
 from repro.compass.engine import ENGINES, run_engine, select_engine
 from repro.compass.partition import (
     partition,
@@ -10,14 +16,22 @@ from repro.compass.partition import (
     rank_loads,
 )
 from repro.compass.fast import FastCompassSimulator, run_fast_compass
-from repro.compass.parallel import ParallelCompassSimulator, run_parallel_compass
+from repro.compass.parallel import (
+    ParallelCompassSimulator,
+    auto_workers,
+    run_parallel_compass,
+)
 from repro.compass.simmpi import SimMPI
 from repro.compass.simulator import CompassSimulator, run_compass
 
 __all__ = [
     "ENGINES",
     "CompiledNetwork",
+    "CompiledPartition",
+    "PartitionedNetwork",
     "compile_network",
+    "partition_compiled",
+    "auto_workers",
     "select_engine",
     "run_engine",
     "partition",

@@ -253,6 +253,224 @@ def _build(network: Network) -> CompiledNetwork:
     )
 
 
+@dataclass(eq=False)
+class CompiledPartition:
+    """One rank's slice of a :class:`CompiledNetwork`.
+
+    Produced by :func:`partition_compiled`.  Axons and neurons live in a
+    *local* index space (the rank's owned cores concatenated in global
+    core order), but every PRNG coordinate — ``stoch_core``/``stoch_unit``
+    for synaptic draws, ``core_of_neuron``/``local_neuron`` for leak and
+    threshold draws — keeps its **global** value, so a partitioned run
+    observes bit-identical random streams (and therefore bit-identical
+    spikes) to the whole-network engines regardless of the partitioning.
+
+    Attribute names deliberately mirror :class:`CompiledNetwork` so the
+    vectorized tick phases in :mod:`repro.compass.fast`
+    (:func:`~repro.compass.fast.integrate_deliveries`,
+    :func:`~repro.compass.fast.update_neurons`) run unchanged on either.
+    """
+
+    rank: int
+    n_ranks: int
+    seed: int
+
+    # -- owned cores and local geometry -----------------------------------
+    core_ids: np.ndarray  # (C_r,) global ids of owned cores, ascending
+    n_axons: int  # local axon count A_r
+    n_neurons: int  # local neuron count N_r
+    axon_global: np.ndarray  # (A_r,) global axon id per local axon
+    neuron_global: np.ndarray  # (N_r,) global neuron id per local neuron
+    core_of_axon: np.ndarray  # (A_r,) global owning core per local axon
+    core_of_neuron: np.ndarray  # (N_r,) global owning core (PRNG coordinate)
+    local_neuron: np.ndarray  # (N_r,) per-core local index (PRNG coordinate)
+    core_slot_of_axon: np.ndarray  # (A_r,) position of owning core in core_ids
+
+    # -- synapse state (local rows/cols, global PRNG coords) ---------------
+    det_matrix_t: sparse.csr_matrix  # (N_r, A_r) deterministic matvec slice
+    row_nnz: np.ndarray  # (A_r,) programmed crosspoints per local axon
+    stoch_indptr: np.ndarray  # (A_r+1,) CSR pointer over stochastic entries
+    stoch_col: np.ndarray  # (S_r,) *local* target neuron per entry
+    stoch_core: np.ndarray  # (S_r,) global core id (PRNG coordinate)
+    stoch_unit: np.ndarray  # (S_r,) local (axon, neuron) PRNG unit index
+    stoch_weight: np.ndarray  # (S_r,) signed weight
+
+    # -- neuron parameter vectors (sliced) ---------------------------------
+    leak: np.ndarray
+    leak_reversal: np.ndarray
+    stoch_leak_idx: np.ndarray  # local indices of stochastic-leak neurons
+    threshold: np.ndarray
+    threshold_mask: np.ndarray
+    stoch_threshold_idx: np.ndarray  # local indices with non-zero mask
+    neg_threshold: np.ndarray
+    reset_value: np.ndarray
+    reset_mode: np.ndarray
+    neg_floor_mode: np.ndarray
+    initial_v: np.ndarray
+
+    # -- routing, pre-resolved to (rank, local axon) -----------------------
+    target_axon: np.ndarray  # (N_r,) global destination axon, -1 = output
+    target_rank: np.ndarray  # (N_r,) destination rank, -1 = output
+    target_local_axon: np.ndarray  # (N_r,) axon index local to the dst rank
+    delay: np.ndarray  # (N_r,) delivery delay in ticks
+
+    @property
+    def n_cores(self) -> int:
+        """Number of cores owned by this rank."""
+        return int(self.core_ids.size)
+
+    @property
+    def any_stoch_synapse(self) -> bool:
+        """True when any owned crosspoint is stochastic."""
+        return self.stoch_col.size > 0
+
+    @property
+    def any_stoch_leak(self) -> bool:
+        """True when any owned neuron uses stochastic leak."""
+        return self.stoch_leak_idx.size > 0
+
+    @property
+    def any_stoch_threshold(self) -> bool:
+        """True when any owned neuron uses a stochastic threshold mask."""
+        return self.stoch_threshold_idx.size > 0
+
+
+@dataclass(eq=False)
+class PartitionedNetwork:
+    """A :class:`CompiledNetwork` sliced into per-rank partitions.
+
+    Also carries the global-to-local axon maps the coordinator needs to
+    route external inputs and cross-rank spike deliveries.
+    """
+
+    compiled: CompiledNetwork
+    rank_of_core: np.ndarray  # (C,) owning rank per core
+    n_ranks: int
+    partitions: list[CompiledPartition]
+    rank_of_axon: np.ndarray  # (A,) owning rank per global axon
+    local_axon_of_global: np.ndarray  # (A,) local index on the owning rank
+
+
+def partition_compiled(
+    compiled: CompiledNetwork,
+    rank_of_core: np.ndarray,
+    n_ranks: int | None = None,
+) -> PartitionedNetwork:
+    """Slice *compiled* into per-rank :class:`CompiledPartition` artifacts.
+
+    *rank_of_core* maps every core to its owning rank (any strategy from
+    :mod:`repro.compass.partition`).  Slicing is pure bookkeeping: the
+    block-diagonal weight matrix means every synapse is core-local, so a
+    rank's matvec slice is exactly the rows/columns of its cores, and
+    only the spike-routing tables cross partition boundaries (resolved
+    here to ``(target_rank, target_local_axon)`` pairs so workers never
+    need a global lookup at tick time).
+    """
+    rank_of_core = np.asarray(rank_of_core, dtype=np.int64)
+    if n_ranks is None:
+        n_ranks = int(rank_of_core.max()) + 1 if rank_of_core.size else 1
+    if rank_of_core.shape != (compiled.n_cores,):
+        raise ValueError("rank_of_core must assign every core exactly once")
+
+    rank_of_axon = rank_of_core[compiled.core_of_axon]
+    rank_of_neuron = rank_of_core[compiled.core_of_neuron]
+    local_axon_of_global = np.zeros(compiled.n_axons, dtype=np.int64)
+    local_neuron_of_global = np.zeros(compiled.n_neurons, dtype=np.int64)
+    axon_sel, neuron_sel = [], []
+    for rank in range(n_ranks):
+        ax = np.nonzero(rank_of_axon == rank)[0]
+        nr = np.nonzero(rank_of_neuron == rank)[0]
+        local_axon_of_global[ax] = np.arange(ax.size)
+        local_neuron_of_global[nr] = np.arange(nr.size)
+        axon_sel.append(ax)
+        neuron_sel.append(nr)
+
+    stoch_leak_mask = np.zeros(compiled.n_neurons, dtype=bool)
+    stoch_leak_mask[compiled.stoch_leak_idx] = True
+    stoch_thr_mask = np.zeros(compiled.n_neurons, dtype=bool)
+    stoch_thr_mask[compiled.stoch_threshold_idx] = True
+
+    partitions = []
+    for rank in range(n_ranks):
+        ax, nr = axon_sel[rank], neuron_sel[rank]
+        core_ids = np.nonzero(rank_of_core == rank)[0]
+        core_slot = np.zeros(compiled.n_cores, dtype=np.int64)
+        core_slot[core_ids] = np.arange(core_ids.size)
+
+        # Stochastic crosspoint slice: the entries of the owned axons'
+        # CSR rows, re-pointed over the local axon index space.
+        starts = compiled.stoch_indptr[ax]
+        counts = compiled.stoch_indptr[ax + 1] - starts
+        total = int(counts.sum())
+        if total:
+            cum = np.cumsum(counts)
+            flat = np.arange(total, dtype=np.int64) + np.repeat(
+                starts - (cum - counts), counts
+            )
+        else:
+            flat = np.zeros(0, dtype=np.int64)
+        stoch_indptr = np.zeros(ax.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=stoch_indptr[1:])
+
+        # Routing, resolved to the destination rank's local axon space.
+        tgt = compiled.target_axon[nr]
+        routed = tgt >= 0
+        target_rank = np.full(nr.size, -1, dtype=np.int64)
+        target_local = np.full(nr.size, -1, dtype=np.int64)
+        target_rank[routed] = rank_of_axon[tgt[routed]]
+        target_local[routed] = local_axon_of_global[tgt[routed]]
+
+        det_slice = compiled.det_matrix_t[nr][:, ax].tocsr() if nr.size else (
+            sparse.csr_matrix((0, ax.size), dtype=np.int64)
+        )
+
+        partitions.append(CompiledPartition(
+            rank=rank,
+            n_ranks=n_ranks,
+            seed=compiled.network.seed,
+            core_ids=core_ids,
+            n_axons=int(ax.size),
+            n_neurons=int(nr.size),
+            axon_global=ax,
+            neuron_global=nr,
+            core_of_axon=compiled.core_of_axon[ax],
+            core_of_neuron=compiled.core_of_neuron[nr],
+            local_neuron=compiled.local_neuron[nr],
+            core_slot_of_axon=core_slot[compiled.core_of_axon[ax]],
+            det_matrix_t=det_slice,
+            row_nnz=compiled.row_nnz[ax],
+            stoch_indptr=stoch_indptr,
+            stoch_col=local_neuron_of_global[compiled.stoch_col[flat]],
+            stoch_core=compiled.stoch_core[flat],
+            stoch_unit=compiled.stoch_unit[flat],
+            stoch_weight=compiled.stoch_weight[flat],
+            leak=compiled.leak[nr],
+            leak_reversal=compiled.leak_reversal[nr],
+            stoch_leak_idx=np.nonzero(stoch_leak_mask[nr])[0],
+            threshold=compiled.threshold[nr],
+            threshold_mask=compiled.threshold_mask[nr],
+            stoch_threshold_idx=np.nonzero(stoch_thr_mask[nr])[0],
+            neg_threshold=compiled.neg_threshold[nr],
+            reset_value=compiled.reset_value[nr],
+            reset_mode=compiled.reset_mode[nr],
+            neg_floor_mode=compiled.neg_floor_mode[nr],
+            initial_v=compiled.initial_v[nr],
+            target_axon=tgt,
+            target_rank=target_rank,
+            target_local_axon=target_local,
+            delay=compiled.delay[nr],
+        ))
+
+    return PartitionedNetwork(
+        compiled=compiled,
+        rank_of_core=rank_of_core,
+        n_ranks=n_ranks,
+        partitions=partitions,
+        rank_of_axon=rank_of_axon,
+        local_axon_of_global=local_axon_of_global,
+    )
+
+
 def compile_network(network: Network | CompiledNetwork) -> CompiledNetwork:
     """Return the compiled artifact for *network*, building at most once.
 

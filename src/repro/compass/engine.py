@@ -32,17 +32,22 @@ def select_engine(
     engine: str = "auto",
     *,
     n_ranks: int = 1,
-    n_workers: int = 2,
+    n_workers: int | str = "auto",
     partition_strategy: str = "load_balanced",
     profile: bool = False,
 ):
     """Construct a simulator for *network* under the named *engine*.
 
-    ``engine="auto"`` resolves to the sparse FastCompass path whenever
-    it applies — which, with stochastic modes now supported, is any
-    network — falling back to the rank-partitioned Compass expression
-    only when the caller requests rank-level behaviour (``n_ranks > 1``
-    or ``profile=True``, features the flat engine does not model).
+    ``engine="auto"`` resolves to the fastest applicable sparse
+    expression: the shared-memory partitioned parallel engine when the
+    network is at or above the benchmarked
+    :data:`repro.compass.parallel.AUTO_MIN_NEURONS` threshold *and* the
+    host has spare CPUs (see :func:`repro.compass.parallel.auto_workers`),
+    otherwise the single-process FastCompass path — so small-network
+    latency never pays the multi-process barrier.  It falls back to the
+    rank-partitioned Compass expression only when the caller requests
+    rank-level behaviour (``n_ranks > 1`` or ``profile=True``, features
+    the flat engines do not model).
 
     The compass-family engines accept a pre-built
     :class:`CompiledNetwork` and share it; the hardware and reference
@@ -50,7 +55,16 @@ def select_engine(
     """
     require(engine in ENGINES, f"unknown engine {engine!r}; expected one of {ENGINES}")
     if engine == "auto":
-        engine = "compass" if (n_ranks > 1 or profile) else "fast"
+        if n_ranks > 1 or profile:
+            engine = "compass"
+        else:
+            from repro.compass.parallel import auto_workers
+
+            workers = auto_workers(compile_network(network))
+            if workers > 1:
+                engine, n_workers = "parallel", workers
+            else:
+                engine = "fast"
 
     if engine == "fast":
         from repro.compass.fast import FastCompassSimulator

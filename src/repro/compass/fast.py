@@ -16,6 +16,14 @@ crosspoints (enumerated from the CSR rows of spiking axons) and the
 stochastic neurons, and still observes bit-identical random streams to
 the scalar reference kernel.  Spike-for-spike equivalence across every
 mode is enforced by the equivalence suites.
+
+The two tick phases are module-level functions
+(:func:`integrate_deliveries`, :func:`update_neurons`) over any
+"compiled-like" artifact — a whole
+:class:`~repro.compass.compile.CompiledNetwork` or a per-rank
+:class:`~repro.compass.compile.CompiledPartition` — which is what lets
+the shared-memory :class:`~repro.compass.parallel.ParallelCompassSimulator`
+workers advance their partitions with exactly this vectorized code.
 """
 
 from __future__ import annotations
@@ -28,6 +36,119 @@ from repro.core.counters import EventCounters
 from repro.core.inputs import InputSchedule
 from repro.core.network import Network
 from repro.core.record import SpikeRecord
+
+
+def integrate_deliveries(
+    c, seed: int, tick: int, active: np.ndarray, active_idx: np.ndarray
+) -> np.ndarray:
+    """Synapse phase over artifact *c*: matvec + batched stochastic draws.
+
+    *c* is any compiled artifact exposing the sparse-engine attribute
+    set (``det_matrix_t``, the ``stoch_*`` crosspoint table) — the whole
+    network or one rank's partition.  *active* is the axon activity
+    vector in *c*'s index space; *active_idx* its nonzero indices.
+    Returns the per-neuron synaptic input vector.
+    """
+    syn = np.asarray(c.det_matrix_t.dot(active.astype(np.int64))).reshape(-1)
+
+    if c.any_stoch_synapse:
+        # Enumerate the active *stochastic* crosspoints from the CSR
+        # rows of spiking axons and draw one Bernoulli per event.  The
+        # (core, unit) PRNG coordinates are global even in a partition
+        # slice, so the stream is identical under any partitioning.
+        starts = c.stoch_indptr[active_idx]
+        counts = c.stoch_indptr[active_idx + 1] - starts
+        total = int(counts.sum())
+        if total:
+            cum = np.cumsum(counts)
+            flat = np.arange(total, dtype=np.int64) + np.repeat(
+                starts - (cum - counts), counts
+            )
+            w = c.stoch_weight[flat]
+            rho = prng.draw_u8_multi(
+                seed,
+                prng.PURPOSE_SYNAPSE,
+                c.stoch_core[flat],
+                tick,
+                c.stoch_unit[flat],
+            )
+            contrib = np.sign(w) * (rho < np.abs(w))
+            syn += np.bincount(
+                c.stoch_col[flat], weights=contrib, minlength=c.n_neurons
+            ).astype(np.int64)
+    return syn
+
+
+def update_neurons(
+    c, seed: int, tick: int, v: np.ndarray, syn: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Neuron phase over artifact *c*: leak, threshold, fire, reset.
+
+    Pure function of the membrane vector *v* and synaptic input *syn*;
+    returns ``(v_next, spiked)``.  Identical algebra to
+    :mod:`repro.core.neuron`, flat across every neuron of *c* —
+    ``core_of_neuron`` / ``local_neuron`` keep global PRNG coordinates
+    in partition slices.
+    """
+    v = v + syn
+
+    # Leak: the deterministic contribution is dir * lam; stochastic-leak
+    # neurons replace |lam| with a Bernoulli(|lam|/256) unit step.
+    direction = np.where(c.leak_reversal, np.sign(v), 1)
+    leak = c.leak
+    if c.any_stoch_leak:
+        sl = c.stoch_leak_idx
+        rho = prng.draw_u8_multi(
+            seed, prng.PURPOSE_LEAK, c.core_of_neuron[sl], tick,
+            c.local_neuron[sl],
+        )
+        leak = leak.copy()
+        leak[sl] = np.sign(leak[sl]) * (rho < np.abs(leak[sl]))
+    v = np.clip(v + direction * leak, params.MEMBRANE_MIN, params.MEMBRANE_MAX)
+
+    # Threshold: theta = alpha + (rho16 & TM) on masked neurons.
+    theta = c.threshold
+    if c.any_stoch_threshold:
+        ti = c.stoch_threshold_idx
+        rho = prng.draw_u16_multi(
+            seed, prng.PURPOSE_THRESHOLD, c.core_of_neuron[ti], tick,
+            c.local_neuron[ti],
+        )
+        theta = theta.copy()
+        theta[ti] = theta[ti] + (rho & c.threshold_mask[ti])
+
+    spiked = v >= theta
+    v_reset = np.select(
+        [c.reset_mode == params.RESET_TO_VALUE,
+         c.reset_mode == params.RESET_LINEAR],
+        [c.reset_value, v - theta],
+        default=v,
+    )
+    v = np.where(spiked, v_reset, v)
+    below = (~spiked) & (v < -c.neg_threshold)
+    if below.any():
+        floored = np.where(
+            c.neg_floor_mode == params.NEG_FLOOR_SATURATE,
+            -c.neg_threshold,
+            -c.reset_value,
+        )
+        v = np.where(below, floored, v)
+    return np.clip(v, params.MEMBRANE_MIN, params.MEMBRANE_MAX), spiked
+
+
+def count_cross_core_messages(src_cores: np.ndarray, dst_cores: np.ndarray, n_cores: int) -> int:
+    """Aggregated message count for one tick's routed deliveries.
+
+    One message per non-empty cross-core (source, destination) pair —
+    the Compass aggregation rule at its finest granularity, where every
+    core is its own rank.  :class:`CompassSimulator` with
+    ``n_ranks=n_cores`` counts exactly this.
+    """
+    cross = src_cores != dst_cores
+    if not cross.any():
+        return 0
+    pairs = src_cores[cross] * np.int64(n_cores) + dst_cores[cross]
+    return int(np.unique(pairs).size)
 
 
 class FastCompassSimulator:
@@ -65,33 +186,9 @@ class FastCompassSimulator:
 
     # -- tick phases -------------------------------------------------------
     def _synapse_phase(self, active: np.ndarray, active_idx: np.ndarray) -> np.ndarray:
-        """Integrate this tick's deliveries: matvec + stochastic draws."""
+        """Integrate this tick's deliveries and account synaptic events."""
         c = self.compiled
-        syn = np.asarray(c.det_matrix_t.dot(active.astype(np.int64))).reshape(-1)
-
-        if c.any_stoch_synapse:
-            # Enumerate the active *stochastic* crosspoints from the CSR
-            # rows of spiking axons and draw one Bernoulli per event.
-            starts = c.stoch_indptr[active_idx]
-            counts = c.stoch_indptr[active_idx + 1] - starts
-            total = int(counts.sum())
-            if total:
-                cum = np.cumsum(counts)
-                flat = np.arange(total, dtype=np.int64) + np.repeat(
-                    starts - (cum - counts), counts
-                )
-                w = c.stoch_weight[flat]
-                rho = prng.draw_u8_multi(
-                    self.network.seed,
-                    prng.PURPOSE_SYNAPSE,
-                    c.stoch_core[flat],
-                    self.tick,
-                    c.stoch_unit[flat],
-                )
-                contrib = np.sign(w) * (rho < np.abs(w))
-                syn += np.bincount(
-                    c.stoch_col[flat], weights=contrib, minlength=c.n_neurons
-                ).astype(np.int64)
+        syn = integrate_deliveries(c, self.network.seed, self.tick, active, active_idx)
 
         events_per_axon = c.row_nnz[active_idx]
         self.counters.synaptic_events += int(events_per_axon.sum())
@@ -106,58 +203,6 @@ class FastCompassSimulator:
                 self.counters.max_core_events_per_tick, int(per_core.max())
             )
         return syn
-
-    def _neuron_phase(self, syn: np.ndarray) -> np.ndarray:
-        """Leak, threshold, fire, reset — flat across every core."""
-        c = self.compiled
-        seed = self.network.seed
-        v = self.v + syn
-
-        # Leak (identical algebra to repro.core.neuron, flat): the
-        # deterministic contribution is dir * lam; stochastic-leak
-        # neurons replace |lam| with a Bernoulli(|lam|/256) unit step.
-        direction = np.where(c.leak_reversal, np.sign(v), 1)
-        leak = c.leak
-        if c.any_stoch_leak:
-            sl = c.stoch_leak_idx
-            rho = prng.draw_u8_multi(
-                seed, prng.PURPOSE_LEAK, c.core_of_neuron[sl], self.tick,
-                c.local_neuron[sl],
-            )
-            leak = leak.copy()
-            leak[sl] = np.sign(leak[sl]) * (rho < np.abs(leak[sl]))
-        v = np.clip(v + direction * leak, params.MEMBRANE_MIN, params.MEMBRANE_MAX)
-
-        # Threshold: theta = alpha + (rho16 & TM) on masked neurons.
-        theta = c.threshold
-        if c.any_stoch_threshold:
-            ti = c.stoch_threshold_idx
-            rho = prng.draw_u16_multi(
-                seed, prng.PURPOSE_THRESHOLD, c.core_of_neuron[ti], self.tick,
-                c.local_neuron[ti],
-            )
-            theta = theta.copy()
-            theta[ti] = theta[ti] + (rho & c.threshold_mask[ti])
-
-        spiked = v >= theta
-        v_reset = np.select(
-            [c.reset_mode == params.RESET_TO_VALUE,
-             c.reset_mode == params.RESET_LINEAR],
-            [c.reset_value, v - theta],
-            default=v,
-        )
-        v = np.where(spiked, v_reset, v)
-        below = (~spiked) & (v < -c.neg_threshold)
-        if below.any():
-            floored = np.where(
-                c.neg_floor_mode == params.NEG_FLOOR_SATURATE,
-                -c.neg_threshold,
-                -c.reset_value,
-            )
-            v = np.where(below, floored, v)
-        self.v = np.clip(v, params.MEMBRANE_MIN, params.MEMBRANE_MAX)
-        self.counters.neuron_updates += c.n_neurons
-        return spiked
 
     def _advance(self) -> tuple[int, np.ndarray, np.ndarray]:
         """Advance one tick; return (tick, fired core ids, local neurons)."""
@@ -176,7 +221,8 @@ class FastCompassSimulator:
         else:
             syn = np.zeros(c.n_neurons, dtype=np.int64)
 
-        spiked = self._neuron_phase(syn)
+        self.v, spiked = update_neurons(c, self.network.seed, self.tick, self.v, syn)
+        self.counters.neuron_updates += c.n_neurons
 
         fired = np.nonzero(spiked)[0]
         if fired.size:
@@ -185,9 +231,13 @@ class FastCompassSimulator:
             local = c.local_neuron[fired]
             # Network phase: vectorized delivery into the ring buffer.
             routed = c.target_axon[fired] >= 0
-            dst = c.target_axon[fired[routed]]
-            when = (self.tick + c.delay[fired[routed]]) % params.DELAY_SLOTS
+            rf = fired[routed]
+            dst = c.target_axon[rf]
+            when = (self.tick + c.delay[rf]) % params.DELAY_SLOTS
             self.buffers[when, dst] = True
+            self.counters.messages += count_cross_core_messages(
+                c.core_of_neuron[rf], c.core_of_axon[dst], c.n_cores
+            )
         else:
             core_ids = local = np.zeros(0, dtype=np.int64)
 
@@ -197,8 +247,17 @@ class FastCompassSimulator:
         return emitted_tick, core_ids, local
 
     # -- public API --------------------------------------------------------
+    def step_arrays(self) -> tuple[int, np.ndarray, np.ndarray]:
+        """Advance one tick; return ``(tick, core_ids, neurons)`` arrays.
+
+        The array-returning hot path: no per-spike Python tuples are
+        materialized, which is what the streaming runtime drives for
+        single-tick stepping.
+        """
+        return self._advance()
+
     def step(self) -> list[tuple[int, int, int]]:
-        """Advance the whole network one tick with flat vector ops."""
+        """Advance the whole network one tick; return spike tuples."""
         tick, core_ids, local = self._advance()
         return [(tick, int(cc), int(nn)) for cc, nn in zip(core_ids, local)]
 

@@ -1,177 +1,330 @@
-"""ParallelCompass: real multi-process execution of the kernel.
+"""ParallelCompass: partitioned sparse execution over shared memory.
 
-The in-process :class:`~repro.compass.simulator.CompassSimulator`
-*simulates* Compass's communication structure; this module *executes*
-it: each simulated MPI rank becomes an OS process owning a partition of
-cores, exchanging spike events with the coordinator over pipes at every
-tick barrier — the kernel's "parallelism across threads" realized with
-Python's multiprocessing in place of MPI/OpenMP.
+The multi-process expression of the kernel, rebuilt as a real speedup
+rather than an architectural demo.  Compass's scalability came from
+compressed per-partition state plus cheap bulk exchange (paper III-B,
+Fig. 8); this module applies the same recipe with OS processes in place
+of MPI ranks:
 
-Wire format: per-tick delivery batches and spike/routing replies travel
-as packed int64 numpy arrays (one ``(k, 3)`` block per direction), not
-per-event Python tuples — the same compressed-representation idea the
-paper credits for Compass's speed, applied to the pipe protocol.
+* :func:`repro.compass.compile.partition_compiled` slices the global
+  CSR weight matrix, stochastic crosspoint tables, and flat
+  neuron/routing vectors into per-rank
+  :class:`~repro.compass.compile.CompiledPartition` artifacts (global
+  PRNG coordinates preserved, so spike streams stay bit-identical to
+  the whole-network engines);
+* each worker advances its partition with the *same vectorized tick*
+  as :class:`~repro.compass.fast.FastCompassSimulator`
+  (:func:`~repro.compass.fast.integrate_deliveries` +
+  :func:`~repro.compass.fast.update_neurons`) — no per-core Python
+  loop anywhere;
+* all bulk data moves through ``multiprocessing.shared_memory``: each
+  rank owns a ``DELAY_SLOTS x n_axons`` delivery ring slab plus
+  per-tick spike / outgoing / stats regions with small headers, and the
+  pipes carry only the tick number in each direction (the barrier /
+  control channel).
+
+Wire format per rank (all shared, coordinator-created):
+
+=========  =======================  =========================================
+region     shape (int64 unless      written by / read by
+           noted)
+=========  =======================  =========================================
+ring       bool (DELAY_SLOTS, A_r)  worker (local deliveries, slot consume);
+                                    coordinator (external inputs and
+                                    cross-rank deliveries, only at the
+                                    tick barrier)
+spikes     (1 + N_r,)               worker: header count + fired local
+                                    neuron indices; coordinator reads
+outbox     (1 + 3*N_r,)             worker: header count + (dst_rank,
+                                    dst_local_axon, abs_tick) rows for
+                                    remote deliveries; coordinator scatters
+stats      (4 + C_r,)               worker: deliveries, synaptic events,
+                                    spikes, neuron updates, then per-owned-
+                                    core synaptic events for this tick
+=========  =======================  =========================================
 
 Determinism: the counter-based PRNG makes every worker's draws a pure
 function of (seed, core, tick, unit), so results are bit-identical to
 every other expression regardless of process scheduling — verified by
-the equivalence tests.
-
-Note on performance: for the small networks used in tests the pipe
-round-trips dominate and the parallel version is *slower* than the
-vectorized single-process simulator; the point here is architectural
-fidelity (and a truthful baseline for the scaling discussion), not
-speed.
+the equivalence suites.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.compass.compile import CompiledNetwork, compile_network
+from repro.compass.compile import (
+    CompiledNetwork,
+    CompiledPartition,
+    compile_network,
+    partition_compiled,
+)
+from repro.compass.fast import integrate_deliveries, update_neurons
 from repro.compass.partition import partition
 from repro.core import params
 from repro.core.counters import EventCounters
-from repro.core.crossbar import synaptic_input
 from repro.core.inputs import InputSchedule
-from repro.core.network import OUTPUT_TARGET, Network
-from repro.core.neuron import neuron_tick
+from repro.core.network import Network
 from repro.core.record import SpikeRecord
+from repro.utils.validation import require
 
-_STOP = "stop"
-_EMPTY = np.zeros((0, 3), dtype=np.int64)
+_STOP = -1  # control-channel stop sentinel (any tick is >= 0)
+
+# stats region layout
+_ST_DELIVERIES = 0
+_ST_SYN_EVENTS = 1
+_ST_SPIKES = 2
+_ST_NEURON_UPDATES = 3
+_ST_N = 4
+
+#: ``engine="auto"`` routes to the parallel engine only at or above this
+#: many neurons.  Benchmarked in ``benchmarks/bench_parallel_scaling.py``:
+#: below ~8k neurons the per-tick barrier (two pipe messages per worker,
+#: ~100 us) outweighs the partitioned matvec win, and small-network
+#: latency would regress; above it the sparse tick dominates and splits
+#: near-linearly.
+AUTO_MIN_NEURONS = 8192
+
+#: Cap on ``n_workers="auto"`` — beyond this the per-rank slices of
+#: typical workloads are too thin to amortize the barrier.
+AUTO_MAX_WORKERS = 8
 
 
-def _worker_main(conn, cores, core_ids, seed):
-    """Worker process: own a core partition, advance on command.
+def _usable_cpus() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
-    Protocol per tick: receive ``(tick, deliveries)`` where deliveries
-    are a ``(k, 3)`` int64 array of (local_core, axon, absolute_tick)
-    events to buffer; reply with ``(spikes, outgoing, stats)`` where
-    spikes is a ``(s, 2)`` int64 array of (global_core, neuron),
-    outgoing is a ``(m, 3)`` int64 array of (global_target_core, axon,
-    absolute_tick), and stats are counter increments.
+
+def auto_workers(network: Network | CompiledNetwork) -> int:
+    """Worker count the ``"auto"`` engine policy would use for *network*.
+
+    Returns 1 (meaning: run single-process, the sparse fast path) when
+    the host has no spare cores or the network is below the benchmarked
+    :data:`AUTO_MIN_NEURONS` threshold; otherwise one worker per usable
+    CPU, capped by :data:`AUTO_MAX_WORKERS` and the core count.
     """
-    membranes = [core.initial_v.astype(np.int64).copy() for core in cores]
-    buffers = [
-        np.zeros((params.DELAY_SLOTS, core.n_axons), dtype=bool) for core in cores
-    ]
+    compiled = compile_network(network)
+    cpus = _usable_cpus()
+    if cpus < 2 or compiled.n_neurons < AUTO_MIN_NEURONS:
+        return 1
+    return max(2, min(AUTO_MAX_WORKERS, cpus, compiled.n_cores))
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach a worker to a coordinator-created segment.
+
+    Workers and coordinator share one resource-tracker process (its fd
+    is inherited through ``Process`` creation), so the worker's attach
+    registration is an idempotent set-add there and the coordinator's
+    ``unlink`` at :meth:`ParallelCompassSimulator.close` settles the
+    books — no extra register/unregister gymnastics needed.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def _worker_main(conn, part: CompiledPartition, shm_names: dict, seed: int) -> None:
+    """Worker process: advance one compiled partition on command.
+
+    Protocol per tick: receive the tick number on the control pipe, run
+    the vectorized tick phases on the shared regions, reply with the
+    same tick number once every region for that tick is complete.
+    """
+    ring_shm = _attach(shm_names["ring"])
+    spike_shm = _attach(shm_names["spikes"])
+    out_shm = _attach(shm_names["outbox"])
+    stats_shm = _attach(shm_names["stats"])
+
+    ring = np.ndarray(
+        (params.DELAY_SLOTS, part.n_axons), dtype=bool, buffer=ring_shm.buf
+    )
+    spike_buf = np.ndarray(1 + part.n_neurons, dtype=np.int64, buffer=spike_shm.buf)
+    out_buf = np.ndarray(1 + 3 * part.n_neurons, dtype=np.int64, buffer=out_shm.buf)
+    stats = np.ndarray(_ST_N + part.n_cores, dtype=np.int64, buffer=stats_shm.buf)
+
+    v = part.initial_v.copy()
     while True:
-        message = conn.recv()
-        if message == _STOP:
+        tick = conn.recv()
+        if tick == _STOP:
             conn.close()
             return
-        tick, deliveries = message
-        for local, axon, when in deliveries.tolist():
-            buffers[local][when % params.DELAY_SLOTS, axon] = True
 
         slot = tick % params.DELAY_SLOTS
-        spike_blocks = []
-        outgoing_blocks = []
-        stats = {
-            "synaptic_events": 0,
-            "spikes": 0,
-            "deliveries": 0,
-            "neuron_updates": 0,
-            "per_core": {},
-        }
-        for local, core in enumerate(cores):
-            gid = core_ids[local]
-            row = buffers[local][slot]
-            active = np.nonzero(row)[0]
+        row = ring[slot]
+        active_idx = np.nonzero(row)[0]
+        if active_idx.size:
+            active = row.copy()
             row[:] = False
-            stats["deliveries"] += int(active.size)
+            syn = integrate_deliveries(part, seed, tick, active, active_idx)
+        else:
+            syn = np.zeros(part.n_neurons, dtype=np.int64)
 
-            syn, n_events = synaptic_input(core, active, gid, tick, seed)
-            stats["synaptic_events"] += n_events
-            stats["per_core"][gid] = n_events
+        v, spiked = update_neurons(part, seed, tick, v, syn)
+        fired = np.nonzero(spiked)[0]
 
-            v, spiked = neuron_tick(core, membranes[local], syn, gid, tick, seed)
-            membranes[local] = v
-            stats["neuron_updates"] += core.n_neurons
+        spike_buf[1 : 1 + fired.size] = fired
+        spike_buf[0] = fired.size
 
-            fired = np.nonzero(spiked)[0]
-            if fired.size == 0:
-                continue
-            stats["spikes"] += int(fired.size)
-            spike_blocks.append(
-                np.column_stack([np.full(fired.size, gid, dtype=np.int64), fired])
-            )
-            routed = core.target_core[fired] != OUTPUT_TARGET
-            if routed.any():
-                hit = fired[routed]
-                outgoing_blocks.append(
-                    np.column_stack([
-                        core.target_core[hit],
-                        core.target_axon[hit],
-                        tick + core.delay[hit],
-                    ]).astype(np.int64)
-                )
-        spikes = (
-            np.concatenate(spike_blocks) if spike_blocks
-            else np.zeros((0, 2), dtype=np.int64)
-        )
-        outgoing = np.concatenate(outgoing_blocks) if outgoing_blocks else _EMPTY
-        conn.send((spikes, outgoing, stats))
+        n_remote = 0
+        if fired.size:
+            # Network phase: local targets go straight into our own ring
+            # slab; remote targets queue in the outbox for the barrier.
+            t_rank = part.target_rank[fired]
+            routed = t_rank >= 0
+            rf = fired[routed]
+            t_rank = t_rank[routed]
+            t_axon = part.target_local_axon[rf]
+            when = tick + part.delay[rf]
+            own = t_rank == part.rank
+            ring[when[own] % params.DELAY_SLOTS, t_axon[own]] = True
+            rem = ~own
+            n_remote = int(rem.sum())
+            if n_remote:
+                out_buf[1 : 1 + 3 * n_remote] = np.column_stack(
+                    [t_rank[rem], t_axon[rem], when[rem]]
+                ).ravel()
+        out_buf[0] = n_remote
+
+        events = part.row_nnz[active_idx]
+        stats[_ST_DELIVERIES] = active_idx.size
+        stats[_ST_SYN_EVENTS] = events.sum()
+        stats[_ST_SPIKES] = fired.size
+        stats[_ST_NEURON_UPDATES] = part.n_neurons
+        stats[_ST_N:] = np.bincount(
+            part.core_slot_of_axon[active_idx],
+            weights=events,
+            minlength=part.n_cores,
+        ).astype(np.int64)
+
+        conn.send(tick)
 
 
 class ParallelCompassSimulator:
-    """Coordinator for a pool of worker-rank processes.
+    """Coordinator for a pool of partitioned sparse worker processes.
 
     Accepts a :class:`~repro.core.network.Network` or a pre-built
     :class:`~repro.compass.compile.CompiledNetwork` (shared, not
-    rebuilt); workers receive only their own core partitions.
+    rebuilt).  The network is compiled and partitioned immediately;
+    workers and shared-memory segments are spawned lazily on first
+    :meth:`step`/:meth:`run`, and :meth:`run` may be called repeatedly
+    on the same object — each call re-spawns workers from the kept
+    partitioned artifact and performs an independent, fresh simulation.
+
+    ``n_workers="auto"`` picks :func:`auto_workers`'s recommendation.
     """
 
     def __init__(
         self,
         network: Network | CompiledNetwork,
-        n_workers: int = 2,
+        n_workers: int | str = 2,
         partition_strategy: str = "load_balanced",
     ) -> None:
         compiled = compile_network(network)
         self.compiled = compiled
-        self.network = network = compiled.network
+        self.network = compiled.network
+        if n_workers == "auto":
+            n_workers = auto_workers(compiled)
+        require(
+            isinstance(n_workers, int) and n_workers >= 1,
+            "n_workers must be a positive integer or 'auto'",
+        )
         self.n_workers = n_workers
-        self.rank_of_core = partition(network, n_workers, partition_strategy)
-        self.local_index = np.zeros(network.n_cores, dtype=np.int64)
-        core_ids_per_worker: list[list[int]] = [[] for _ in range(n_workers)]
-        for gid in range(network.n_cores):
-            rank = int(self.rank_of_core[gid])
-            self.local_index[gid] = len(core_ids_per_worker[rank])
-            core_ids_per_worker[rank].append(gid)
+        self.partition_strategy = partition_strategy
+        self.partitioned = partition_compiled(
+            compiled,
+            partition(self.network, n_workers, partition_strategy),
+            n_workers,
+        )
+        self.rank_of_core = self.partitioned.rank_of_core
 
-        ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
-        self._conns = []
-        self._procs = []
-        for rank in range(n_workers):
+        self.tick = 0
+        self.counters = EventCounters()
+        self.counters.ensure_cores(compiled.n_cores)
+        # External events held until their tick: tick -> [(rank, local_axon)].
+        self._future_inputs: dict[int, list[tuple[int, int]]] = {}
+
+        self._procs: list = []
+        self._conns: list = []
+        self._shms: list[dict] = []
+        self._rings: list[np.ndarray] = []
+        self._spike_bufs: list[np.ndarray] = []
+        self._out_bufs: list[np.ndarray] = []
+        self._stats: list[np.ndarray] = []
+        self._awaiting = [False] * n_workers
+        self._spawned = False
+        self._closed = False
+
+    # -- worker pool lifecycle ---------------------------------------------
+    def _spawn(self) -> None:
+        """Create shared segments and start one worker per partition."""
+        ctx = (
+            mp.get_context("fork")
+            if "fork" in mp.get_all_start_methods()
+            else mp.get_context()
+        )
+        self.tick = 0
+        self.counters = EventCounters()
+        self.counters.ensure_cores(self.compiled.n_cores)
+        self._awaiting = [False] * self.n_workers
+        self._procs, self._conns, self._shms = [], [], []
+        self._rings, self._spike_bufs, self._out_bufs, self._stats = [], [], [], []
+
+        for part in self.partitioned.partitions:
+            sizes = {
+                "ring": params.DELAY_SLOTS * part.n_axons,
+                "spikes": 8 * (1 + part.n_neurons),
+                "outbox": 8 * (1 + 3 * part.n_neurons),
+                "stats": 8 * (_ST_N + part.n_cores),
+            }
+            shms = {
+                key: shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+                for key, nbytes in sizes.items()
+            }
+            ring = np.ndarray(
+                (params.DELAY_SLOTS, part.n_axons), dtype=bool,
+                buffer=shms["ring"].buf,
+            )
+            ring[:] = False
+            spike_buf = np.ndarray(
+                1 + part.n_neurons, dtype=np.int64, buffer=shms["spikes"].buf
+            )
+            out_buf = np.ndarray(
+                1 + 3 * part.n_neurons, dtype=np.int64, buffer=shms["outbox"].buf
+            )
+            stats = np.ndarray(
+                _ST_N + part.n_cores, dtype=np.int64, buffer=shms["stats"].buf
+            )
+            spike_buf[0] = out_buf[0] = 0
+            stats[:] = 0
+
             parent, child = ctx.Pipe()
-            cores = [network.cores[g] for g in core_ids_per_worker[rank]]
             proc = ctx.Process(
                 target=_worker_main,
-                args=(child, cores, core_ids_per_worker[rank], network.seed),
+                args=(
+                    child,
+                    part,
+                    {key: shm.name for key, shm in shms.items()},
+                    self.network.seed,
+                ),
                 daemon=True,
             )
             proc.start()
             child.close()
-            self._conns.append(parent)
             self._procs.append(proc)
+            self._conns.append(parent)
+            self._shms.append(shms)
+            self._rings.append(ring)
+            self._spike_bufs.append(spike_buf)
+            self._out_bufs.append(out_buf)
+            self._stats.append(stats)
 
-        self.tick = 0
-        self.counters = EventCounters()
-        self.counters.ensure_cores(network.n_cores)
-        # deliveries staged per worker: (local_core, axon, abs_tick).
-        # Spike-generated events are at most MAX_DELAY ticks ahead, so
-        # they are ring-buffer safe to stage immediately; external inputs
-        # can be arbitrarily far in the future and are held back in
-        # _future_inputs until their own tick.
-        self._staged: list[list] = [[] for _ in range(n_workers)]
-        self._future_inputs: dict[int, list] = {}
-        # True while the matching worker owes us a reply; used by
-        # close() to drain a worker stuck mid-protocol.
-        self._awaiting = [False] * n_workers
+        self._spawned = True
         self._closed = False
 
     # -- input handling ----------------------------------------------------
@@ -179,85 +332,148 @@ class ParallelCompassSimulator:
         """Hold external events until their delivery tick arrives."""
         if inputs is None:
             return
+        axon_base = self.compiled.axon_base
+        local_of = self.partitioned.local_axon_of_global
         for tick, core, axon in inputs:
-            rank = int(self.rank_of_core[core])
+            ga = int(axon_base[core]) + axon
             self._future_inputs.setdefault(tick, []).append(
-                (rank, int(self.local_index[core]), axon)
+                (int(self.rank_of_core[core]), int(local_of[ga]))
             )
 
     # -- one tick ----------------------------------------------------------
-    def step(self) -> list[tuple[int, int, int]]:
-        """Advance one tick across all workers (scatter, compute, gather)."""
+    def step_arrays(self) -> tuple[int, np.ndarray, np.ndarray]:
+        """Advance one tick; return ``(tick, core_ids, neurons)`` arrays.
+
+        Scatter (external inputs into the shared ring slabs), compute
+        (workers, in parallel), gather (spikes + stats + cross-rank
+        deliveries redistributed at the barrier).
+        """
         if self._closed:
-            raise RuntimeError("simulator already closed")
-        for rank, local, axon in self._future_inputs.pop(self.tick, ()):
-            self._staged[rank].append((local, axon, self.tick))
-        for rank, conn in enumerate(self._conns):
-            batch = (
-                np.asarray(self._staged[rank], dtype=np.int64)
-                if self._staged[rank] else _EMPTY
+            raise RuntimeError(
+                "ParallelCompassSimulator is closed; call run() — which "
+                "re-spawns workers for a fresh simulation — or construct "
+                "a new simulator to continue stepping"
             )
-            conn.send((self.tick, batch))
+        if not self._spawned:
+            self._spawn()
+
+        slot = self.tick % params.DELAY_SLOTS
+        for rank, local_axon in self._future_inputs.pop(self.tick, ()):
+            self._rings[rank][slot, local_axon] = True
+
+        for rank, conn in enumerate(self._conns):
+            conn.send(self.tick)
             self._awaiting[rank] = True
-            self._staged[rank] = []
-
-        emitted: list[tuple[int, int, int]] = []
         for rank, conn in enumerate(self._conns):
-            spikes, outgoing, stats = conn.recv()
+            conn.recv()
             self._awaiting[rank] = False
-            emitted.extend(
-                (self.tick, gid, neuron) for gid, neuron in spikes.tolist()
-            )
-            self.counters.synaptic_events += stats["synaptic_events"]
-            self.counters.spikes += stats["spikes"]
-            self.counters.deliveries += stats["deliveries"]
-            self.counters.neuron_updates += stats["neuron_updates"]
-            for gid, n_events in stats["per_core"].items():
-                self.counters.synaptic_events_per_core[gid] += n_events
-                if n_events > self.counters.max_core_events_per_tick:
-                    self.counters.max_core_events_per_tick = n_events
-            if outgoing.size == 0:
-                continue
-            # Aggregated messaging: one message per non-empty cross-rank
-            # pair; deliveries stage as (local_core, axon, when) rows.
-            targets = outgoing[:, 0]
-            dst_ranks = self.rank_of_core[targets]
-            staged_rows = np.column_stack([
-                self.local_index[targets], outgoing[:, 1], outgoing[:, 2]
-            ])
-            for dst in np.unique(dst_ranks).tolist():
-                mask = dst_ranks == dst
-                self._staged[dst].extend(map(tuple, staged_rows[mask].tolist()))
-                if dst != rank:
-                    self.counters.messages += 1
 
+        cores_acc: list[np.ndarray] = []
+        neurons_acc: list[np.ndarray] = []
+        c = self.counters
+        for rank, part in enumerate(self.partitioned.partitions):
+            stats = self._stats[rank]
+            c.deliveries += int(stats[_ST_DELIVERIES])
+            c.synaptic_events += int(stats[_ST_SYN_EVENTS])
+            c.spikes += int(stats[_ST_SPIKES])
+            c.neuron_updates += int(stats[_ST_NEURON_UPDATES])
+            per_core = stats[_ST_N:]
+            if per_core.size:
+                c.synaptic_events_per_core[part.core_ids] += per_core
+                busiest = int(per_core.max())
+                if busiest > c.max_core_events_per_tick:
+                    c.max_core_events_per_tick = busiest
+
+            n_spikes = int(self._spike_bufs[rank][0])
+            if n_spikes:
+                fired = self._spike_bufs[rank][1 : 1 + n_spikes]
+                cores_acc.append(part.core_of_neuron[fired])
+                neurons_acc.append(part.local_neuron[fired])
+
+            n_out = int(self._out_bufs[rank][0])
+            if n_out:
+                rows = self._out_bufs[rank][1 : 1 + 3 * n_out].reshape(n_out, 3)
+                dst_ranks = rows[:, 0]
+                unique_dsts = np.unique(dst_ranks)
+                # One aggregated message per non-empty cross-rank pair
+                # (outboxes hold remote targets only), matching the
+                # Compass/SimMPI accounting.
+                c.messages += int(unique_dsts.size)
+                for dst in unique_dsts.tolist():
+                    hit = rows[dst_ranks == dst]
+                    self._rings[dst][
+                        hit[:, 2] % params.DELAY_SLOTS, hit[:, 1]
+                    ] = True
+
+        if cores_acc:
+            core_ids = np.concatenate(cores_acc)
+            neurons = np.concatenate(neurons_acc)
+            order = np.lexsort((neurons, core_ids))
+            core_ids, neurons = core_ids[order], neurons[order]
+        else:
+            core_ids = neurons = np.zeros(0, dtype=np.int64)
+
+        emitted_tick = self.tick
         self.tick += 1
-        self.counters.ticks = self.tick
-        return emitted
+        c.ticks = self.tick
+        return emitted_tick, core_ids, neurons
+
+    def step(self) -> list[tuple[int, int, int]]:
+        """Advance one tick; return spikes as (tick, core, neuron) tuples."""
+        tick, core_ids, neurons = self.step_arrays()
+        return [(tick, int(cc), int(nn)) for cc, nn in zip(core_ids, neurons)]
 
     def run(self, n_ticks: int, inputs: InputSchedule | None = None) -> SpikeRecord:
-        """Run *n_ticks*, shut the workers down, return the record."""
+        """Run *n_ticks*, shut the workers down, and return the record.
+
+        May be called again on the same object: on a fresh or
+        previously closed simulator, workers (re-)spawn from the kept
+        partitioned artifact and the run starts at tick 0 with fresh
+        state (pass that run's inputs here); on a live, partially
+        stepped simulator it continues from the current tick.
+        """
+        if self._closed or not self._spawned:
+            self._spawn()
         self.load_inputs(inputs)
-        events: list[tuple[int, int, int]] = []
+        ticks_acc: list[np.ndarray] = []
+        cores_acc: list[np.ndarray] = []
+        neurons_acc: list[np.ndarray] = []
         try:
             for _ in range(n_ticks):
-                events.extend(self.step())
+                tick, core_ids, neurons = self.step_arrays()
+                if core_ids.size:
+                    ticks_acc.append(np.full(core_ids.size, tick, dtype=np.int64))
+                    cores_acc.append(core_ids)
+                    neurons_acc.append(neurons)
         finally:
             self.close()
-        return SpikeRecord.from_events(events, self.counters)
+        if ticks_acc:
+            return SpikeRecord.from_arrays(
+                np.concatenate(ticks_acc),
+                np.concatenate(cores_acc),
+                np.concatenate(neurons_acc),
+                self.counters,
+            )
+        return SpikeRecord.from_arrays(
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            self.counters,
+        )
 
     def close(self) -> None:
-        """Terminate the worker pool.
+        """Terminate the worker pool and release the shared segments.
 
-        If a previous :meth:`step` raised mid-protocol, a worker may be
-        blocked in ``send`` on a full pipe (its reply never collected),
-        in which case it would never see the stop message and ``join``
-        would hang.  Drain any outstanding reply first so shutdown
-        cannot deadlock.
+        If a previous :meth:`step_arrays` raised mid-protocol a worker
+        may still owe a reply; drain it first so shutdown cannot
+        deadlock, then stop the workers and unlink every segment.
+        Idempotent; :meth:`run` re-spawns after a close.
         """
         if self._closed:
             return
         self._closed = True
+        if not self._spawned:
+            return
         for rank, conn in enumerate(self._conns):
             if self._awaiting[rank]:
                 try:
@@ -276,6 +492,21 @@ class ParallelCompassSimulator:
             proc.join(timeout=5)
             if proc.is_alive():
                 proc.terminate()
+        # Drop our views before closing the segments (numpy arrays hold
+        # exported buffers), then unlink — the coordinator owns them.
+        self._rings, self._spike_bufs, self._out_bufs, self._stats = [], [], [], []
+        for shms in self._shms:
+            for shm in shms.values():
+                try:
+                    shm.close()
+                except BufferError:  # pragma: no cover - lingering view
+                    pass
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+        self._shms = []
+        self._spawned = False
 
     def __del__(self):  # pragma: no cover - belt and braces
         try:
@@ -288,8 +519,11 @@ def run_parallel_compass(
     network: Network | CompiledNetwork,
     n_ticks: int,
     inputs: InputSchedule | None = None,
-    n_workers: int = 2,
+    n_workers: int | str = 2,
+    partition_strategy: str = "load_balanced",
 ) -> SpikeRecord:
     """Convenience one-shot parallel run."""
-    sim = ParallelCompassSimulator(network, n_workers=n_workers)
+    sim = ParallelCompassSimulator(
+        network, n_workers=n_workers, partition_strategy=partition_strategy
+    )
     return sim.run(n_ticks, inputs)

@@ -108,6 +108,31 @@ class StreamingRuntime:
         self.max_rate = max_rate
         self.seed = seed
 
+    def _tick(self, sink, tick_cursor: int, report: StreamReport) -> None:
+        """Advance one tick, preferring the array-returning hot path.
+
+        Engines exposing ``step_arrays()`` (the sparse and parallel
+        expressions) stay vectorized end to end: per-spike Python tuples
+        are materialized only when a *sink* actually consumes them.
+        """
+        step_arrays = getattr(self.simulator, "step_arrays", None)
+        if step_arrays is not None:
+            tick, core_ids, neurons = step_arrays()
+            report.output_spikes += int(core_ids.size)
+            if sink is not None:
+                sink(
+                    tick_cursor,
+                    [
+                        (tick, int(cc), int(nn))
+                        for cc, nn in zip(core_ids, neurons)
+                    ],
+                )
+            return
+        spikes = self.simulator.step()
+        report.output_spikes += len(spikes)
+        if sink is not None:
+            sink(tick_cursor, spikes)
+
     def run(
         self,
         source: FrameSource,
@@ -136,18 +161,12 @@ class StreamingRuntime:
             )
             self.simulator.load_inputs(schedule)
             for _ in range(self.ticks_per_frame):
-                spikes = self.simulator.step()
-                report.output_spikes += len(spikes)
-                if sink is not None:
-                    sink(tick_cursor, spikes)
+                self._tick(sink, tick_cursor, report)
                 tick_cursor += 1
                 report.ticks += 1
             report.frames += 1
         for _ in range(drain_ticks):
-            spikes = self.simulator.step()
-            report.output_spikes += len(spikes)
-            if sink is not None:
-                sink(tick_cursor, spikes)
+            self._tick(sink, tick_cursor, report)
             tick_cursor += 1
             report.ticks += 1
         report.wall_seconds = time.perf_counter() - start

@@ -102,6 +102,25 @@ class TestExpressionEquivalence:
         # to the sparse path.
         assert isinstance(select_engine(net, "auto"), FastCompassSimulator)
 
+    @given(net=small_networks(), sched=schedules(), n_workers=st.sampled_from([2, 3]))
+    @settings(max_examples=8, deadline=None)
+    def test_parallel_engine_three_way(self, net, sched, n_workers):
+        # ParallelCompass ≡ FastCompass ≡ ReferenceKernel spike-for-spike:
+        # the shared-memory partitioned expression observes the same
+        # counter-based PRNG streams as the whole-network engines.
+        # (Bounded example count: each example spawns a worker pool.)
+        from repro.compass.fast import run_fast_compass
+        from repro.compass.parallel import run_parallel_compass
+
+        rate, seed = sched
+        ins = poisson_inputs(net, 12, rate, seed=seed)
+        ref = run_kernel(net, 12, ins)
+        fast = run_fast_compass(net, 12, ins)
+        par = run_parallel_compass(net, 12, ins, n_workers=n_workers)
+        assert fast.first_mismatch(ref) is None
+        assert par.first_mismatch(fast) is None
+        assert par == ref
+
     @given(
         net=small_networks(),
         sched=schedules(),

@@ -104,6 +104,86 @@ class TestFastCompassEquivalence:
         assert rec.counters.neuron_updates == 10
 
 
+class TestMessageCounting:
+    @pytest.mark.parametrize("stochastic", [False, True])
+    def test_messages_match_per_core_compass(self, stochastic):
+        # FastCompass counts routed deliveries at the finest granularity:
+        # every core is its own rank, so the tally must equal the Compass
+        # expression partitioned one-core-per-rank.
+        net = random_network(
+            n_cores=5, connectivity=0.5, stochastic=stochastic, seed=29
+        )
+        ins = poisson_inputs(net, 15, 400.0, seed=3)
+        fast = run_fast_compass(net, 15, ins)
+        per_core = run_compass(
+            net, 15, ins, n_ranks=net.n_cores, partition_strategy="round_robin"
+        )
+        assert fast == per_core
+        assert fast.counters.messages == per_core.counters.messages
+        assert fast.counters.messages > 0
+
+    def test_self_connections_do_not_message(self):
+        from repro.core.network import Core, Network
+
+        core = Core.build(
+            n_axons=4, n_neurons=4, crossbar=np.eye(4, dtype=bool),
+            threshold=1, target_core=0, target_axon=np.arange(4), delay=1,
+        )
+        net = Network(cores=[core], seed=1)
+        ins = poisson_inputs(net, 10, 800.0, seed=2)
+        rec = run_fast_compass(net, 10, ins)
+        assert rec.counters.deliveries > 0
+        assert rec.counters.messages == 0
+
+    def test_count_cross_core_messages_unit(self):
+        from repro.compass.fast import count_cross_core_messages
+
+        src = np.array([0, 0, 1, 2, 2, 2])
+        dst = np.array([1, 1, 1, 0, 3, 0])
+        # pairs: (0,1)x2 -> 1, (1,1) self -> 0, (2,0)x2 -> 1, (2,3) -> 1
+        assert count_cross_core_messages(src, dst, 4) == 3
+        assert count_cross_core_messages(src[:0], dst[:0], 4) == 0
+
+
+class TestStepArrays:
+    def test_step_arrays_matches_step_tuples(self):
+        net = random_network(n_cores=3, stochastic=True, seed=30)
+        ins = poisson_inputs(net, 10, 500.0, seed=4)
+        a = FastCompassSimulator(net)
+        b = FastCompassSimulator(net)
+        a.load_inputs(ins)
+        b.load_inputs(ins)
+        for expected_tick in range(10):
+            tick, cores, neurons = a.step_arrays()
+            tuples = b.step()
+            assert tick == expected_tick
+            assert cores.dtype == np.int64 and neurons.dtype == np.int64
+            assert [(tick, int(cc), int(nn)) for cc, nn in zip(cores, neurons)] == tuples
+
+    def test_streaming_runtime_uses_array_path(self):
+        from repro.runtime.streaming import SceneSource, StreamingRuntime
+        from repro.apps.video import static_pattern, Scene
+        from repro.corelets.corelet import GlobalPin
+
+        net = random_network(n_cores=2, n_axons=16, n_neurons=8, seed=8)
+        scene = Scene(frames=static_pattern(4, 4, "noise", seed=3)[None], boxes=[])
+        pins = [GlobalPin(0, a) for a in range(16)]
+
+        calls = {"n": 0}
+        sim = FastCompassSimulator(net)
+        original = sim.step_arrays
+
+        def counting_step_arrays():
+            calls["n"] += 1
+            return original()
+
+        sim.step_arrays = counting_step_arrays
+        runtime = StreamingRuntime(sim, pins, ticks_per_frame=5)
+        report = runtime.run(SceneSource(scene), drain_ticks=2)
+        assert report.ticks == 7
+        assert calls["n"] == 7
+
+
 class TestFastCompassPerformance:
     def test_faster_than_standard_on_many_cores(self):
         import time

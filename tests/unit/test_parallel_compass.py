@@ -1,9 +1,14 @@
-"""Tests for the multi-process ParallelCompass expression."""
+"""Tests for the shared-memory partitioned ParallelCompass expression."""
 
 import numpy as np
 import pytest
 
-from repro.compass.parallel import ParallelCompassSimulator, run_parallel_compass
+from repro.compass.parallel import (
+    _STOP,
+    ParallelCompassSimulator,
+    auto_workers,
+    run_parallel_compass,
+)
 from repro.compass.simulator import run_compass
 from repro.core.builders import poisson_inputs, random_network
 from repro.core.kernel import run_kernel
@@ -21,12 +26,16 @@ class TestParallelCompass:
         assert got.first_mismatch(ref) is None
 
     def test_counters_match_in_process_compass(self):
+        # Same partitioning, same rank granularity: every counter —
+        # including the cross-rank message tally — must agree with the
+        # in-process Compass expression.
         net = random_network(n_cores=4, connectivity=0.5, seed=21)
         ins = poisson_inputs(net, 12, 400.0, seed=2)
         serial = run_compass(net, 12, ins, n_ranks=2)
         parallel = run_parallel_compass(net, 12, ins, n_workers=2)
         assert parallel == serial
-        for field in ("synaptic_events", "spikes", "deliveries", "neuron_updates"):
+        for field in ("synaptic_events", "spikes", "deliveries",
+                      "neuron_updates", "messages"):
             assert getattr(parallel.counters, field) == getattr(
                 serial.counters, field
             ), field
@@ -48,12 +57,12 @@ class TestParallelCompass:
         sim.step()
         sim.close()
         sim.close()
-        with pytest.raises(RuntimeError):
+        with pytest.raises(RuntimeError, match="closed"):
             sim.step()
 
     def test_far_future_inputs_not_aliased_into_ring_buffer(self):
         # Regression: external inputs beyond DELAY_SLOTS ticks ahead must
-        # not wrap into the 16-slot ring buffer early.
+        # not wrap into the 16-slot ring slab early.
         from repro.core.inputs import InputSchedule
 
         net = random_network(n_cores=2, n_axons=8, n_neurons=8, seed=3)
@@ -71,20 +80,24 @@ class TestParallelCompass:
         assert all(not p.is_alive() for p in sim._procs)
 
     def test_close_drains_workers_mid_protocol(self):
-        # If step() dies between scatter and gather, workers still owe a
-        # reply; close() must drain it so join cannot deadlock.
-        from repro.compass.parallel import _EMPTY
-
+        # If step_arrays() dies between scatter and gather, workers still
+        # owe a tick reply; close() must drain it so join cannot deadlock.
         net = random_network(n_cores=4, connectivity=0.6, seed=6)
         sim = ParallelCompassSimulator(net, n_workers=2)
+        sim.step()  # spawn the pool
         for rank, conn in enumerate(sim._conns):
-            conn.send((0, _EMPTY))
+            conn.send(sim.tick)
             sim._awaiting[rank] = True
         sim.close()  # must not hang
         assert all(not p.is_alive() for p in sim._procs)
 
-    def test_delivery_batches_travel_as_arrays(self):
-        # The wire protocol stages deliveries as packed int64 blocks.
+
+class TestSharedMemoryLifecycle:
+    def test_bulk_data_lives_in_shared_memory(self):
+        # The wire format is shared segments, not pickled pipe payloads:
+        # every per-rank region must be attachable by name while live.
+        from multiprocessing import shared_memory
+
         net = random_network(n_cores=4, connectivity=0.6, seed=7)
         ins = poisson_inputs(net, 10, 500.0, seed=3)
         sim = ParallelCompassSimulator(net, n_workers=2)
@@ -92,8 +105,105 @@ class TestParallelCompass:
             sim.load_inputs(ins)
             for _ in range(10):
                 sim.step()
-            staged = [row for per_rank in sim._staged for row in per_rank]
-            for row in staged:
-                assert len(row) == 3
+            assert len(sim._shms) == 2
+            for shms in sim._shms:
+                assert set(shms) == {"ring", "spikes", "outbox", "stats"}
+                for shm in shms.values():
+                    probe = shared_memory.SharedMemory(name=shm.name)
+                    probe.close()
         finally:
             sim.close()
+
+    def test_close_unlinks_every_segment(self):
+        from multiprocessing import shared_memory
+
+        net = random_network(n_cores=4, connectivity=0.6, seed=8)
+        sim = ParallelCompassSimulator(net, n_workers=2)
+        sim.step()
+        names = [shm.name for shms in sim._shms for shm in shms.values()]
+        assert len(names) == 8
+        sim.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_pipes_carry_only_tick_numbers(self):
+        # The control channel is a barrier, not a data plane: workers
+        # echo the bare tick int (and accept the stop sentinel).
+        net = random_network(n_cores=2, seed=9)
+        sim = ParallelCompassSimulator(net, n_workers=2)
+        try:
+            sim.step()
+            assert _STOP < 0
+            for conn in sim._conns:
+                conn.send(sim.tick)
+            for conn in sim._conns:
+                assert conn.recv() == sim.tick
+        finally:
+            sim.close()
+
+
+class TestRerun:
+    def test_run_twice_is_bit_identical(self):
+        # run() closes the pool, but the partitioned artifact is kept:
+        # a second run() re-spawns workers and replays identically.
+        net = random_network(n_cores=4, connectivity=0.5, stochastic=True, seed=13)
+        ins = poisson_inputs(net, 12, 400.0, seed=6)
+        sim = ParallelCompassSimulator(net, n_workers=2)
+        first = sim.run(12, ins)
+        second = sim.run(12, poisson_inputs(net, 12, 400.0, seed=6))
+        assert first == second
+        assert first.counters.spikes == second.counters.spikes
+        assert all(not p.is_alive() for p in sim._procs)
+
+    def test_run_after_explicit_close(self):
+        net = random_network(n_cores=3, seed=14)
+        ins = poisson_inputs(net, 8, 500.0, seed=7)
+        ref = run_kernel(net, 8, ins)
+        sim = ParallelCompassSimulator(net, n_workers=2)
+        sim.step()
+        sim.close()
+        rec = sim.run(8, poisson_inputs(net, 8, 500.0, seed=7))
+        assert rec.first_mismatch(ref) is None
+
+    def test_step_after_close_error_names_the_remedy(self):
+        net = random_network(n_cores=2, seed=15)
+        sim = ParallelCompassSimulator(net, n_workers=2)
+        sim.run(3)
+        with pytest.raises(RuntimeError, match="run\\(\\)"):
+            sim.step_arrays()
+
+
+class TestAutoWorkers:
+    def test_small_networks_stay_single_process(self):
+        net = random_network(n_cores=4, seed=16)
+        assert auto_workers(net) == 1
+
+    def test_auto_spans_cpus_above_threshold(self, monkeypatch):
+        from repro.compass import parallel as par
+
+        monkeypatch.setattr(par, "_usable_cpus", lambda: 8)
+        monkeypatch.setattr(par, "AUTO_MIN_NEURONS", 16)
+        net = random_network(n_cores=6, n_neurons=8, seed=17)
+        assert auto_workers(net) == min(par.AUTO_MAX_WORKERS, 8, 6)
+
+    def test_single_cpu_host_never_goes_parallel(self, monkeypatch):
+        from repro.compass import parallel as par
+
+        monkeypatch.setattr(par, "_usable_cpus", lambda: 1)
+        monkeypatch.setattr(par, "AUTO_MIN_NEURONS", 1)
+        net = random_network(n_cores=6, seed=18)
+        assert auto_workers(net) == 1
+
+    def test_constructor_accepts_auto(self):
+        net = random_network(n_cores=3, seed=19)
+        sim = ParallelCompassSimulator(net, n_workers="auto")
+        try:
+            assert sim.n_workers == auto_workers(net)
+        finally:
+            sim.close()
+
+    def test_rejects_bad_worker_count(self):
+        net = random_network(n_cores=2, seed=20)
+        with pytest.raises(ValueError):
+            ParallelCompassSimulator(net, n_workers=0)

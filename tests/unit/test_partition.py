@@ -1,0 +1,134 @@
+"""Tests for core-to-rank strategies and compiled-partition slicing."""
+
+import numpy as np
+import pytest
+
+from repro.compass.compile import compile_network, partition_compiled
+from repro.compass.parallel import run_parallel_compass
+from repro.compass.partition import STRATEGIES, partition, rank_loads
+from repro.core.builders import poisson_inputs, random_network
+from repro.core.kernel import run_kernel
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 5])
+    def test_complete_and_disjoint(self, strategy, n_ranks):
+        # Every core lands on exactly one valid rank.
+        net = random_network(n_cores=7, seed=31)
+        assignment = partition(net, n_ranks, strategy)
+        assert assignment.shape == (net.n_cores,)
+        assert assignment.min() >= 0
+        assert assignment.max() < n_ranks
+
+    def test_load_balanced_beats_block_on_skewed_networks(self):
+        from repro.core.network import Core, Network
+
+        cores = [
+            Core.build(
+                n_axons=16, n_neurons=16,
+                crossbar=(np.arange(256).reshape(16, 16) % (i + 1) == 0),
+            )
+            for i in range(6)
+        ]
+        net = Network(cores=cores, seed=0)
+        spread = {
+            s: int(np.ptp(rank_loads(net, partition(net, 2, s), 2)))
+            for s in ("block", "load_balanced")
+        }
+        assert spread["load_balanced"] <= spread["block"]
+
+    def test_unknown_strategy_rejected(self):
+        net = random_network(n_cores=2, seed=1)
+        with pytest.raises(ValueError, match="unknown partition strategy"):
+            partition(net, 2, "psychic")
+
+
+class TestPartitionCompiled:
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_slices_are_complete_and_disjoint(self, strategy):
+        net = random_network(
+            n_cores=6, n_axons=10, n_neurons=12, stochastic=True, seed=32
+        )
+        compiled = compile_network(net)
+        pn = partition_compiled(compiled, partition(net, 3, strategy), 3)
+
+        axons = np.concatenate([p.axon_global for p in pn.partitions])
+        neurons = np.concatenate([p.neuron_global for p in pn.partitions])
+        assert np.array_equal(np.sort(axons), np.arange(compiled.n_axons))
+        assert np.array_equal(np.sort(neurons), np.arange(compiled.n_neurons))
+        cores = np.concatenate([p.core_ids for p in pn.partitions])
+        assert np.array_equal(np.sort(cores), np.arange(compiled.n_cores))
+
+        # Synapse mass is conserved across the slices.
+        assert sum(int(p.row_nnz.sum()) for p in pn.partitions) == int(
+            compiled.row_nnz.sum()
+        )
+        assert sum(p.stoch_col.size for p in pn.partitions) == compiled.stoch_col.size
+
+    def test_global_maps_invert_the_slices(self):
+        net = random_network(n_cores=5, stochastic=True, seed=33)
+        compiled = compile_network(net)
+        pn = partition_compiled(compiled, partition(net, 2, "round_robin"), 2)
+        for p in pn.partitions:
+            assert np.array_equal(pn.rank_of_axon[p.axon_global], np.full(p.n_axons, p.rank))
+            assert np.array_equal(
+                pn.local_axon_of_global[p.axon_global], np.arange(p.n_axons)
+            )
+
+    def test_prng_coordinates_stay_global(self):
+        # The bit-identity guarantee: PRNG coordinates in a slice must be
+        # the global values, not re-based local ones.
+        net = random_network(n_cores=5, stochastic=True, seed=34)
+        compiled = compile_network(net)
+        pn = partition_compiled(compiled, partition(net, 2, "block"), 2)
+        for p in pn.partitions:
+            assert np.array_equal(p.core_of_neuron, compiled.core_of_neuron[p.neuron_global])
+            assert np.array_equal(p.local_neuron, compiled.local_neuron[p.neuron_global])
+            if p.stoch_core.size:
+                assert set(p.stoch_core.tolist()) <= set(p.core_ids.tolist())
+
+    def test_routing_resolved_to_destination_rank(self):
+        net = random_network(n_cores=4, seed=35)
+        compiled = compile_network(net)
+        pn = partition_compiled(compiled, partition(net, 2, "round_robin"), 2)
+        for p in pn.partitions:
+            routed = p.target_axon >= 0
+            assert np.array_equal(
+                p.target_rank[routed], pn.rank_of_axon[p.target_axon[routed]]
+            )
+            assert np.array_equal(
+                p.target_local_axon[routed],
+                pn.local_axon_of_global[p.target_axon[routed]],
+            )
+            assert (p.target_rank[~routed] == -1).all()
+
+    def test_misshapen_assignment_rejected(self):
+        net = random_network(n_cores=3, seed=36)
+        compiled = compile_network(net)
+        with pytest.raises(ValueError, match="every core"):
+            partition_compiled(compiled, np.zeros(2, dtype=np.int64), 1)
+
+    def test_more_ranks_than_cores_leaves_empty_partitions(self):
+        net = random_network(n_cores=2, seed=37)
+        compiled = compile_network(net)
+        pn = partition_compiled(compiled, partition(net, 2, "block"), 4)
+        assert len(pn.partitions) == 4
+        assert sum(p.n_cores == 0 for p in pn.partitions) == 2
+
+
+class TestPartitionInvariance:
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_spikes_bit_identical_across_partitionings(self, strategy, n_workers):
+        # The acceptance bar: any strategy, any worker count, same spikes.
+        net = random_network(
+            n_cores=5, n_axons=10, n_neurons=10, stochastic=True, seed=38
+        )
+        ins = poisson_inputs(net, 12, 350.0, seed=9)
+        ref = run_kernel(net, 12, ins)
+        got = run_parallel_compass(
+            net, 12, ins, n_workers=n_workers, partition_strategy=strategy
+        )
+        assert got.first_mismatch(ref) is None
+        assert got == ref
