@@ -24,6 +24,7 @@ from repro.corelets.library.classify import train_ternary
 from repro.corelets.library.reservoir import liquid_reservoir, reservoir_state_features
 from repro.core.inputs import InputSchedule
 from repro.hardware.simulator import run_truenorth
+from repro.utils.rng import seeded_rng
 from repro.utils.validation import require
 
 AUDIO_CLASSES = ("rising", "falling", "steady")
@@ -33,7 +34,7 @@ SAMPLE_RATE = 4000.0
 def synth_event(kind: str, duration_s: float = 0.05, seed: int = 0) -> np.ndarray:
     """Synthesize one audio event waveform."""
     require(kind in AUDIO_CLASSES, f"unknown event kind {kind!r}")
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     t = np.arange(0, duration_s, 1.0 / SAMPLE_RATE)
     if kind == "rising":
         freq = 200.0 + 3000.0 * t / duration_s

@@ -22,6 +22,7 @@ from repro.apps.transduction import transduce_video
 from repro.corelets.library.classify import train_ternary
 from repro.corelets.library.convolution import ConvLayer, conv2d
 from repro.hardware.simulator import run_truenorth
+from repro.utils.rng import seeded_rng
 from repro.utils.validation import require
 
 GLYPH_CLASSES = ("cross", "square", "stripes")
@@ -30,7 +31,7 @@ GLYPH_CLASSES = ("cross", "square", "stripes")
 def draw_glyph(kind: str, size: int = 8, jitter: int = 1, seed: int = 0) -> np.ndarray:
     """Render one glyph with positional jitter and pixel noise."""
     require(kind in GLYPH_CLASSES, f"unknown glyph {kind!r}")
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     img = np.zeros((size, size))
     dy, dx = rng.integers(-jitter, jitter + 1, size=2)
     c = size // 2

@@ -35,6 +35,7 @@ import numpy as np
 from repro.core import params
 from repro.core.chip import ChipGeometry, Placement
 from repro.core.network import Core, Network
+from repro.utils.rng import seeded_rng
 from repro.utils.validation import require
 
 FULL_CHIP_MEAN_HOP_CORES = 21.66
@@ -76,7 +77,7 @@ def probabilistic_recurrent_network(
     """
     require(0 <= active_synapses <= neurons_per_core, "K must be <= neurons per core")
     require(coupling in ("zero", "balanced"), "coupling is 'zero' or 'balanced'")
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     n_cores = grid_side * grid_side
     lam, threshold = rate_parameters(rate_hz)
 

@@ -18,6 +18,7 @@ from repro.corelets.corelet import CompiledComposition, Composition
 from repro.corelets.library.competition import inhibition_of_return, winner_take_all
 from repro.core.inputs import InputSchedule
 from repro.hardware.simulator import run_truenorth
+from repro.utils.rng import seeded_rng
 from repro.utils.validation import require
 
 
@@ -71,7 +72,7 @@ def drive_saliency_rates(
 ) -> InputSchedule:
     """Poisson-code per-location saliency strengths onto the WTA input."""
     require(rates.size == pipeline.n_locations, "one rate per location")
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     pins = pipeline.compiled.inputs["saliency"]
     ins = InputSchedule()
     hits = rng.random((n_ticks, rates.size)) < np.clip(rates, 0, 1)[None, :]

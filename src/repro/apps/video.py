@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils.rng import seeded_rng
 from repro.utils.validation import require
 
 # class name -> (height, width, speed px/frame, intensity)
@@ -83,7 +84,7 @@ def generate_scene(
 ) -> Scene:
     """Generate a fixed-camera scene with moving labeled objects."""
     require(height >= 12 and width >= 18, "scene too small for objects")
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     frames = np.zeros((n_frames, height, width), dtype=np.float64)
     boxes: list[list[GroundTruthBox]] = [[] for _ in range(n_frames)]
 
@@ -128,5 +129,5 @@ def static_pattern(
     if kind == "uniform":
         return np.full((height, width), 0.5)
     if kind == "noise":
-        return np.random.default_rng(seed).random((height, width))
+        return seeded_rng(seed).random((height, width))
     raise ValueError(f"unknown pattern kind {kind!r}")

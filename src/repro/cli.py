@@ -10,7 +10,8 @@ Commands:
 * ``equivalence``   — run the one-to-one equivalence regressions;
 * ``future``        — Section VII system projections;
 * ``simulate``      — run a model file on a chosen expression;
-* ``characterize``  — simulate one recurrent sweep point and report.
+* ``characterize``  — simulate one recurrent sweep point and report;
+* ``lint``          — static model checker / determinism source lint.
 """
 
 from __future__ import annotations
@@ -165,6 +166,49 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import CODES, SOURCE_CODES, Severity, lint_network, lint_paths
+    from repro.lint.diagnostics import LintReport
+
+    if args.codes:
+        rows = [
+            [info.code, info.title, str(info.severity)]
+            for info in list(CODES.values()) + list(SOURCE_CODES.values())
+        ]
+        print(render_table(["code", "title", "severity"], rows,
+                           title="lint diagnostic codes (see docs/lint.md)"))
+        return 0
+
+    reports: list[LintReport] = []
+    if args.source or (not args.models and not args.builtin):
+        # Default with no target: lint this installation's own sources.
+        import repro
+
+        paths = args.models or [repro.__path__[0]]
+        reports.append(lint_paths(paths))
+    elif args.builtin:
+        from repro.lint.examples import builtin_networks
+
+        for name, network in builtin_networks().items():
+            report = lint_network(network)
+            report.subject = name
+            reports.append(report)
+    else:
+        from repro.io.model_files import load_network
+
+        for path in args.models:
+            report = lint_network(load_network(path, validate=False))
+            report.subject = path
+            reports.append(report)
+
+    fail_at = Severity.WARNING if args.strict else Severity.ERROR
+    failed = False
+    for report in reports:
+        print(report.render_json() if args.json else report.render_text())
+        failed = failed or not report.clean(fail_at)
+    return 1 if failed else 0
+
+
 def _cmd_characterize(args) -> int:
     from repro.experiments import fig5
 
@@ -222,6 +266,26 @@ def build_parser() -> argparse.ArgumentParser:
                          "('auto' sizes to the host and network)")
     ps.add_argument("--output", help="write output spikes to this AER file")
     ps.set_defaults(fn=_cmd_simulate)
+
+    pl = sub.add_parser(
+        "lint",
+        help="static model checker / determinism source lint (docs/lint.md)",
+    )
+    pl.add_argument("models", nargs="*",
+                    help=".npz model files to check (or source paths with "
+                         "--source; default lints the repro sources)")
+    pl.add_argument("--builtin", action="store_true",
+                    help="lint every bundled example/app network")
+    pl.add_argument("--source", action="store_true",
+                    help="run the determinism source lint instead of the "
+                         "model checker")
+    pl.add_argument("--strict", action="store_true",
+                    help="fail on warnings as well as errors")
+    pl.add_argument("--json", action="store_true",
+                    help="emit JSON diagnostics")
+    pl.add_argument("--codes", action="store_true",
+                    help="list every diagnostic code and exit")
+    pl.set_defaults(fn=_cmd_lint)
 
     pc = sub.add_parser("characterize")
     pc.add_argument("--rate", type=float, default=100.0)

@@ -34,6 +34,7 @@ from scipy import sparse
 
 from repro.core import prng
 from repro.core.network import OUTPUT_TARGET, Network
+from repro.lint.model import check_network, check_partition_map
 
 _CACHE_ATTR = "_compiled_network_cache"
 _n_builds = 0
@@ -132,7 +133,10 @@ def _build(network: Network) -> CompiledNetwork:
     """One full compilation pass (no caching)."""
     global _n_builds
     _n_builds += 1
-    network.validate()
+    # Fail-fast front door: every engine compiles through here, so one
+    # strict model-checker pass (repro.lint) guards them all.  Raises
+    # LintError with TN### diagnostics on any architectural violation.
+    check_network(network, strict=True)
 
     n_cores = network.n_cores
     axon_base = np.zeros(n_cores + 1, dtype=np.int64)
@@ -369,8 +373,9 @@ def partition_compiled(
     rank_of_core = np.asarray(rank_of_core, dtype=np.int64)
     if n_ranks is None:
         n_ranks = int(rank_of_core.max()) + 1 if rank_of_core.size else 1
-    if rank_of_core.shape != (compiled.n_cores,):
-        raise ValueError("rank_of_core must assign every core exactly once")
+    # TN501 coverage errors raise; TN502 empty-rank warnings pass through
+    # (an idle rank is wasteful but correct).
+    check_partition_map(compiled.n_cores, rank_of_core, n_ranks, strict=True)
 
     rank_of_axon = rank_of_core[compiled.core_of_axon]
     rank_of_neuron = rank_of_core[compiled.core_of_neuron]

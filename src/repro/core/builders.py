@@ -11,6 +11,7 @@ import numpy as np
 from repro.core import params
 from repro.core.inputs import InputSchedule
 from repro.core.network import OUTPUT_TARGET, Core, Network
+from repro.utils.rng import seeded_rng
 
 
 def random_core(
@@ -84,7 +85,7 @@ def random_network(
     seed: int = 0,
 ) -> Network:
     """Build a random recurrent network of *n_cores* interconnected cores."""
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     net = Network(seed=seed, name=f"random-{n_cores}x{n_neurons}")
     for _ in range(n_cores):
         net.add_core(
@@ -110,7 +111,7 @@ def poisson_inputs(
     cores: list[int] | None = None,
 ) -> InputSchedule:
     """Poisson external input spikes on every axon of the given cores."""
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     p = rate_hz * params.TICK_SECONDS
     schedule = InputSchedule()
     targets = cores if cores is not None else range(network.n_cores)

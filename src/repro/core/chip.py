@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core import params
+from repro.utils.rng import seeded_rng
 from repro.utils.validation import require
 
 
@@ -46,7 +47,7 @@ class DefectMap:
     ) -> "DefectMap":
         """Mark a random *fraction* of core slots defective (yield model)."""
         require(0.0 <= fraction < 1.0, "defect fraction must be in [0, 1)")
-        rng = np.random.default_rng(seed)
+        rng = seeded_rng(seed)
         slots = [
             (cx, 0, x, y)
             for cx in range(chips)

@@ -16,7 +16,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core import params
-from repro.utils.validation import check_array_shape, check_in_range, require
 
 OUTPUT_TARGET = -1  # target_core value marking a network output neuron
 
@@ -80,36 +79,16 @@ class Core:
         return bool(self.stoch_synapse.any())
 
     def validate(self) -> None:
-        """Check every field for shape and range consistency."""
-        a, n = self.crossbar.shape
-        require(a >= 1 and n >= 1, "core must have at least one axon and neuron")
-        check_array_shape("axon_types", self.axon_types, (a,))
-        check_in_range("axon_types", self.axon_types, 0, params.NUM_AXON_TYPES - 1)
-        check_array_shape("weights", self.weights, (n, params.NUM_AXON_TYPES))
-        check_in_range("weights", self.weights, params.WEIGHT_MIN, params.WEIGHT_MAX)
-        check_array_shape("stoch_synapse", self.stoch_synapse, (n, params.NUM_AXON_TYPES))
-        check_array_shape("leak", self.leak, (n,))
-        check_in_range("leak", self.leak, params.LEAK_MIN, params.LEAK_MAX)
-        check_array_shape("leak_reversal", self.leak_reversal, (n,))
-        check_array_shape("stoch_leak", self.stoch_leak, (n,))
-        check_array_shape("threshold", self.threshold, (n,))
-        check_in_range("threshold", self.threshold, 0, params.THRESHOLD_MAX)
-        check_array_shape("threshold_mask", self.threshold_mask, (n,))
-        check_in_range("threshold_mask", self.threshold_mask, 0, params.THRESHOLD_MASK_MAX)
-        check_array_shape("neg_threshold", self.neg_threshold, (n,))
-        check_in_range("neg_threshold", self.neg_threshold, 0, -params.MEMBRANE_MIN)
-        check_array_shape("reset_value", self.reset_value, (n,))
-        check_in_range("reset_value", self.reset_value, params.MEMBRANE_MIN, params.MEMBRANE_MAX)
-        check_array_shape("reset_mode", self.reset_mode, (n,))
-        check_in_range("reset_mode", self.reset_mode, min(params.RESET_MODES), max(params.RESET_MODES))
-        check_array_shape("neg_floor_mode", self.neg_floor_mode, (n,))
-        check_in_range("neg_floor_mode", self.neg_floor_mode, 0, 1)
-        check_array_shape("initial_v", self.initial_v, (n,))
-        check_in_range("initial_v", self.initial_v, params.MEMBRANE_MIN, params.MEMBRANE_MAX)
-        check_array_shape("target_core", self.target_core, (n,))
-        check_array_shape("target_axon", self.target_axon, (n,))
-        check_array_shape("delay", self.delay, (n,))
-        check_in_range("delay", self.delay, params.MIN_DELAY, params.MAX_DELAY)
+        """Check every field for shape and range consistency.
+
+        Delegates to the static model checker
+        (:func:`repro.lint.model.check_core`); any architectural
+        violation raises :class:`repro.lint.LintError` (a ``ValueError``
+        subclass) carrying ``TN###`` diagnostic codes.
+        """
+        from repro.lint.model import check_core  # local: lint imports core
+
+        check_core(self, strict=True)
 
     @staticmethod
     def build(
@@ -230,22 +209,14 @@ class Network:
         return len(self.cores) - 1
 
     def validate(self) -> None:
-        """Validate every core and all inter-core targets."""
-        require(self.n_cores >= 1, "network must contain at least one core")
-        for core in self.cores:
-            core.validate()
-        n_cores = self.n_cores
-        for idx, core in enumerate(self.cores):
-            tc = core.target_core
-            ta = core.target_axon
-            bad = (tc != OUTPUT_TARGET) & ((tc < 0) | (tc >= n_cores))
-            if bad.any():
-                raise ValueError(
-                    f"core {idx}: target_core out of range for neurons "
-                    f"{np.nonzero(bad)[0].tolist()[:8]}"
-                )
-            routed = tc != OUTPUT_TARGET
-            if routed.any():
-                dest_axons = np.array([self.cores[c].n_axons for c in tc[routed]])
-                if (ta[routed] < 0).any() or (ta[routed] >= dest_axons).any():
-                    raise ValueError(f"core {idx}: target_axon out of range")
+        """Validate every core and all inter-core targets.
+
+        Delegates to the static model checker
+        (:func:`repro.lint.model.check_network`); any architectural
+        violation — bad shapes or ranges, dangling routes, PRNG
+        coordinate collisions — raises :class:`repro.lint.LintError`
+        (a ``ValueError`` subclass) with ``TN###`` diagnostic codes.
+        """
+        from repro.lint.model import check_network  # local: lint imports core
+
+        check_network(self, strict=True)

@@ -13,6 +13,7 @@ import numpy as np
 from repro.core import params
 from repro.core.network import Core
 from repro.corelets.corelet import Corelet
+from repro.utils.rng import seeded_rng
 from repro.utils.validation import require
 
 
@@ -98,7 +99,7 @@ def train_ternary(
     labels = np.asarray(labels, dtype=np.int64)
     n_samples, n_features = features.shape
     require(labels.shape == (n_samples,), "labels must match features")
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     w = rng.normal(0, 0.01, size=(n_features, n_classes))
     onehot = np.eye(n_classes)[labels] * 2 - 1  # {-1, +1} targets
     for _ in range(epochs):

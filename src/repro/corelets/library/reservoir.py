@@ -18,6 +18,7 @@ import numpy as np
 from repro.core import params
 from repro.core.network import Core
 from repro.corelets.corelet import Corelet
+from repro.utils.rng import seeded_rng
 from repro.utils.validation import require
 
 
@@ -48,7 +49,7 @@ def liquid_reservoir(
         "reservoir axons exceed one core",
     )
     require(2 * n_neurons <= params.CORE_NEURONS, "reservoir needs n <= 128")
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
 
     n_axons = n_inputs + n_neurons
     total_neurons = 2 * n_neurons

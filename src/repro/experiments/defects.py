@@ -22,6 +22,7 @@ from repro.core.builders import poisson_inputs, random_network
 from repro.core.chip import ChipGeometry, Placement
 from repro.hardware.energy import E_HOP_J
 from repro.hardware.simulator import TrueNorthSimulator
+from repro.utils.rng import seeded_rng
 
 
 @dataclass(frozen=True)
@@ -111,7 +112,7 @@ def defect_trial(
     via :meth:`Placement.grid` defect skipping), while mesh detours
     handle dead routers on the path.
     """
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     net = random_network(n_cores=n_cores, connectivity=0.4, seed=seed)
     placement = _spread_placement(n_cores)
     ins = poisson_inputs(net, n_ticks, 400.0, seed=seed + 1)

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.chip import ChipGeometry
 from repro.core.workload import WorkloadDescriptor
 from repro.noc.multichip import ChipArray
+from repro.utils.rng import seeded_rng
 
 
 @dataclass(frozen=True)
@@ -45,7 +46,7 @@ def measure_boundary_traffic(
     seed: int = 0,
 ) -> MultichipPoint:
     """Route uniform random packets over an array; measure the links."""
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     array = ChipArray(
         chips_x=chips_x,
         chips_y=chips_y,

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core import params
+from repro.utils.rng import seeded_rng
 from repro.utils.validation import require
 
 ADC_SAMPLE_RATE_HZ = 65_200.0
@@ -83,7 +84,7 @@ def adc_sample(
     phase = (t % tick_seconds) / tick_seconds
     idx = np.minimum((phase * waveform.size).astype(np.int64), waveform.size - 1)
     samples = waveform[idx]
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     return samples * (1.0 + noise_fraction * rng.standard_normal(samples.size))
 
 

@@ -15,11 +15,22 @@ from dataclasses import fields
 import numpy as np
 
 from repro.core.network import Core, Network
-from repro.utils.validation import require
+from repro.lint.diagnostics import Diagnostic, LintError, Severity
 
 FORMAT_VERSION = 1
 
 _ARRAY_FIELDS = [f.name for f in fields(Core) if f.name != "name"]
+
+
+def _format_error(message: str) -> LintError:
+    """A TN601 model-file-format failure as a LintError."""
+    return LintError(
+        [Diagnostic(
+            code="TN601", severity=Severity.ERROR, message=message,
+            hint="re-save the network with repro.io.model_files.save_network",
+        )],
+        subject="model file",
+    )
 
 
 def save_network(path, network: Network) -> None:
@@ -42,15 +53,24 @@ def save_network(path, network: Network) -> None:
     np.savez_compressed(path, **arrays)
 
 
-def load_network(path) -> Network:
-    """Load a network from a ``.npz`` model file."""
+def load_network(path, validate: bool = True) -> Network:
+    """Load a network from a ``.npz`` model file.
+
+    Malformed files and invalid models both raise
+    :class:`~repro.lint.LintError`: format problems as ``TN601``,
+    architectural violations through the model checker.  Pass
+    ``validate=False`` to load a known-bad model for offline linting
+    (``repro lint`` does this so it can report *all* findings instead of
+    failing on the first).
+    """
     with np.load(path) as data:
-        require("__header__" in data, "not a repro model file (missing header)")
+        if "__header__" not in data:
+            raise _format_error("not a repro model file (missing header)")
         header = json.loads(bytes(data["__header__"].tobytes()).decode("utf-8"))
-        require(
-            header.get("format_version") == FORMAT_VERSION,
-            f"unsupported model-file version {header.get('format_version')}",
-        )
+        if header.get("format_version") != FORMAT_VERSION:
+            raise _format_error(
+                f"unsupported model-file version {header.get('format_version')}"
+            )
         cores = []
         for idx in range(header["n_cores"]):
             kwargs = {
@@ -59,5 +79,6 @@ def load_network(path) -> Network:
             }
             cores.append(Core(name=header["core_names"][idx], **kwargs))
     network = Network(cores=cores, seed=int(header["seed"]), name=header["name"])
-    network.validate()
+    if validate:
+        network.validate()
     return network

@@ -1,0 +1,58 @@
+"""Static analysis for the reproduction: model checker + source lint.
+
+Two prongs share one diagnostic vocabulary
+(:mod:`repro.lint.diagnostics`):
+
+* the **model checker** (:mod:`repro.lint.model`,
+  :mod:`repro.lint.rules`) statically verifies TrueNorth's architectural
+  invariants — 9-bit weights, delays 1-15, 4 axon types, routing onto
+  real (core, axon) pairs, 20-bit membrane interval analysis, PRNG
+  coordinate uniqueness, partition coverage — over ``Network`` /
+  ``CompiledNetwork`` objects, with stable ``TN###`` codes;
+* the **determinism source lint** (:mod:`repro.lint.source`) enforces
+  repo-level invariants the kernel's bit-identity depends on (no hidden
+  randomness, no wall clocks in tick paths, shared-memory hygiene,
+  integer-only kernel arithmetic), with ``SL###`` codes.
+
+``compass.compile()`` and ``Network.validate()`` call
+:func:`check_network`, so every engine — reference, fast, parallel,
+hardware — fails fast through the same front door.  The CLI surface is
+``python -m repro lint`` and ``tools/run_lint.py``.
+"""
+
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintError,
+    LintReport,
+    Location,
+    Severity,
+)
+from repro.lint.model import (
+    check_core,
+    check_network,
+    check_partition_map,
+    lint_core,
+    lint_network,
+    lint_partition_map,
+)
+from repro.lint.rules import CODES
+from repro.lint.source import SOURCE_CODES, lint_file, lint_paths, lint_source_text
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "LintError",
+    "LintReport",
+    "Location",
+    "SOURCE_CODES",
+    "Severity",
+    "check_core",
+    "check_network",
+    "check_partition_map",
+    "lint_core",
+    "lint_file",
+    "lint_network",
+    "lint_partition_map",
+    "lint_paths",
+    "lint_source_text",
+]

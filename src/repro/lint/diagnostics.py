@@ -1,0 +1,205 @@
+"""Structured diagnostics for the static model checker and source lint.
+
+Every finding the lint subsystem produces — whether from the network
+model checker (:mod:`repro.lint.model`), the partition checker, or the
+determinism source lint (:mod:`repro.lint.source`) — is a
+:class:`Diagnostic`: a stable code (``TN101``, ``SL104``, ...), a
+severity, a human message, a :class:`Location` (chip/core/unit for model
+findings, path/line for source findings), and a fix hint.  Diagnostics
+accumulate in a :class:`LintReport`, which renders to text or JSON and
+converts to a :class:`LintError` on demand.
+
+:class:`LintError` subclasses :class:`ValueError` so that every code
+path which historically raised ``ValueError`` on a bad model keeps its
+contract while now carrying machine-readable diagnostics.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so comparisons read naturally."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a diagnostic points.
+
+    Model diagnostics fill ``core`` (network core index), ``unit`` (a
+    neuron or axon index within that core), and optionally ``chip``;
+    source diagnostics fill ``path`` and ``line``.  All fields are
+    optional so network-level findings can leave everything unset.
+    """
+
+    chip: int | None = None
+    core: int | None = None
+    unit: int | None = None
+    rank: int | None = None
+    path: str | None = None
+    line: int | None = None
+
+    def __str__(self) -> str:
+        if self.path is not None:
+            return f"{self.path}:{self.line}" if self.line is not None else self.path
+        parts = []
+        if self.chip is not None:
+            parts.append(f"chip {self.chip}")
+        if self.rank is not None:
+            parts.append(f"rank {self.rank}")
+        if self.core is not None:
+            parts.append(f"core {self.core}")
+        if self.unit is not None:
+            parts.append(f"unit {self.unit}")
+        return ", ".join(parts) if parts else "network"
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict with unset fields omitted."""
+        return {
+            key: value
+            for key, value in (
+                ("chip", self.chip),
+                ("rank", self.rank),
+                ("core", self.core),
+                ("unit", self.unit),
+                ("path", self.path),
+                ("line", self.line),
+            )
+            if value is not None
+        }
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding with a stable code and a fix hint."""
+
+    code: str
+    severity: Severity
+    message: str
+    location: Location = field(default_factory=Location)
+    hint: str = ""
+
+    def render(self) -> str:
+        """One-line text rendering: ``TN101 error [core 3]: message``."""
+        text = f"{self.code} {self.severity} [{self.location}]: {self.message}"
+        if self.hint:
+            text += f"  (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict."""
+        out = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "location": self.location.to_dict(),
+        }
+        if self.hint:
+            out["hint"] = self.hint
+        return out
+
+
+class LintError(ValueError):
+    """A model or source failed lint.
+
+    Subclasses :class:`ValueError` so pre-lint callers that caught
+    ``ValueError`` from ``validate()`` keep working; carries the full
+    list of diagnostics for programmatic use.
+    """
+
+    def __init__(self, diagnostics: list[Diagnostic], subject: str = "model"):
+        self.diagnostics = list(diagnostics)
+        lines = [d.render() for d in self.diagnostics]
+        n_err = sum(1 for d in self.diagnostics if d.severity >= Severity.ERROR)
+        head = f"{subject} failed lint with {n_err} error(s), " \
+               f"{len(self.diagnostics) - n_err} other finding(s):"
+        super().__init__("\n".join([head, *lines]))
+
+    @property
+    def codes(self) -> list[str]:
+        """Diagnostic codes, in report order."""
+        return [d.code for d in self.diagnostics]
+
+
+@dataclass
+class LintReport:
+    """An accumulated collection of diagnostics for one lint subject."""
+
+    subject: str = "model"
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        """Append one finding."""
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics) -> None:
+        """Append many findings."""
+        self.diagnostics.extend(diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        """Findings at ERROR severity."""
+        return [d for d in self.diagnostics if d.severity >= Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        """Findings at WARNING severity."""
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no finding reaches ERROR severity."""
+        return not self.errors
+
+    def clean(self, min_severity: Severity = Severity.WARNING) -> bool:
+        """True when no finding is at or above *min_severity*."""
+        return not any(d.severity >= min_severity for d in self.diagnostics)
+
+    def codes(self) -> list[str]:
+        """Diagnostic codes, in report order."""
+        return [d.code for d in self.diagnostics]
+
+    def raise_for(self, min_severity: Severity = Severity.ERROR) -> None:
+        """Raise :class:`LintError` if any finding reaches *min_severity*."""
+        failing = [d for d in self.diagnostics if d.severity >= min_severity]
+        if failing:
+            raise LintError(failing, subject=self.subject)
+
+    def render_text(self) -> str:
+        """Multi-line human rendering (one line per finding + summary)."""
+        if not self.diagnostics:
+            return f"{self.subject}: clean"
+        lines = [d.render() for d in self.diagnostics]
+        lines.append(
+            f"{self.subject}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s), "
+            f"{len(self.diagnostics) - len(self.errors) - len(self.warnings)} info"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        """Machine rendering: a stable JSON document."""
+        return json.dumps(
+            {
+                "subject": self.subject,
+                "ok": self.ok,
+                "diagnostics": [d.to_dict() for d in self.diagnostics],
+            },
+            indent=2,
+        )

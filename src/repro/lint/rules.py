@@ -1,0 +1,412 @@
+"""Model-checker rules: the TrueNorth architectural invariants as code.
+
+Each rule inspects one aspect of a :class:`~repro.core.network.Network`
+against the hard limits of the architecture (:mod:`repro.core.params`)
+and yields :class:`~repro.lint.diagnostics.Diagnostic` findings with
+stable ``TN###`` codes.  The code space is organised by family:
+
+* ``TN0xx`` — structural: array shapes, dtypes, emptiness;
+* ``TN1xx`` — per-core value ranges (9-bit weights, delays 1-15, ...);
+* ``TN2xx`` — routing: inter-core spike targets;
+* ``TN3xx`` — dynamics: worst-case interval analysis of the 20-bit
+  saturating membrane;
+* ``TN4xx`` — determinism: counter-based PRNG coordinate uniqueness;
+* ``TN5xx`` — partitioning: rank maps over the compiled network.
+
+Rules never raise on bad input — they report.  Orchestration (which
+rules run, and when findings become a :class:`LintError`) lives in
+:mod:`repro.lint.model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core import params
+from repro.lint.diagnostics import Diagnostic, Location, Severity
+
+# Import late-bound to avoid a cycle: core.network imports
+# utils.validation; the lint entry points import this module lazily.
+OUTPUT_TARGET = -1  # mirrors repro.core.network.OUTPUT_TARGET
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Registry entry for one diagnostic code."""
+
+    code: str
+    title: str
+    severity: Severity
+    hint: str
+
+
+#: Every diagnostic code the model checker can emit, with its default
+#: severity and fix hint.  ``docs/lint.md`` and ``repro lint --codes``
+#: render this table; tests assert every entry has a firing fixture.
+CODES: dict[str, RuleInfo] = {
+    info.code: info
+    for info in [
+        RuleInfo("TN001", "array-shape-mismatch", Severity.ERROR,
+                 "rebuild the core with Core.build(), which broadcasts "
+                 "scalars to the correct per-neuron/per-axon shapes"),
+        RuleInfo("TN002", "non-integer-dtype", Severity.ERROR,
+                 "cast the array to an integer or bool dtype; the kernel "
+                 "is integer-exact and float state breaks bit-identity"),
+        RuleInfo("TN003", "empty-network-or-core", Severity.ERROR,
+                 "a network needs >= 1 core and a core >= 1 axon and neuron"),
+        RuleInfo("TN100", "value-out-of-range", Severity.ERROR,
+                 "a generic bounded parameter left its documented interval; "
+                 "see the message for the offending field and bounds"),
+        RuleInfo("TN101", "weight-out-of-9bit-range", Severity.ERROR,
+                 f"clamp synaptic weights to [{params.WEIGHT_MIN}, "
+                 f"{params.WEIGHT_MAX}] (signed 9-bit)"),
+        RuleInfo("TN102", "delay-out-of-range", Severity.ERROR,
+                 f"axonal delays must lie in [{params.MIN_DELAY}, "
+                 f"{params.MAX_DELAY}] ticks"),
+        RuleInfo("TN103", "axon-type-out-of-range", Severity.ERROR,
+                 f"axon types select one of {params.NUM_AXON_TYPES} weight "
+                 f"columns; use values in [0, {params.NUM_AXON_TYPES - 1}]"),
+        RuleInfo("TN104", "threshold-out-of-range", Severity.ERROR,
+                 f"positive thresholds are capped at {params.THRESHOLD_MAX}"),
+        RuleInfo("TN105", "threshold-mask-out-of-range", Severity.ERROR,
+                 f"stochastic threshold masks use at most 17 bits "
+                 f"(max {params.THRESHOLD_MASK_MAX})"),
+        RuleInfo("TN106", "neg-threshold-out-of-range", Severity.ERROR,
+                 f"negative thresholds beta must lie in "
+                 f"[0, {-params.MEMBRANE_MIN}]"),
+        RuleInfo("TN107", "leak-out-of-range", Severity.ERROR,
+                 f"leak values must lie in [{params.LEAK_MIN}, "
+                 f"{params.LEAK_MAX}]"),
+        RuleInfo("TN108", "membrane-value-out-of-range", Severity.ERROR,
+                 f"reset and initial membrane values must fit the signed "
+                 f"20-bit range [{params.MEMBRANE_MIN}, {params.MEMBRANE_MAX}]"),
+        RuleInfo("TN109", "invalid-mode-flag", Severity.ERROR,
+                 "reset_mode must be one of RESET_TO_VALUE/RESET_LINEAR/"
+                 "RESET_NONE and neg_floor_mode one of NEG_FLOOR_SATURATE/"
+                 "NEG_FLOOR_RESET"),
+        RuleInfo("TN110", "oversize-core", Severity.WARNING,
+                 f"a physical TrueNorth core is {params.CORE_AXONS}x"
+                 f"{params.CORE_NEURONS}; larger cores simulate but cannot "
+                 "map to silicon"),
+        RuleInfo("TN201", "dangling-axon-target", Severity.ERROR,
+                 "route the neuron to an existing core index or mark it as "
+                 "a network output (target_core = -1)"),
+        RuleInfo("TN202", "route-off-mesh", Severity.ERROR,
+                 "the destination core has no such axon; pick a target_axon "
+                 "within the destination core's axon count"),
+        RuleInfo("TN301", "potential-20bit-membrane-overflow", Severity.WARNING,
+                 "worst-case per-tick synaptic sum plus leak can push the "
+                 "membrane past the saturating 20-bit range; lower weights/"
+                 "fan-in, raise the threshold, or add decay so saturation "
+                 "cannot silently alter spike timing"),
+        RuleInfo("TN401", "duplicate-PRNG-coordinate", Severity.ERROR,
+                 "two stochastic crosspoints share one counter-based PRNG "
+                 "unit (axon*256 + neuron collides when a core exceeds 256 "
+                 "neurons); keep stochastic cores within 256 neurons"),
+        RuleInfo("TN501", "partition-coverage-gap", Severity.ERROR,
+                 "rank_of_core must assign every core exactly one rank in "
+                 "[0, n_ranks); empty ranks are reported as warnings"),
+        RuleInfo("TN502", "empty-partition-rank", Severity.WARNING,
+                 "a rank owns no cores; it will idle at every tick barrier "
+                 "— reduce n_ranks or rebalance the partition strategy"),
+        RuleInfo("TN601", "model-file-format", Severity.ERROR,
+                 "the .npz is not a repro model file (or uses an "
+                 "unsupported format version); re-save it with "
+                 "repro.io.model_files.save_network"),
+    ]
+}
+
+
+def _diag(code: str, message: str, location: Location | None = None,
+          severity: Severity | None = None) -> Diagnostic:
+    """Build a Diagnostic for *code* using the registry defaults."""
+    info = CODES[code]
+    return Diagnostic(
+        code=code,
+        severity=info.severity if severity is None else severity,
+        message=message,
+        location=location or Location(),
+        hint=info.hint,
+    )
+
+
+def _first_bad(mask: np.ndarray) -> int:
+    """Index of the first True entry of a boolean mask."""
+    return int(np.nonzero(mask)[0][0]) if mask.ndim == 1 else int(np.nonzero(mask.any(axis=-1))[0][0])
+
+
+# --------------------------------------------------------------------------
+# TN0xx: structure
+# --------------------------------------------------------------------------
+
+#: Expected shape of every Core array field, as a function of (A, N).
+_SHAPES = {
+    "crossbar": lambda a, n: (a, n),
+    "axon_types": lambda a, n: (a,),
+    "weights": lambda a, n: (n, params.NUM_AXON_TYPES),
+    "stoch_synapse": lambda a, n: (n, params.NUM_AXON_TYPES),
+    "leak": lambda a, n: (n,),
+    "leak_reversal": lambda a, n: (n,),
+    "stoch_leak": lambda a, n: (n,),
+    "threshold": lambda a, n: (n,),
+    "threshold_mask": lambda a, n: (n,),
+    "neg_threshold": lambda a, n: (n,),
+    "reset_value": lambda a, n: (n,),
+    "reset_mode": lambda a, n: (n,),
+    "neg_floor_mode": lambda a, n: (n,),
+    "initial_v": lambda a, n: (n,),
+    "target_core": lambda a, n: (n,),
+    "target_axon": lambda a, n: (n,),
+    "delay": lambda a, n: (n,),
+}
+
+
+def check_core_structure(core, core_id: int | None = None) -> Iterator[Diagnostic]:
+    """TN001/TN002/TN003: shapes, dtypes, and non-emptiness of one core."""
+    loc = Location(core=core_id)
+    crossbar = getattr(core, "crossbar", None)
+    if not isinstance(crossbar, np.ndarray) or crossbar.ndim != 2:
+        yield _diag("TN001", "crossbar must be a 2-D (axons x neurons) array", loc)
+        return
+    a, n = crossbar.shape
+    if a < 1 or n < 1:
+        yield _diag("TN003", f"core has {a} axons and {n} neurons; both must be >= 1", loc)
+        return
+    for name, expect in _SHAPES.items():
+        arr = getattr(core, name)
+        if not isinstance(arr, np.ndarray):
+            yield _diag("TN001", f"{name} must be a numpy array, got {type(arr).__name__}", loc)
+            continue
+        shape = expect(a, n)
+        if arr.shape != shape:
+            yield _diag("TN001", f"{name} must have shape {shape}, got {arr.shape}", loc)
+            continue
+        if arr.dtype.kind not in "iub":
+            yield _diag("TN002", f"{name} must have an integer or bool dtype, got {arr.dtype}", loc)
+
+
+# --------------------------------------------------------------------------
+# TN1xx: value ranges
+# --------------------------------------------------------------------------
+
+#: (field, code, low, high) for every bounded per-core array.
+_RANGES = [
+    ("weights", "TN101", params.WEIGHT_MIN, params.WEIGHT_MAX),
+    ("delay", "TN102", params.MIN_DELAY, params.MAX_DELAY),
+    ("axon_types", "TN103", 0, params.NUM_AXON_TYPES - 1),
+    ("threshold", "TN104", 0, params.THRESHOLD_MAX),
+    ("threshold_mask", "TN105", 0, params.THRESHOLD_MASK_MAX),
+    ("neg_threshold", "TN106", 0, -params.MEMBRANE_MIN),
+    ("leak", "TN107", params.LEAK_MIN, params.LEAK_MAX),
+    ("reset_value", "TN108", params.MEMBRANE_MIN, params.MEMBRANE_MAX),
+    ("initial_v", "TN108", params.MEMBRANE_MIN, params.MEMBRANE_MAX),
+    ("reset_mode", "TN109", min(params.RESET_MODES), max(params.RESET_MODES)),
+    ("neg_floor_mode", "TN109", min(params.NEG_FLOOR_MODES), max(params.NEG_FLOOR_MODES)),
+]
+
+
+def check_core_ranges(core, core_id: int | None = None) -> Iterator[Diagnostic]:
+    """TN101-TN109: every bounded field of one (structurally valid) core."""
+    for name, code, low, high in _RANGES:
+        arr = getattr(core, name)
+        if arr.size == 0:
+            continue
+        bad = (arr < low) | (arr > high)
+        if bad.any():
+            unit = _first_bad(bad)
+            yield _diag(
+                code,
+                f"{name} values must lie in [{low}, {high}], got "
+                f"[{int(arr.min())}, {int(arr.max())}]",
+                Location(core=core_id, unit=unit),
+            )
+
+
+def check_core_geometry(core, core_id: int | None = None) -> Iterator[Diagnostic]:
+    """TN110: cores larger than the physical 256x256 fabric."""
+    if core.n_axons > params.CORE_AXONS or core.n_neurons > params.CORE_NEURONS:
+        yield _diag(
+            "TN110",
+            f"core is {core.n_axons}x{core.n_neurons} axons x neurons; the "
+            f"physical fabric is {params.CORE_AXONS}x{params.CORE_NEURONS}",
+            Location(core=core_id),
+        )
+
+
+# --------------------------------------------------------------------------
+# TN2xx: routing
+# --------------------------------------------------------------------------
+
+def check_network_routing(network) -> Iterator[Diagnostic]:
+    """TN201/TN202: every spike target must land on a real (core, axon)."""
+    n_cores = network.n_cores
+    axon_counts = np.array([c.n_axons for c in network.cores], dtype=np.int64)
+    for idx, core in enumerate(network.cores):
+        tc = core.target_core
+        ta = core.target_axon
+        dangling = (tc != OUTPUT_TARGET) & ((tc < 0) | (tc >= n_cores))
+        if dangling.any():
+            neurons = np.nonzero(dangling)[0]
+            yield _diag(
+                "TN201",
+                f"target_core out of range [0, {n_cores}) for neurons "
+                f"{neurons.tolist()[:8]}",
+                Location(core=idx, unit=int(neurons[0])),
+            )
+        routed = (tc != OUTPUT_TARGET) & ~dangling
+        if routed.any():
+            dest_axons = axon_counts[tc[routed]]
+            off = (ta[routed] < 0) | (ta[routed] >= dest_axons)
+            if off.any():
+                neurons = np.nonzero(routed)[0][off]
+                yield _diag(
+                    "TN202",
+                    f"target_axon exceeds the destination core's axon count "
+                    f"for neurons {neurons.tolist()[:8]}",
+                    Location(core=idx, unit=int(neurons[0])),
+                )
+
+
+# --------------------------------------------------------------------------
+# TN3xx: membrane interval analysis
+# --------------------------------------------------------------------------
+
+def _worst_case_gain(core) -> tuple[np.ndarray, np.ndarray]:
+    """Per-neuron worst-case single-tick membrane movement (up, net).
+
+    ``up`` is the largest possible within-tick increase: the sum of the
+    positive synaptic weights over the neuron's programmed crosspoints
+    plus any upward leak contribution.  ``net`` is the best-case *net*
+    per-tick drift when every synapse fires (used for the unbounded-climb
+    check under RESET_NONE, where a steady negative leak can still drain
+    the membrane).
+    """
+    # Signed weight seen at each crosspoint: W[i, j] = weights[j, G_i].
+    signed = core.weights[:, core.axon_types].T  # (A, N)
+    active = np.where(core.crossbar, signed, 0)
+    pos_sum = np.maximum(active, 0).sum(axis=0)  # (N,)
+
+    lam = core.leak
+    # Upward leak: positive leak always climbs; reversal leak climbs
+    # whenever the membrane is positive, so its magnitude counts.
+    leak_up = np.where(core.leak_reversal | (lam > 0), np.abs(lam), 0)
+    # Net drift upper bound: synaptic maximum plus the signed leak
+    # (reversal leak is conservatively taken as upward).
+    leak_net = np.where(core.leak_reversal, np.abs(lam), lam)
+    return pos_sum + leak_up, pos_sum + leak_net
+
+
+def check_membrane_overflow(network) -> Iterator[Diagnostic]:
+    """TN301: worst-case per-tick sum + leak interval analysis.
+
+    Two ways a model can silently hit the 20-bit saturation clamp:
+
+    1. *In-tick overshoot*: a membrane just below its (stochastically
+       maximal) threshold receives the worst-case positive synaptic sum
+       plus upward leak and exceeds ``MEMBRANE_MAX`` before the
+       threshold compare — with linear reset, the clamped excess is
+       lost, perturbing spike timing versus ideal arithmetic.
+    2. *Unbounded climb*: with ``RESET_NONE`` the membrane is never
+       pulled back on spike, so any positive net per-tick drift walks it
+       into saturation eventually.
+    """
+    for idx, core in enumerate(network.cores):
+        up, net = _worst_case_gain(core)
+        theta_max = core.threshold + core.threshold_mask  # stochastic max
+
+        peak = (theta_max - 1) + up
+        overshoot = peak > params.MEMBRANE_MAX
+        if overshoot.any():
+            unit = _first_bad(overshoot)
+            yield _diag(
+                "TN301",
+                f"worst-case in-tick membrane peak {int(peak[unit])} exceeds "
+                f"MEMBRANE_MAX={params.MEMBRANE_MAX} for neurons "
+                f"{np.nonzero(overshoot)[0].tolist()[:8]}",
+                Location(core=idx, unit=unit),
+            )
+
+        climb = (core.reset_mode == params.RESET_NONE) & (net > 0)
+        if climb.any():
+            unit = _first_bad(climb)
+            yield _diag(
+                "TN301",
+                f"RESET_NONE with positive net per-tick drift (up to "
+                f"{int(net[unit])}/tick) will saturate the 20-bit membrane "
+                f"for neurons {np.nonzero(climb)[0].tolist()[:8]}",
+                Location(core=idx, unit=unit),
+            )
+
+
+# --------------------------------------------------------------------------
+# TN4xx: PRNG determinism
+# --------------------------------------------------------------------------
+
+def check_prng_coordinates(core, core_id: int | None = None) -> Iterator[Diagnostic]:
+    """TN401: stochastic crosspoints must own distinct PRNG units.
+
+    The counter-based generator keys per-synaptic-event draws on
+    ``axon * 256 + neuron`` (:func:`repro.core.prng.synapse_unit`); on
+    cores wider than 256 neurons two stochastic crosspoints can collide
+    on one unit and observe the *same* random stream, breaking the
+    independence the stochastic synapse mode assumes.
+    """
+    if not core.any_stochastic_synapse:
+        return
+    axons, neurons = np.nonzero(core.crossbar)
+    if axons.size == 0:
+        return
+    g = core.axon_types[axons]
+    stoch = core.stoch_synapse[neurons, g]
+    units = axons[stoch] * 256 + neurons[stoch]
+    if units.size != np.unique(units).size:
+        unique, counts = np.unique(units, return_counts=True)
+        first = int(unique[counts > 1][0])
+        yield _diag(
+            "TN401",
+            f"{int((counts > 1).sum())} PRNG unit(s) shared by multiple "
+            f"stochastic crosspoints (first colliding unit: {first})",
+            Location(core=core_id, unit=first),
+        )
+
+
+# --------------------------------------------------------------------------
+# TN5xx: partitioning
+# --------------------------------------------------------------------------
+
+def check_partition_map(n_cores: int, rank_of_core: np.ndarray,
+                        n_ranks: int) -> Iterator[Diagnostic]:
+    """TN501/TN502: a rank map must cover every core; empty ranks warn."""
+    rank_of_core = np.asarray(rank_of_core)
+    if rank_of_core.shape != (n_cores,):
+        yield _diag(
+            "TN501",
+            f"rank_of_core must assign every core exactly once: expected "
+            f"shape ({n_cores},), got {rank_of_core.shape}",
+        )
+        return
+    if rank_of_core.size and (
+        rank_of_core.dtype.kind not in "iu"
+        or (rank_of_core < 0).any()
+        or (rank_of_core >= n_ranks).any()
+    ):
+        bad = np.nonzero((rank_of_core < 0) | (rank_of_core >= n_ranks))[0] \
+            if rank_of_core.dtype.kind in "iu" else np.arange(n_cores)
+        yield _diag(
+            "TN501",
+            f"rank assignments must be integers in [0, {n_ranks}); cores "
+            f"{bad.tolist()[:8]} are outside",
+            Location(core=int(bad[0]) if bad.size else None),
+        )
+        return
+    owned = np.bincount(rank_of_core, minlength=n_ranks)
+    for rank in np.nonzero(owned == 0)[0]:
+        yield _diag(
+            "TN502",
+            f"rank {int(rank)} owns no cores ({n_cores} cores over "
+            f"{n_ranks} ranks)",
+            Location(rank=int(rank)),
+        )

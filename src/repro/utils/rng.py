@@ -1,0 +1,31 @@
+"""Seeded RNG construction: the one sanctioned ``default_rng`` site.
+
+Build-time randomness (network wiring, synthetic scenes, defect maps,
+measurement noise) uses numpy Generators; *tick-time* randomness uses
+the counter-based :mod:`repro.core.prng`.  For the build-time side,
+reproducibility requires that every generator is explicitly seeded —
+an unseeded ``np.random.default_rng()`` pulls OS entropy and makes two
+runs of the same builder produce different networks.
+
+The determinism source lint (:mod:`repro.lint.source`, rules SL102 and
+SL103) therefore bans direct ``default_rng`` calls outside this module;
+all call sites construct their generators through :func:`seeded_rng`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def seeded_rng(seed: int) -> np.random.Generator:
+    """Return a numpy Generator seeded with the explicit *seed*.
+
+    Raises ``ValueError`` when *seed* is ``None`` — callers must thread
+    a concrete seed so identical invocations reproduce identical draws.
+    """
+    if seed is None:
+        raise ValueError(
+            "seeded_rng requires an explicit integer seed; unseeded "
+            "generators break build reproducibility"
+        )
+    return np.random.default_rng(seed)

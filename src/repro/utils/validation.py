@@ -1,12 +1,22 @@
 """Validation helpers used across the library.
 
-All public constructors validate their inputs eagerly so that configuration
-errors surface at network-build time, not deep inside a simulation tick.
+All public constructors validate their inputs eagerly so that
+configuration errors surface at network-build time, not deep inside a
+simulation tick.  The array helpers delegate to the lint diagnostic
+vocabulary (:mod:`repro.lint.diagnostics`): a violation raises
+:class:`~repro.lint.diagnostics.LintError` — a ``ValueError`` subclass —
+carrying a structured diagnostic with a stable ``TN###`` code, so ad-hoc
+call sites and the static model checker report failures identically.
+
+:func:`require` stays a plain ``ValueError`` for non-architectural
+argument checking (CLI parameters, experiment configs, and the like).
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.lint.diagnostics import Diagnostic, LintError, Severity
 
 
 def require(condition: bool, message: str) -> None:
@@ -15,27 +25,39 @@ def require(condition: bool, message: str) -> None:
         raise ValueError(message)
 
 
+def _fail(code: str, message: str, hint: str = "") -> None:
+    """Raise a single-diagnostic :class:`LintError`."""
+    raise LintError(
+        [Diagnostic(code=code, severity=Severity.ERROR, message=message, hint=hint)]
+    )
+
+
 def check_array_shape(name: str, array: np.ndarray, shape: tuple[int, ...]) -> None:
-    """Validate that *array* has exactly the given *shape*."""
+    """Validate that *array* has exactly the given *shape* (TN001)."""
     if not isinstance(array, np.ndarray):
         raise TypeError(f"{name} must be a numpy array, got {type(array).__name__}")
     if array.shape != shape:
-        raise ValueError(f"{name} must have shape {shape}, got {array.shape}")
+        _fail("TN001", f"{name} must have shape {shape}, got {array.shape}")
 
 
 def check_int_dtype(name: str, array: np.ndarray) -> None:
-    """Validate that *array* has an integer (or bool) dtype."""
+    """Validate that *array* has an integer (or bool) dtype.
+
+    Raises ``TypeError`` (the model checker's structural pass reports
+    the same condition as a TN002 diagnostic).
+    """
     if array.dtype.kind not in "iub":
         raise TypeError(f"{name} must have an integer dtype, got {array.dtype}")
 
 
 def check_in_range(name: str, array: np.ndarray, low: int, high: int) -> None:
-    """Validate that every element of *array* lies in [*low*, *high*]."""
+    """Validate that every element of *array* lies in [*low*, *high*] (TN100)."""
     if array.size == 0:
         return
     amin = int(array.min())
     amax = int(array.max())
     if amin < low or amax > high:
-        raise ValueError(
-            f"{name} values must lie in [{low}, {high}], got [{amin}, {amax}]"
+        _fail(
+            "TN100",
+            f"{name} values must lie in [{low}, {high}], got [{amin}, {amax}]",
         )

@@ -1,0 +1,332 @@
+"""Model-checker tests: one known-bad fixture per TN diagnostic code,
+plus the clean sweep over every bundled example/app network."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.compass.compile import compile_network, partition_compiled
+from repro.core import params
+from repro.core.builders import random_network
+from repro.core.network import Core, Network
+from repro.io.model_files import load_network, save_network
+from repro.lint import (
+    CODES,
+    LintError,
+    Severity,
+    check_network,
+    lint_core,
+    lint_network,
+    lint_partition_map,
+)
+from repro.lint.examples import BUILTIN_NETWORKS, builtin_networks
+from repro.utils.validation import check_in_range
+
+
+def good_core(n_axons: int = 4, n_neurons: int = 4, **kwargs) -> Core:
+    """A small, fully valid core with a dense crossbar."""
+    return Core.build(
+        n_axons,
+        n_neurons,
+        crossbar=np.ones((n_axons, n_neurons), dtype=bool),
+        threshold=4,
+        **kwargs,
+    )
+
+
+def net_of(*cores: Core) -> Network:
+    """Wrap cores in a network without triggering eager validation."""
+    return Network(cores=list(cores), seed=0, name="fixture")
+
+
+def codes_of(report) -> set[str]:
+    return set(report.codes())
+
+
+class TestStructuralCodes:
+    def test_tn001_array_shape_mismatch(self):
+        core = good_core()
+        core.leak = np.zeros(7, dtype=np.int64)  # wrong length
+        assert "TN001" in codes_of(lint_core(core))
+
+    def test_tn001_non_array_field(self):
+        core = good_core()
+        core.delay = [1, 1, 1, 1]  # list, not ndarray
+        assert "TN001" in codes_of(lint_core(core))
+
+    def test_tn002_non_integer_dtype(self):
+        core = good_core()
+        core.weights = core.weights.astype(np.float64)
+        assert "TN002" in codes_of(lint_core(core))
+
+    def test_tn003_empty_core(self):
+        core = good_core()
+        core.crossbar = np.zeros((0, 4), dtype=bool)
+        assert "TN003" in codes_of(lint_core(core))
+
+    def test_tn003_empty_network(self):
+        assert "TN003" in codes_of(lint_network(Network(cores=[], seed=0)))
+
+    def test_structural_errors_gate_value_rules(self):
+        # A structurally broken core must not crash the range rules.
+        core = good_core()
+        core.weights = np.zeros((1, 1), dtype=np.int64)
+        report = lint_core(core)
+        assert codes_of(report) == {"TN001"}
+
+
+class TestRangeCodes:
+    @pytest.mark.parametrize(
+        "field,value,code",
+        [
+            ("weights", params.WEIGHT_MAX + 1, "TN101"),
+            ("weights", params.WEIGHT_MIN - 1, "TN101"),
+            ("delay", 0, "TN102"),
+            ("delay", params.MAX_DELAY + 1, "TN102"),
+            ("axon_types", params.NUM_AXON_TYPES, "TN103"),
+            ("threshold", params.THRESHOLD_MAX + 1, "TN104"),
+            ("threshold_mask", params.THRESHOLD_MASK_MAX + 1, "TN105"),
+            ("neg_threshold", -params.MEMBRANE_MIN + 1, "TN106"),
+            ("leak", params.LEAK_MAX + 1, "TN107"),
+            ("reset_value", params.MEMBRANE_MAX + 1, "TN108"),
+            ("initial_v", params.MEMBRANE_MIN - 1, "TN108"),
+            ("reset_mode", 5, "TN109"),
+            ("neg_floor_mode", 2, "TN109"),
+        ],
+    )
+    def test_out_of_range_fires(self, field, value, code):
+        core = good_core()
+        getattr(core, field)[...] = value
+        report = lint_core(core)
+        assert code in codes_of(report)
+        # Every range finding carries a location with the core context.
+        diag = next(d for d in report if d.code == code)
+        assert diag.severity is Severity.ERROR
+        assert diag.hint
+
+    def test_tn100_generic_range_helper(self):
+        with pytest.raises(LintError) as err:
+            check_in_range("x", np.array([9]), 0, 3)
+        assert err.value.codes == ["TN100"]
+
+    def test_tn110_oversize_core_warns(self):
+        core = Core.build(params.CORE_AXONS + 1, 4)
+        report = lint_core(core)
+        diag = next(d for d in report if d.code == "TN110")
+        assert diag.severity is Severity.WARNING
+        assert report.ok  # warning only: still no errors
+
+
+class TestRoutingCodes:
+    def test_tn201_dangling_core_target(self):
+        core = good_core(target_core=99, target_axon=0, delay=1)
+        assert "TN201" in codes_of(lint_network(net_of(core)))
+
+    def test_tn202_route_off_mesh(self):
+        a = good_core(target_core=1, target_axon=77, delay=1)
+        b = good_core()
+        assert "TN202" in codes_of(lint_network(net_of(a, b)))
+
+    def test_output_targets_are_fine(self):
+        core = good_core()  # default target_core = -1 (network output)
+        assert len(lint_network(net_of(core))) == 0
+
+
+class TestMembraneOverflow:
+    def test_tn301_in_tick_overshoot(self):
+        n_axons = 600  # 600 x 255 on top of a near-max threshold
+        core = Core.build(
+            n_axons,
+            2,
+            crossbar=np.ones((n_axons, 2), dtype=bool),
+            weights=np.full((2, params.NUM_AXON_TYPES), params.WEIGHT_MAX),
+            threshold=params.THRESHOLD_MAX,
+            threshold_mask=params.THRESHOLD_MASK_MAX,
+        )
+        report = lint_network(net_of(core))
+        diag = next(d for d in report if d.code == "TN301")
+        assert diag.severity is Severity.WARNING
+        assert "MEMBRANE_MAX" in diag.message
+
+    def test_tn301_reset_none_climb(self):
+        core = Core.build(2, 2, leak=5, reset_mode=params.RESET_NONE)
+        report = lint_network(net_of(core))
+        assert "TN301" in codes_of(report)
+
+    def test_reset_none_with_draining_leak_is_fine(self):
+        core = Core.build(2, 2, leak=-5, reset_mode=params.RESET_NONE)
+        assert "TN301" not in codes_of(lint_network(net_of(core)))
+
+
+class TestPrngCodes:
+    def test_tn401_duplicate_prng_coordinate(self):
+        # axon*256 + neuron collides once a core exceeds 256 neurons:
+        # (0, 256) and (1, 0) both map to unit 256.
+        core = Core.build(2, 300)
+        core.crossbar[0, 256] = True
+        core.crossbar[1, 0] = True
+        core.stoch_synapse[:] = True
+        report = lint_core(core)
+        assert "TN401" in codes_of(report)
+        assert not report.ok
+
+    def test_no_collision_within_256_neurons(self):
+        core = good_core(n_axons=256, n_neurons=256)
+        core.stoch_synapse[:] = True
+        assert "TN401" not in codes_of(lint_core(core))
+
+
+class TestPartitionCodes:
+    def test_tn501_wrong_shape(self):
+        report = lint_partition_map(4, np.zeros(3, dtype=np.int64), 2)
+        assert codes_of(report) == {"TN501"}
+
+    def test_tn501_rank_out_of_range(self):
+        report = lint_partition_map(4, np.array([0, 1, 2, 5]), 3)
+        assert "TN501" in codes_of(report)
+
+    def test_tn502_empty_rank_warns(self):
+        report = lint_partition_map(4, np.zeros(4, dtype=np.int64), 3)
+        assert codes_of(report) == {"TN502"}
+        assert report.ok
+
+    def test_partition_compiled_raises_tn501(self):
+        net = random_network(n_cores=3, n_neurons=8, seed=0)
+        compiled = compile_network(net)
+        with pytest.raises(LintError) as err:
+            partition_compiled(compiled, np.zeros(2, dtype=np.int64), 2)
+        assert "TN501" in err.value.codes
+
+
+class TestModelFileCodes:
+    def test_tn601_not_a_model_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, junk=np.arange(3))
+        with pytest.raises(LintError) as err:
+            load_network(path)
+        assert err.value.codes == ["TN601"]
+
+    def test_load_without_validation_for_offline_lint(self, tmp_path):
+        net = random_network(n_cores=2, n_neurons=8, seed=3)
+        path = tmp_path / "model.npz"
+        save_network(path, net)
+        # Corrupt one weight beyond the 9-bit range, rewriting the file
+        # directly (save_network itself refuses to write a bad model).
+        data = dict(np.load(path))
+        data["core0/weights"] = data["core0/weights"] + 10_000
+        np.savez_compressed(path, **data)
+        with pytest.raises(LintError):
+            load_network(path)
+        bad = load_network(path, validate=False)
+        assert "TN101" in codes_of(lint_network(bad))
+
+
+class TestFrontDoor:
+    def test_validate_raises_lint_error_with_codes(self):
+        core = good_core()
+        core.weights[...] = 999
+        with pytest.raises(LintError) as err:
+            net_of(core).validate()
+        assert "TN101" in err.value.codes
+        # LintError is a ValueError: pre-lint callers keep working.
+        assert isinstance(err.value, ValueError)
+
+    def test_compile_is_the_same_front_door(self):
+        core = good_core()
+        core.delay[...] = 99
+        with pytest.raises(LintError) as err:
+            compile_network(net_of(core))
+        assert "TN102" in err.value.codes
+
+    def test_check_network_non_strict_reports_instead_of_raising(self):
+        core = good_core()
+        core.weights[...] = 999
+        report = check_network(net_of(core), strict=False)
+        assert not report.ok and "TN101" in codes_of(report)
+
+
+class TestRenderers:
+    def test_text_rendering_carries_code_location_hint(self):
+        core = good_core()
+        core.weights[...] = 999
+        text = lint_core(core, core_id=7).render_text()
+        assert "TN101" in text and "core 7" in text and "hint:" in text
+
+    def test_json_rendering_round_trips(self):
+        import json
+
+        core = good_core()
+        core.delay[...] = 0
+        doc = json.loads(lint_core(core, core_id=1).render_json())
+        assert doc["ok"] is False
+        codes = [d["code"] for d in doc["diagnostics"]]
+        assert "TN102" in codes
+        diag = doc["diagnostics"][codes.index("TN102")]
+        assert diag["severity"] == "error" and diag["location"]["core"] == 1
+
+    def test_clean_report_renders_clean(self):
+        assert "clean" in lint_network(net_of(good_core())).render_text()
+
+
+class TestEveryCodeHasAFixture:
+    def test_registry_is_covered(self):
+        """Every TN code in the registry is exercised in this module."""
+        import pathlib
+
+        text = pathlib.Path(__file__).read_text()
+        for code in CODES:
+            assert code in text, f"no fixture references {code}"
+
+
+class TestBuiltinSweep:
+    @pytest.mark.parametrize("name", sorted(BUILTIN_NETWORKS))
+    def test_bundled_network_lints_clean_strict(self, name):
+        """No errors and no warnings on any shipped example network."""
+        report = lint_network(BUILTIN_NETWORKS[name]())
+        assert report.clean(Severity.WARNING), report.render_text()
+
+    def test_random_fuzz_builder_has_no_errors(self):
+        # random_network draws RESET_NONE neurons that genuinely
+        # saturate (TN301 warnings), but must stay free of errors.
+        report = lint_network(random_network(n_cores=3, n_neurons=16, seed=1))
+        assert report.ok, report.render_text()
+
+
+class TestCli:
+    def test_lint_builtin_exits_clean(self, capsys):
+        assert cli_main(["lint", "--builtin", "--strict"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_model_file(self, tmp_path, capsys):
+        net = random_network(n_cores=2, n_neurons=8, seed=3)
+        path = tmp_path / "model.npz"
+        save_network(path, net)
+        assert cli_main(["lint", str(path)]) == 0
+        data = dict(np.load(path))
+        data["core0/weights"] = data["core0/weights"] + 10_000
+        np.savez_compressed(path, **data)
+        assert cli_main(["lint", str(path)]) == 1
+        assert "TN101" in capsys.readouterr().out
+
+    def test_lint_codes_table(self, capsys):
+        assert cli_main(["lint", "--codes"]) == 0
+        out = capsys.readouterr().out
+        assert "TN301" in out and "SL104" in out
+
+    def test_lint_json(self, tmp_path, capsys):
+        import json
+
+        net = random_network(n_cores=1, n_neurons=8, seed=0)
+        path = tmp_path / "model.npz"
+        save_network(path, net)
+        cli_main(["lint", "--json", str(path)])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["subject"] == str(path)
+
+
+def test_builtin_networks_builds_everything():
+    nets = builtin_networks()
+    assert set(nets) == set(BUILTIN_NETWORKS)
+    assert all(n.n_cores >= 1 for n in nets.values())
