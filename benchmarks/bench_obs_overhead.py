@@ -1,0 +1,60 @@
+"""OBS: overhead guard for disabled instrumentation.
+
+The obs layer promises near-zero cost when no observer is attached —
+every instrumented site reduces to one ``is not None`` / ``.active``
+check per tick (see :func:`repro.obs.observer.active_observer`).  This
+benchmark holds that promise to a budget: the sparse engine with a
+disabled observer attached must stay within 5% of the bare engine
+(with a small absolute floor so micro-jitter on near-millisecond runs
+cannot trip the gate).
+"""
+
+import time
+
+from benchmarks.conftest import emit
+from repro.apps.recurrent import probabilistic_recurrent_network
+from repro.compass.fast import FastCompassSimulator
+from repro.obs import Observer
+
+N_TICKS = 200
+ROUNDS = 7
+#: Relative overhead budget for disabled instrumentation (ISSUE 4).
+MAX_OVERHEAD = 0.05
+#: Absolute slack (seconds): below this delta the ratio is noise.
+ABS_SLACK_S = 0.002
+
+
+def _network():
+    return probabilistic_recurrent_network(
+        100.0, 32, grid_side=4, neurons_per_core=64, coupling="balanced", seed=5
+    )
+
+
+def _run_once(network, obs):
+    sim = FastCompassSimulator(network, obs=obs)
+    start = time.perf_counter()
+    for _ in range(N_TICKS):
+        sim.step()
+    return time.perf_counter() - start
+
+
+class TestDisabledObsOverhead:
+    def test_disabled_observer_within_budget(self):
+        network = _network()
+        disabled = Observer(enabled=False)
+        bare_s = obs_s = float("inf")
+        # Interleave the two variants and take the minimum per variant:
+        # min-of-N is the standard noise filter for micro-benchmarks.
+        for _ in range(ROUNDS):
+            bare_s = min(bare_s, _run_once(network, None))
+            obs_s = min(obs_s, _run_once(network, disabled))
+        overhead = obs_s / bare_s - 1.0
+        emit(
+            f"OBS overhead: bare {bare_s * 1e3:.2f} ms, disabled-obs "
+            f"{obs_s * 1e3:.2f} ms over {N_TICKS} ticks "
+            f"({overhead * +100:.2f}% overhead)"
+        )
+        assert obs_s - bare_s <= ABS_SLACK_S or overhead <= MAX_OVERHEAD, (
+            f"disabled instrumentation costs {overhead * 100:.1f}% "
+            f"(> {MAX_OVERHEAD * 100:.0f}% budget)"
+        )

@@ -20,7 +20,10 @@ from repro.corelets.library.basic import splitter
 from repro.corelets.library.temporal import coincidence
 from repro.core.inputs import InputSchedule
 from repro.hardware.simulator import run_truenorth
+from repro.obs.log import get_logger
 from repro.utils.validation import require
+
+log = get_logger("repro.apps.stereo")
 
 
 @dataclass
@@ -78,8 +81,14 @@ def build_stereo_pipeline(
 
     comp.export_input("left", left.inputs["in"])
     comp.export_input("right", right.inputs["in"])
+    compiled = comp.compile()
+    log.info(
+        "stereo_pipeline_built", n_positions=n_positions,
+        disparities=disparities, bank_width=width,
+        n_cores=compiled.network.n_cores,
+    )
     return StereoPipeline(
-        compiled=comp.compile(), n_positions=n_positions, disparities=disparities
+        compiled=compiled, n_positions=n_positions, disparities=disparities
     )
 
 
@@ -132,4 +141,10 @@ def estimate_scene_disparity(
     """Run a stereo pair; return (record, estimated disparity)."""
     ins = stereo_pair_inputs(pipeline, pattern, true_disparity, ticks, seed=seed)
     record = run_truenorth(pipeline.compiled.network, ticks + 3, ins)
-    return record, pipeline.estimate_disparity(record)
+    estimate = pipeline.estimate_disparity(record)
+    log.info(
+        "stereo_disparity_estimated", true=true_disparity, estimate=estimate,
+        correct=(estimate == true_disparity), ticks=ticks,
+        spikes=record.n_spikes, energies=pipeline.disparity_energies(record),
+    )
+    return record, estimate

@@ -11,7 +11,9 @@ Commands:
 * ``future``        — Section VII system projections;
 * ``simulate``      — run a model file on a chosen expression;
 * ``characterize``  — simulate one recurrent sweep point and report;
-* ``lint``          — static model checker / determinism source lint.
+* ``lint``          — static model checker / determinism source lint;
+* ``trace``         — run a model and export a Chrome trace + metrics;
+* ``metrics``       — run a model and print the uniform metric snapshot.
 """
 
 from __future__ import annotations
@@ -209,6 +211,66 @@ def _cmd_lint(args) -> int:
     return 1 if failed else 0
 
 
+def _resolve_model(name_or_path: str):
+    """A builtin network name (see ``repro lint --builtin``) or .npz path."""
+    from repro.lint.examples import BUILTIN_NETWORKS
+
+    if name_or_path in BUILTIN_NETWORKS:
+        return BUILTIN_NETWORKS[name_or_path]()
+    from repro.io.model_files import load_network
+
+    return load_network(name_or_path)
+
+
+def _run_observed(args):
+    """Run *args.model* under an Observer; return (network, observer)."""
+    from repro.compass.engine import select_engine
+    from repro.core.builders import poisson_inputs
+    from repro.obs import Observer
+
+    network = _resolve_model(args.model)
+    inputs = poisson_inputs(network, args.ticks, args.rate, seed=args.seed)
+    obs = Observer()
+    workers = args.workers if args.workers == "auto" else int(args.workers)
+    sim = select_engine(
+        network, args.expression, n_ranks=args.ranks, n_workers=workers, obs=obs,
+    )
+    sim.run(args.ticks, inputs)
+    # The parallel engine merges its per-rank trace strips at close().
+    close = getattr(sim, "close", None)
+    if close is not None:
+        close()
+    return network, obs
+
+
+def _cmd_trace(args) -> int:
+    network, obs = _run_observed(args)
+    obs.export_chrome_trace(args.out)
+    spans = obs.trace.spans()
+    tids = sorted(obs.trace.tids())
+    print(f"{network.name or args.model}: {network.n_cores} cores, "
+          f"{args.ticks} ticks on {args.expression}")
+    print(f"  wrote {len(spans)} spans over ranks {tids} to {args.out} "
+          "(open in a Chrome trace viewer, e.g. ui.perfetto.dev)")
+    if args.metrics_out:
+        obs.write_metrics_json(args.metrics_out)
+        print(f"  wrote metric snapshot to {args.metrics_out}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    _, obs = _run_observed(args)
+    text = (obs.metrics.to_prometheus() if args.format == "prom"
+            else obs.metrics.to_json())
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print(f"wrote {args.format} metrics to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_characterize(args) -> int:
     from repro.experiments import fig5
 
@@ -286,6 +348,43 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--codes", action="store_true",
                     help="list every diagnostic code and exit")
     pl.set_defaults(fn=_cmd_lint)
+
+    def _observed_args(p, default_ticks: int) -> None:
+        p.add_argument("model",
+                       help="builtin network name (e.g. recurrent-stochastic; "
+                            "see `repro lint --builtin`) or .npz model path")
+        p.add_argument("--ticks", type=int, default=default_ticks)
+        p.add_argument("--rate", type=float, default=200.0,
+                       help="Poisson drive rate in Hz on every axon")
+        p.add_argument("--seed", type=int, default=1,
+                       help="seed for the Poisson input drive")
+        p.add_argument("--expression", "--engine", dest="expression",
+                       choices=list(ENGINES), default="auto",
+                       help="kernel expression to run (auto = sparse path)")
+        p.add_argument("--ranks", type=int, default=1)
+        p.add_argument("--workers", default="auto",
+                       help="worker processes for the parallel engine")
+
+    pt = sub.add_parser(
+        "trace",
+        help="run a model under tracing; export a Chrome trace_event JSON",
+    )
+    _observed_args(pt, default_ticks=50)
+    pt.add_argument("--out", default="trace.json",
+                    help="Chrome trace output path (default trace.json)")
+    pt.add_argument("--metrics-out",
+                    help="also write the metric snapshot JSON here")
+    pt.set_defaults(fn=_cmd_trace)
+
+    pm = sub.add_parser(
+        "metrics",
+        help="run a model and emit the uniform metric snapshot",
+    )
+    _observed_args(pm, default_ticks=100)
+    pm.add_argument("--format", choices=["json", "prom"], default="json",
+                    help="snapshot format: JSON or Prometheus text")
+    pm.add_argument("--out", help="write to this path instead of stdout")
+    pm.set_defaults(fn=_cmd_metrics)
 
     pc = sub.add_parser("characterize")
     pc.add_argument("--rate", type=float, default=100.0)

@@ -21,10 +21,14 @@ from repro.compass.compile import CompiledNetwork, compile_network
 from repro.core.inputs import InputSchedule
 from repro.core.network import Network
 from repro.core.record import SpikeRecord
+from repro.obs.log import get_logger
+from repro.obs.observer import Observer
 from repro.utils.validation import require
 
 #: Recognized engine names, in rough speed order for typical workloads.
 ENGINES = ("auto", "fast", "compass", "parallel", "truenorth", "reference")
+
+log = get_logger("repro.engine")
 
 
 def select_engine(
@@ -35,6 +39,7 @@ def select_engine(
     n_workers: int | str = "auto",
     partition_strategy: str = "load_balanced",
     profile: bool = False,
+    obs: Observer | None = None,
 ):
     """Construct a simulator for *network* under the named *engine*.
 
@@ -51,37 +56,55 @@ def select_engine(
 
     The compass-family engines accept a pre-built
     :class:`CompiledNetwork` and share it; the hardware and reference
-    expressions take the underlying :class:`Network`.
+    expressions take the underlying :class:`Network`.  An *obs*
+    observer (see :mod:`repro.obs`) is threaded through to the
+    compass-family engines for tracing and metrics, and the selection
+    decision itself is logged on the ``repro.engine`` structured logger
+    (set ``REPRO_LOG_LEVEL=INFO`` to see it).
     """
     require(engine in ENGINES, f"unknown engine {engine!r}; expected one of {ENGINES}")
+    requested = engine
+    reason = "explicit request"
     if engine == "auto":
         if n_ranks > 1 or profile:
             engine = "compass"
+            reason = ("rank-level features requested "
+                      f"(n_ranks={n_ranks}, profile={profile})")
         else:
-            from repro.compass.parallel import auto_workers
+            from repro.compass.parallel import AUTO_MIN_NEURONS, auto_workers
 
-            workers = auto_workers(compile_network(network))
+            compiled = compile_network(network)
+            workers = auto_workers(compiled)
             if workers > 1:
                 engine, n_workers = "parallel", workers
+                reason = (f"{compiled.n_neurons} neurons >= "
+                          f"{AUTO_MIN_NEURONS} with {workers} usable workers")
             else:
                 engine = "fast"
+                reason = (f"{compiled.n_neurons} neurons below the parallel "
+                          "threshold or no spare CPUs")
+    log.info(
+        "engine_selected", engine=engine, requested=requested,
+        n_ranks=n_ranks, n_workers=n_workers, reason=reason,
+    )
 
     if engine == "fast":
         from repro.compass.fast import FastCompassSimulator
 
-        return FastCompassSimulator(network)
+        return FastCompassSimulator(network, profile=profile, obs=obs)
     if engine == "compass":
         from repro.compass.simulator import CompassSimulator
 
         return CompassSimulator(
             network, n_ranks=n_ranks,
-            partition_strategy=partition_strategy, profile=profile,
+            partition_strategy=partition_strategy, profile=profile, obs=obs,
         )
     if engine == "parallel":
         from repro.compass.parallel import ParallelCompassSimulator
 
         return ParallelCompassSimulator(
-            network, n_workers=n_workers, partition_strategy=partition_strategy
+            network, n_workers=n_workers,
+            partition_strategy=partition_strategy, obs=obs,
         )
 
     raw = network.network if isinstance(network, CompiledNetwork) else network

@@ -36,6 +36,8 @@ from repro.core.counters import EventCounters
 from repro.core.inputs import InputSchedule
 from repro.core.network import Network
 from repro.core.record import SpikeRecord
+from repro.obs.observer import NULL_SPAN, Observer, active_observer
+from repro.obs.trace import PHASES, now_ns
 
 
 def integrate_deliveries(
@@ -158,10 +160,26 @@ class FastCompassSimulator:
     first use, cached on the network) or an existing
     :class:`~repro.compass.compile.CompiledNetwork` — constructing a
     second simulator from either form does no sparse-matrix rebuild.
+
+    Pass ``obs=Observer()`` (or ``profile=True``, which attaches a
+    private observer) to record the canonical per-tick phase spans —
+    ``deliver``/``integrate``/``update``/``route``, the same names the
+    reference :class:`~repro.compass.simulator.CompassSimulator`
+    reports — and publish the uniform event metrics.  With neither, the
+    tick path pays a single ``None`` check.
     """
 
-    def __init__(self, network: Network | CompiledNetwork) -> None:
-        compiled = compile_network(network)
+    def __init__(
+        self,
+        network: Network | CompiledNetwork,
+        *,
+        profile: bool = False,
+        obs: Observer | None = None,
+    ) -> None:
+        self.profile = profile
+        self.obs = obs if obs is not None else (Observer() if profile else None)
+        with (self.obs.span("compile") if self.obs is not None else NULL_SPAN):
+            compiled = compile_network(network)
         self.compiled = compiled
         self.network = compiled.network
 
@@ -172,6 +190,20 @@ class FastCompassSimulator:
         self.counters = EventCounters()
         self.counters.ensure_cores(compiled.n_cores)
         self._input_by_tick: dict[int, list[int]] = {}
+
+    @property
+    def phase_seconds(self) -> dict:
+        """Accumulated seconds per tick phase (all zero when untimed).
+
+        Same phase names as the reference
+        :class:`~repro.compass.simulator.CompassSimulator`: the
+        canonical four plus the legacy aggregates.
+        """
+        if self.obs is None:
+            zeros = {name: 0.0 for name in PHASES}
+            zeros["synapse_neuron"] = zeros["network"] = 0.0
+            return zeros
+        return self.obs.phase_seconds()
 
     # -- input handling ----------------------------------------------------
     def load_inputs(self, inputs: InputSchedule | None) -> None:
@@ -208,6 +240,11 @@ class FastCompassSimulator:
         """Advance one tick; return (tick, fired core ids, local neurons)."""
         c = self.compiled
         slot = self.tick % params.DELAY_SLOTS
+        # Timing is observed about the kernel, never fed back into it;
+        # clock reads live in repro.obs.trace (SL104-clean tick path).
+        obs = active_observer(self.obs)
+        if obs is not None:
+            t0 = now_ns()
         for ga in self._input_by_tick.pop(self.tick, ()):
             self.buffers[slot, ga] = True
 
@@ -215,14 +252,27 @@ class FastCompassSimulator:
         self.buffers[slot] = False
         active_idx = np.nonzero(active)[0]
         self.counters.deliveries += int(active_idx.size)
+        if obs is not None:
+            t1 = now_ns()
+            obs.phase("deliver", self.tick, t0, t1)
 
         if active_idx.size:
             syn = self._synapse_phase(active, active_idx)
         else:
             syn = np.zeros(c.n_neurons, dtype=np.int64)
+        if obs is not None:
+            t2 = now_ns()
+            obs.phase("integrate", self.tick, t1, t2)
 
         self.v, spiked = update_neurons(c, self.network.seed, self.tick, self.v, syn)
         self.counters.neuron_updates += c.n_neurons
+        self.counters.membrane_saturations += int(
+            np.count_nonzero(self.v == params.MEMBRANE_MIN)
+            + np.count_nonzero(self.v == params.MEMBRANE_MAX)
+        )
+        if obs is not None:
+            t3 = now_ns()
+            obs.phase("update", self.tick, t2, t3)
 
         fired = np.nonzero(spiked)[0]
         if fired.size:
@@ -244,6 +294,13 @@ class FastCompassSimulator:
         emitted_tick = self.tick
         self.tick += 1
         self.counters.ticks = self.tick
+        if obs is not None:
+            t4 = now_ns()
+            obs.phase("route", emitted_tick, t3, t4)
+            obs.trace.add("tick", t0, t4, attrs={"tick": emitted_tick})
+            obs.metrics.histogram("repro_tick_seconds").observe((t4 - t0) * 1e-9)  # repro-lint: allow=SL106
+            obs.publish_counters(self.counters)
+            obs.set_gauge("repro_queue_depth", len(self._input_by_tick))
         return emitted_tick, core_ids, local
 
     # -- public API --------------------------------------------------------

@@ -70,6 +70,8 @@ from repro.core.counters import EventCounters
 from repro.core.inputs import InputSchedule
 from repro.core.network import Network
 from repro.core.record import SpikeRecord
+from repro.obs.observer import NULL_SPAN, Observer, active_observer
+from repro.obs.trace import ID_PHASES, PHASE_IDS, PHASES, SpanStrip, now_ns
 from repro.utils.validation import require
 
 _STOP = -1  # control-channel stop sentinel (any tick is >= 0)
@@ -79,7 +81,12 @@ _ST_DELIVERIES = 0
 _ST_SYN_EVENTS = 1
 _ST_SPIKES = 2
 _ST_NEURON_UPDATES = 3
-_ST_N = 4
+_ST_SATURATIONS = 4
+_ST_N = 5
+
+#: Span records each worker's shared-memory trace strip retains (ring
+#: overwrite beyond this).  Five spans per tick -> ~3k traced ticks.
+TRACE_STRIP_RECORDS = 16384
 
 #: ``engine="auto"`` routes to the parallel engine only at or above this
 #: many neurons.  Benchmarked in ``benchmarks/bench_parallel_scaling.py``:
@@ -135,11 +142,18 @@ def _worker_main(conn, part: CompiledPartition, shm_names: dict, seed: int) -> N
     Protocol per tick: receive the tick number on the control pipe, run
     the vectorized tick phases on the shared regions, reply with the
     same tick number once every region for that tick is complete.
+
+    When the coordinator created an ``obs`` trace strip for this rank
+    (see :class:`repro.obs.trace.SpanStrip`), the worker records its
+    per-tick phase spans into it; the coordinator merges all strips
+    into the rank-0 trace at shutdown.  Clock reads go through
+    :func:`repro.obs.trace.now_ns`, keeping this tick path SL104-clean.
     """
     ring_shm = _attach(shm_names["ring"])
     spike_shm = _attach(shm_names["spikes"])
     out_shm = _attach(shm_names["outbox"])
     stats_shm = _attach(shm_names["stats"])
+    obs_shm = _attach(shm_names["obs"]) if "obs" in shm_names else None
 
     ring = np.ndarray(
         (params.DELAY_SLOTS, part.n_axons), dtype=bool, buffer=ring_shm.buf
@@ -147,25 +161,41 @@ def _worker_main(conn, part: CompiledPartition, shm_names: dict, seed: int) -> N
     spike_buf = np.ndarray(1 + part.n_neurons, dtype=np.int64, buffer=spike_shm.buf)
     out_buf = np.ndarray(1 + 3 * part.n_neurons, dtype=np.int64, buffer=out_shm.buf)
     stats = np.ndarray(_ST_N + part.n_cores, dtype=np.int64, buffer=stats_shm.buf)
+    strip = (
+        SpanStrip(obs_shm.buf, TRACE_STRIP_RECORDS) if obs_shm is not None else None
+    )
 
     v = part.initial_v.copy()
     while True:
         tick = conn.recv()
         if tick == _STOP:
+            if strip is not None:
+                strip.release()
             conn.close()
             return
 
+        if strip is not None:
+            t0 = now_ns()
         slot = tick % params.DELAY_SLOTS
         row = ring[slot]
         active_idx = np.nonzero(row)[0]
+        if strip is not None:
+            t1 = now_ns()
+            strip.record(PHASE_IDS["deliver"], tick, t0, t1)
         if active_idx.size:
             active = row.copy()
             row[:] = False
             syn = integrate_deliveries(part, seed, tick, active, active_idx)
         else:
             syn = np.zeros(part.n_neurons, dtype=np.int64)
+        if strip is not None:
+            t2 = now_ns()
+            strip.record(PHASE_IDS["integrate"], tick, t1, t2)
 
         v, spiked = update_neurons(part, seed, tick, v, syn)
+        if strip is not None:
+            t3 = now_ns()
+            strip.record(PHASE_IDS["update"], tick, t2, t3)
         fired = np.nonzero(spiked)[0]
 
         spike_buf[1 : 1 + fired.size] = fired
@@ -196,12 +226,20 @@ def _worker_main(conn, part: CompiledPartition, shm_names: dict, seed: int) -> N
         stats[_ST_SYN_EVENTS] = events.sum()
         stats[_ST_SPIKES] = fired.size
         stats[_ST_NEURON_UPDATES] = part.n_neurons
+        stats[_ST_SATURATIONS] = int(
+            np.count_nonzero(v == params.MEMBRANE_MIN)
+            + np.count_nonzero(v == params.MEMBRANE_MAX)
+        )
         stats[_ST_N:] = np.bincount(
             part.core_slot_of_axon[active_idx],
             weights=events,
             minlength=part.n_cores,
         ).astype(np.int64)
 
+        if strip is not None:
+            t4 = now_ns()
+            strip.record(PHASE_IDS["route"], tick, t3, t4)
+            strip.record(PHASE_IDS["tick"], tick, t0, t4)
         conn.send(tick)
 
 
@@ -224,8 +262,11 @@ class ParallelCompassSimulator:
         network: Network | CompiledNetwork,
         n_workers: int | str = 2,
         partition_strategy: str = "load_balanced",
+        obs: Observer | None = None,
     ) -> None:
-        compiled = compile_network(network)
+        self.obs = obs
+        with (obs.span("compile") if obs is not None else NULL_SPAN):
+            compiled = compile_network(network)
         self.compiled = compiled
         self.network = compiled.network
         if n_workers == "auto":
@@ -236,11 +277,13 @@ class ParallelCompassSimulator:
         )
         self.n_workers = n_workers
         self.partition_strategy = partition_strategy
-        self.partitioned = partition_compiled(
-            compiled,
-            partition(self.network, n_workers, partition_strategy),
-            n_workers,
-        )
+        with (obs.span("partition", ranks=n_workers)
+              if obs is not None else NULL_SPAN):
+            self.partitioned = partition_compiled(
+                compiled,
+                partition(self.network, n_workers, partition_strategy),
+                n_workers,
+            )
         self.rank_of_core = self.partitioned.rank_of_core
 
         self.tick = 0
@@ -256,9 +299,24 @@ class ParallelCompassSimulator:
         self._spike_bufs: list[np.ndarray] = []
         self._out_bufs: list[np.ndarray] = []
         self._stats: list[np.ndarray] = []
+        self._strips: list[SpanStrip] = []
         self._awaiting = [False] * n_workers
         self._spawned = False
         self._closed = False
+
+    @property
+    def phase_seconds(self) -> dict:
+        """Accumulated per-phase seconds summed over every worker rank.
+
+        Same phase names as the other engines; populated once worker
+        trace strips have been merged (at :meth:`close`, which
+        :meth:`run` performs).  All zero without an observer.
+        """
+        if self.obs is None:
+            zeros = {name: 0.0 for name in PHASES}
+            zeros["synapse_neuron"] = zeros["network"] = 0.0
+            return zeros
+        return self.obs.phase_seconds()
 
     # -- worker pool lifecycle ---------------------------------------------
     def _spawn(self) -> None:
@@ -274,6 +332,11 @@ class ParallelCompassSimulator:
         self._awaiting = [False] * self.n_workers
         self._procs, self._conns, self._shms = [], [], []
         self._rings, self._spike_bufs, self._out_bufs, self._stats = [], [], [], []
+        self._strips = []
+        obs = active_observer(self.obs)
+        spawn_span = (obs.span("spawn", workers=self.n_workers)
+                      if obs is not None else NULL_SPAN)
+        spawn_span.__enter__()
 
         for part in self.partitioned.partitions:
             sizes = {
@@ -282,10 +345,18 @@ class ParallelCompassSimulator:
                 "outbox": 8 * (1 + 3 * part.n_neurons),
                 "stats": 8 * (_ST_N + part.n_cores),
             }
+            if obs is not None:
+                # Per-rank trace strip: workers write span records here,
+                # rank 0 merges them into the trace at close().
+                sizes["obs"] = SpanStrip.nbytes(TRACE_STRIP_RECORDS)
             shms = {
                 key: shared_memory.SharedMemory(create=True, size=max(1, nbytes))
                 for key, nbytes in sizes.items()
             }
+            if obs is not None:
+                self._strips.append(
+                    SpanStrip(shms["obs"].buf, TRACE_STRIP_RECORDS, reset=True)
+                )
             ring = np.ndarray(
                 (params.DELAY_SLOTS, part.n_axons), dtype=bool,
                 buffer=shms["ring"].buf,
@@ -324,6 +395,7 @@ class ParallelCompassSimulator:
             self._out_bufs.append(out_buf)
             self._stats.append(stats)
 
+        spawn_span.__exit__(None, None, None)
         self._spawned = True
         self._closed = False
 
@@ -357,6 +429,9 @@ class ParallelCompassSimulator:
         if not self._spawned:
             self._spawn()
 
+        obs = active_observer(self.obs)
+        if obs is not None:
+            tick_begin = now_ns()
         slot = self.tick % params.DELAY_SLOTS
         for rank, local_axon in self._future_inputs.pop(self.tick, ()):
             self._rings[rank][slot, local_axon] = True
@@ -377,6 +452,7 @@ class ParallelCompassSimulator:
             c.synaptic_events += int(stats[_ST_SYN_EVENTS])
             c.spikes += int(stats[_ST_SPIKES])
             c.neuron_updates += int(stats[_ST_NEURON_UPDATES])
+            c.membrane_saturations += int(stats[_ST_SATURATIONS])
             per_core = stats[_ST_N:]
             if per_core.size:
                 c.synaptic_events_per_core[part.core_ids] += per_core
@@ -416,6 +492,14 @@ class ParallelCompassSimulator:
         emitted_tick = self.tick
         self.tick += 1
         c.ticks = self.tick
+        if obs is not None:
+            # The coordinator's own row: one span over the whole tick
+            # (scatter + worker barrier + gather); workers' phase spans
+            # arrive from their strips at close().
+            obs.trace.add("tick", tick_begin, now_ns(),
+                          tid=0, attrs={"tick": emitted_tick})
+            obs.publish_counters(c)
+            obs.set_gauge("repro_queue_depth", len(self._future_inputs))
         return emitted_tick, core_ids, neurons
 
     def step(self) -> list[tuple[int, int, int]]:
@@ -492,6 +576,7 @@ class ParallelCompassSimulator:
             proc.join(timeout=5)
             if proc.is_alive():
                 proc.terminate()
+        self._merge_worker_spans()
         # Drop our views before closing the segments (numpy arrays hold
         # exported buffers), then unlink — the coordinator owns them.
         self._rings, self._spike_bufs, self._out_bufs, self._stats = [], [], [], []
@@ -508,6 +593,32 @@ class ParallelCompassSimulator:
         self._shms = []
         self._spawned = False
 
+    def _merge_worker_spans(self) -> None:
+        """Drain every rank's trace strip into the rank-0 observer.
+
+        Workers appear as timeline rows ``tid = rank + 1`` (tid 0 is
+        the coordinator); per-phase seconds accumulate into the shared
+        ``repro_phase_seconds_total`` metric, summed across ranks —
+        the engine-wide profile.  Strip views are released so the
+        segments can close cleanly.
+        """
+        obs = active_observer(self.obs)
+        if obs is None or not self._strips:
+            for strip in self._strips:
+                strip.release()
+            self._strips = []
+            return
+        for rank, strip in enumerate(self._strips):
+            for phase_id, tick, begin_ns, end_ns in strip.records():
+                name = ID_PHASES.get(phase_id, f"phase{phase_id}")
+                if name == "tick":
+                    obs.trace.add(name, begin_ns, end_ns,
+                                  tid=rank + 1, attrs={"tick": tick})
+                else:
+                    obs.phase(name, tick, begin_ns, end_ns, tid=rank + 1)
+            strip.release()
+        self._strips = []
+
     def __del__(self):  # pragma: no cover - belt and braces
         try:
             self.close()
@@ -521,9 +632,10 @@ def run_parallel_compass(
     inputs: InputSchedule | None = None,
     n_workers: int | str = 2,
     partition_strategy: str = "load_balanced",
+    obs: Observer | None = None,
 ) -> SpikeRecord:
     """Convenience one-shot parallel run."""
     sim = ParallelCompassSimulator(
-        network, n_workers=n_workers, partition_strategy=partition_strategy
+        network, n_workers=n_workers, partition_strategy=partition_strategy, obs=obs
     )
     return sim.run(n_ticks, inputs)

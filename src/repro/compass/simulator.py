@@ -15,11 +15,17 @@ Numerical semantics are bit-identical to the scalar reference kernel
 and to the TrueNorth hardware expression (Section VI-A's one-to-one
 equivalence), because all three share the counter-based PRNG and the
 integer update rules.
+
+Instrumentation rides on :mod:`repro.obs`: pass ``obs=Observer()`` (or
+the legacy ``profile=True``, which creates a private observer) and the
+simulator records per-tick phase spans — ``deliver`` / ``integrate`` /
+``update`` / ``route`` — publishes the uniform event metrics, and keeps
+the classic :attr:`phase_seconds` view available.  All clock reads live
+inside :mod:`repro.obs.trace`, so this tick path stays wall-clock-free
+under the SL104 determinism lint.
 """
 
 from __future__ import annotations
-
-import time
 
 import numpy as np
 
@@ -33,6 +39,8 @@ from repro.core.record import SpikeRecord
 from repro.compass.compile import CompiledNetwork, compile_network
 from repro.compass.partition import partition
 from repro.compass.simmpi import SimMPI
+from repro.obs.observer import NULL_SPAN, Observer, active_observer
+from repro.obs.trace import PHASES, now_ns
 
 
 class CompassSimulator:
@@ -44,6 +52,7 @@ class CompassSimulator:
         n_ranks: int = 1,
         partition_strategy: str = "load_balanced",
         profile: bool = False,
+        obs: Observer | None = None,
     ) -> None:
         """Build a Compass simulator over *n_ranks* simulated MPI ranks.
 
@@ -52,17 +61,23 @@ class CompassSimulator:
         compiled artifact (flat initial state, validated configuration)
         is shared across simulators instead of being rebuilt here.
 
-        With ``profile=True`` the three kernel phases are wall-clock
-        timed per tick into :attr:`phase_seconds` — the measurement
-        Compass used to overlap communication with computation.
+        With an *obs* observer attached (or ``profile=True``, which
+        attaches a private one) the kernel phases are wall-clock timed
+        per tick into phase spans and the
+        ``repro_phase_seconds_total`` metric — the measurement Compass
+        used to overlap communication with computation — surfaced
+        through :attr:`phase_seconds`.
         """
-        compiled = compile_network(network)
+        self.profile = profile
+        self.obs = obs if obs is not None else (Observer() if profile else None)
+        with (self.obs.span("compile") if self.obs is not None else NULL_SPAN):
+            compiled = compile_network(network)
         self.compiled = compiled
         self.network = network = compiled.network
         self.n_ranks = n_ranks
-        self.profile = profile
-        self.phase_seconds = {"synapse_neuron": 0.0, "network": 0.0}
-        self.rank_of_core = partition(network, n_ranks, partition_strategy)
+        with (self.obs.span("partition", ranks=n_ranks)
+              if self.obs is not None else NULL_SPAN):
+            self.rank_of_core = partition(network, n_ranks, partition_strategy)
         self.cores_of_rank: list[list[int]] = [
             [c for c in range(network.n_cores) if self.rank_of_core[c] == r]
             for r in range(n_ranks)
@@ -80,6 +95,20 @@ class CompassSimulator:
             for core in network.cores
         ]
         self._input_by_tick: dict[int, list[tuple[int, int]]] = {}
+
+    @property
+    def phase_seconds(self) -> dict:
+        """Accumulated seconds per tick phase (all zero when untimed).
+
+        Contains the canonical ``deliver``/``integrate``/``update``/
+        ``route`` phases plus the legacy ``synapse_neuron`` and
+        ``network`` aggregates.
+        """
+        if self.obs is None:
+            zeros = {name: 0.0 for name in PHASES}
+            zeros["synapse_neuron"] = zeros["network"] = 0.0
+            return zeros
+        return self.obs.phase_seconds()
 
     # -- input handling ------------------------------------------------------
     def load_inputs(self, inputs: InputSchedule | None) -> None:
@@ -99,10 +128,15 @@ class CompassSimulator:
         net = self.network
         seed = net.seed
         slot = self.tick % params.DELAY_SLOTS
+        # Observation never feeds back into kernel state: timestamps are
+        # read through repro.obs and only accumulate into telemetry.
+        obs = active_observer(self.obs)
+        tick_begin = deliver_ns = integrate_ns = update_ns = route_ns = 0
+        if obs is not None:
+            tick_begin = now_ns()
         self._inject_inputs()
-        # Profile-gated instrumentation: never taken on the deterministic
-        # tick path, and timing never feeds back into kernel state.
-        phase_start = time.perf_counter() if self.profile else 0.0  # repro-lint: allow=SL104
+        if obs is not None:
+            deliver_ns = now_ns() - tick_begin
 
         emitted: list[tuple[int, int, int]] = []
         # Each rank processes its local cores (Synapse + Neuron phases),
@@ -110,6 +144,8 @@ class CompassSimulator:
         for rank in range(self.n_ranks):
             for core_id in self.cores_of_rank[rank]:
                 core = net.cores[core_id]
+                if obs is not None:
+                    t0 = now_ns()
                 row = self.axon_buffers[core_id][slot]
                 active = np.nonzero(row)[0]
                 row[:] = False  # consume this tick's deliveries
@@ -117,12 +153,21 @@ class CompassSimulator:
 
                 syn, n_events = synaptic_input(core, active, core_id, self.tick, seed)
                 self.counters.record_core_tick(core_id, n_events)
+                if obs is not None:
+                    t1 = now_ns()
+                    integrate_ns += t1 - t0
 
                 v, spiked = neuron_tick(
                     core, self.membranes[core_id], syn, core_id, self.tick, seed
                 )
                 self.membranes[core_id] = v
                 self.counters.neuron_updates += core.n_neurons
+                self.counters.membrane_saturations += int(
+                    np.count_nonzero(v == params.MEMBRANE_MIN)
+                    + np.count_nonzero(v == params.MEMBRANE_MAX)
+                )
+                if obs is not None:
+                    update_ns += now_ns() - t1
 
                 fired = np.nonzero(spiked)[0]
                 if fired.size == 0:
@@ -143,28 +188,38 @@ class CompassSimulator:
                         (int(t_core), int(t_axon), self.tick + int(t_delay)),
                     )
 
-        if self.profile:
-            now = time.perf_counter()  # repro-lint: allow=SL104
-            self.phase_seconds["synapse_neuron"] += now - phase_start
-            phase_start = now
-
         # Network phase: aggregated exchange, then delivery into buffers.
         # ``messages`` accumulates per tick (see EventCounters), so count
         # only this exchange's newly sent messages.
+        if obs is not None:
+            t2 = now_ns()
         sent_before = self.mpi.messages_sent
         inboxes = self.mpi.exchange()
         for inbox in inboxes:
             for t_core, t_axon, when in inbox:
                 self.axon_buffers[t_core][when % params.DELAY_SLOTS, t_axon] = True
         self.counters.messages += self.mpi.messages_sent - sent_before
-
-        if self.profile:
-            self.phase_seconds["network"] += time.perf_counter() - phase_start  # repro-lint: allow=SL104
+        if obs is not None:
+            route_ns = now_ns() - t2
 
         # Tick barrier: two-step synchronization.
         self.mpi.barrier_sync()
+        if obs is not None:
+            obs.tick_phases(
+                self.tick,
+                tick_begin,
+                (
+                    ("deliver", deliver_ns),
+                    ("integrate", integrate_ns),
+                    ("update", update_ns),
+                    ("route", route_ns),
+                ),
+            )
         self.tick += 1
         self.counters.ticks = self.tick
+        if obs is not None:
+            obs.publish_counters(self.counters)
+            obs.set_gauge("repro_queue_depth", len(self._input_by_tick))
         return emitted
 
     def run(self, n_ticks: int, inputs: InputSchedule | None = None) -> SpikeRecord:

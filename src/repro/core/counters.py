@@ -30,6 +30,10 @@ class EventCounters:
     # pairs it exchanged each tick (never assigns a snapshot), so records
     # from any expression merge and compare interchangeably.
     messages: int = 0
+    # Membrane potentials clipped at the 20-bit bounds during update —
+    # the saturation telemetry the obs layer exports; deterministic, so
+    # identical across expressions like every other event count.
+    membrane_saturations: int = 0
     max_core_events_per_tick: int = 0  # busiest core-tick synaptic event load
     synaptic_events_per_core: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
 
@@ -67,13 +71,31 @@ class EventCounters:
         return self.synaptic_events / self.ticks
 
     def merge(self, other: "EventCounters") -> None:
-        """Accumulate *other*'s tallies into this counter (rank merge)."""
+        """Accumulate *other*'s tallies into this counter (rank merge).
+
+        Additive tallies sum; ``ticks`` takes the maximum (ranks of one
+        run share the tick count, they don't add it); the per-core
+        array grows to the larger core count and sums element-wise, so
+        partial tallies sized for different prefixes merge losslessly.
+        Merging an empty counter or a counter into itself is
+        well-defined (self-merge doubles the additive tallies).
+        """
+        self.ticks = max(self.ticks, other.ticks)
         self.synaptic_events += other.synaptic_events
         self.spikes += other.spikes
         self.deliveries += other.deliveries
         self.neuron_updates += other.neuron_updates
         self.hops += other.hops
         self.messages += other.messages
+        self.membrane_saturations += other.membrane_saturations
         self.max_core_events_per_tick = max(
             self.max_core_events_per_tick, other.max_core_events_per_tick
         )
+        theirs = other.synaptic_events_per_core
+        if theirs.size:
+            if self.synaptic_events_per_core.size < theirs.size:
+                grown = np.zeros(theirs.size, dtype=np.int64)
+                grown[: self.synaptic_events_per_core.size] = self.synaptic_events_per_core
+                self.synaptic_events_per_core = grown
+            # A slice view keeps self-merge safe: doubling in place.
+            self.synaptic_events_per_core[: theirs.size] += theirs

@@ -1,0 +1,66 @@
+"""repro.obs — unified tracing, metrics, and structured logging.
+
+The telemetry layer shared by every kernel expression (reference
+Compass, sparse FastCompass, shared-memory ParallelCompass) and the
+streaming runtime:
+
+* **tracing** — :func:`Observer.span` / per-tick phase spans into a
+  ring buffer, exportable as Chrome ``trace_event`` JSON
+  (:mod:`repro.obs.trace`);
+* **metrics** — one registry of counters/gauges/histograms under a
+  uniform ``repro_*`` name catalogue with JSON and Prometheus export
+  (:mod:`repro.obs.metrics`);
+* **logging** — ``repro.*`` structured loggers, level set by
+  ``REPRO_LOG_LEVEL`` (:mod:`repro.obs.log`).
+
+Instrumentation is opt-in per engine via ``obs=Observer()`` and
+near-zero-cost when absent or disabled (:func:`set_enabled`); see
+docs/observability.md for the span API, the metric name catalogue, and
+the trace-viewer walkthrough.
+"""
+
+from repro.obs.log import StructuredLogger, configure, get_logger
+from repro.obs.metrics import (
+    CATALOGUE,
+    EVENT_METRICS,
+    MetricFamily,
+    MetricsRegistry,
+    publish_counters,
+)
+from repro.obs.observer import (
+    NULL_SPAN,
+    Observer,
+    active_observer,
+    is_enabled,
+    set_enabled,
+)
+from repro.obs.trace import (
+    PHASE_IDS,
+    PHASES,
+    Span,
+    SpanStrip,
+    TraceBuffer,
+    now_ns,
+)
+
+__all__ = [
+    "CATALOGUE",
+    "EVENT_METRICS",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Observer",
+    "PHASES",
+    "PHASE_IDS",
+    "Span",
+    "SpanStrip",
+    "StructuredLogger",
+    "TraceBuffer",
+    "active_observer",
+    "configure",
+    "get_logger",
+    "is_enabled",
+    "now_ns",
+    "publish_counters",
+    "set_enabled",
+]

@@ -1,0 +1,266 @@
+"""Metric registry: one catalogue of names across every engine.
+
+The paper's headline claims are measurements — synaptic operations,
+messages, time- and energy-to-solution — so every kernel expression
+must account the *same* quantities under the *same* names.  This module
+is that single source of truth: a registry of counters, gauges, and
+histograms with a uniform ``repro_*`` naming catalogue, snapshot-able
+to JSON and to the Prometheus text exposition format.
+
+The bespoke per-engine plumbing (:class:`~repro.core.counters.EventCounters`
+accumulation structs, ``phase_seconds`` dicts, the streaming
+``StreamReport``) remains as thin compat shims over this registry:
+:func:`publish_counters` maps an ``EventCounters`` onto the catalogue,
+so a snapshot from any engine is directly comparable — bit-identical
+for the deterministic event metrics on the same seeded network.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Kinds a metric family can have.
+KINDS = ("counter", "gauge", "histogram")
+
+#: Default histogram buckets (seconds): micro- to multi-second spans.
+DEFAULT_BUCKETS = (
+    1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+#: The uniform metric-name catalogue: name -> (kind, help).  Engines
+#: may register further metrics, but these names are shared by every
+#: expression and documented in docs/observability.md.
+CATALOGUE: dict[str, tuple[str, str]] = {
+    "repro_ticks_total": ("counter", "Simulation ticks completed."),
+    "repro_spikes_total": ("counter", "Neuron firings."),
+    "repro_synaptic_events_total": (
+        "counter", "Synaptic operations (active synapse x arriving spike)."),
+    "repro_deliveries_total": (
+        "counter", "Axon events delivered, including external inputs."),
+    "repro_neuron_updates_total": (
+        "counter", "Neurons evaluated (leak/threshold) over the run."),
+    "repro_messages_total": (
+        "counter", "Aggregated cross-core/cross-rank spike messages."),
+    "repro_hops_total": ("counter", "Mesh router hops traversed."),
+    "repro_membrane_saturations_total": (
+        "counter", "Membrane potentials clipped at the 20-bit bounds."),
+    "repro_max_core_events_per_tick": (
+        "gauge", "Busiest core-tick synaptic event load."),
+    "repro_queue_depth": (
+        "gauge", "Staged future input-event ticks awaiting injection."),
+    "repro_phase_seconds_total": (
+        "counter", "Wall-clock seconds spent per tick phase (label: phase)."),
+    "repro_tick_seconds": (
+        "histogram", "Wall-clock seconds per simulated tick."),
+    "repro_frames_total": ("counter", "Frames streamed through the runtime."),
+    "repro_input_events_total": ("counter", "Rate-coded input spike events."),
+    "repro_output_spikes_total": ("counter", "Output spikes delivered to sinks."),
+    "repro_wall_seconds_total": ("counter", "Streaming-session wall-clock seconds."),
+}
+
+#: The deterministic event subset: identical across engines for the
+#: same (network, seed, inputs), regardless of wall clock or host.
+EVENT_METRICS: dict[str, str] = {
+    "repro_ticks_total": "ticks",
+    "repro_spikes_total": "spikes",
+    "repro_synaptic_events_total": "synaptic_events",
+    "repro_deliveries_total": "deliveries",
+    "repro_neuron_updates_total": "neuron_updates",
+    "repro_messages_total": "messages",
+    "repro_hops_total": "hops",
+    "repro_membrane_saturations_total": "membrane_saturations",
+    "repro_max_core_events_per_tick": "max_core_events_per_tick",
+}
+
+
+def _labels_key(labels: dict) -> tuple:
+    """Canonical hashable key for one label set."""
+    return tuple(sorted(labels.items()))
+
+
+def _render_labels(key: tuple) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+@dataclass
+class _HistogramState:
+    """Cumulative histogram state for one label set."""
+
+    buckets: tuple
+    counts: list = field(default_factory=list)
+    total: float = 0.0
+    n: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)  # +inf bucket
+
+    def observe(self, value: float) -> None:
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.n += 1
+
+    def as_dict(self) -> dict:
+        """Snapshot form: cumulative counts per upper bound."""
+        cumulative = 0
+        buckets = {}
+        for bound, count in zip(self.buckets, self.counts):
+            cumulative += count
+            buckets[repr(float(bound))] = cumulative
+        buckets["+Inf"] = cumulative + self.counts[-1]
+        return {"buckets": buckets, "sum": self.total, "count": self.n}
+
+
+class MetricFamily:
+    """One named metric with zero or more label sets."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "_values")
+
+    def __init__(self, name: str, kind: str, help: str = "", buckets=DEFAULT_BUCKETS):
+        if kind not in KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}; expected one of {KINDS}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets = tuple(buckets)
+        self._values: dict[tuple, object] = {}
+
+    # -- write API ---------------------------------------------------------
+    def inc(self, amount=1, **labels) -> None:
+        """Add *amount* to this counter/gauge (creating the label set)."""
+        key = _labels_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def set(self, value, **labels) -> None:
+        """Set the absolute value (gauges, and counter re-publication)."""
+        self._values[_labels_key(labels)] = value
+
+    def set_max(self, value, **labels) -> None:
+        """Raise the value to *value* if larger (high-watermark gauges)."""
+        key = _labels_key(labels)
+        current = self._values.get(key, 0)
+        if value > current:
+            self._values[key] = value
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation into this histogram."""
+        key = _labels_key(labels)
+        state = self._values.get(key)
+        if state is None:
+            state = self._values[key] = _HistogramState(self.buckets)
+        state.observe(value)
+
+    # -- read API ----------------------------------------------------------
+    def value(self, **labels):
+        """Current value for one label set (0 if never written)."""
+        return self._values.get(_labels_key(labels), 0)
+
+    def items(self):
+        """Iterate (labels_key, value) pairs in insertion order."""
+        return self._values.items()
+
+
+class MetricsRegistry:
+    """Ordered collection of metric families with uniform export."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    def _get_or_create(self, name: str, kind: str, help: str, **kwargs) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            if not help and name in CATALOGUE:
+                help = CATALOGUE[name][1]
+            family = self._families[name] = MetricFamily(name, kind, help, **kwargs)
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, not {kind}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "") -> MetricFamily:
+        """Get or create the counter family *name*."""
+        return self._get_or_create(name, "counter", help)
+
+    def gauge(self, name: str, help: str = "") -> MetricFamily:
+        """Get or create the gauge family *name*."""
+        return self._get_or_create(name, "gauge", help)
+
+    def histogram(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS) -> MetricFamily:
+        """Get or create the histogram family *name*."""
+        return self._get_or_create(name, "histogram", help, buckets=buckets)
+
+    def families(self) -> list[MetricFamily]:
+        """Every registered family, in registration order."""
+        return list(self._families.values())
+
+    # -- export ------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Flat {``name{labels}``: value} mapping of every sample.
+
+        Counters and gauges map to their numbers; histograms map to a
+        ``{"buckets": ..., "sum": ..., "count": ...}`` dict.  Insertion
+        order is preserved, so two registries fed identically produce
+        identical snapshots.
+        """
+        out: dict = {}
+        for family in self._families.values():
+            for key, value in family.items():
+                sample = family.name + _render_labels(key)
+                if isinstance(value, _HistogramState):
+                    out[sample] = value.as_dict()
+                else:
+                    out[sample] = value
+        return out
+
+    def to_json(self, indent: int = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=False)
+
+    def to_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        lines: list[str] = []
+        for family in self._families.values():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key, value in family.items():
+                if isinstance(value, _HistogramState):
+                    cumulative = 0
+                    for bound, count in zip(family.buckets, value.counts):
+                        cumulative += count
+                        labels = _render_labels(key + (("le", repr(float(bound))),))
+                        lines.append(f"{family.name}_bucket{labels} {cumulative}")
+                    labels = _render_labels(key + (("le", "+Inf"),))
+                    lines.append(
+                        f"{family.name}_bucket{labels} {cumulative + value.counts[-1]}"
+                    )
+                    base = _render_labels(key)
+                    lines.append(f"{family.name}_sum{base} {value.total}")
+                    lines.append(f"{family.name}_count{base} {value.n}")
+                else:
+                    lines.append(f"{family.name}{_render_labels(key)} {value}")
+        return "\n".join(lines) + "\n"
+
+
+def publish_counters(registry: MetricsRegistry, counters) -> None:
+    """Publish an :class:`~repro.core.counters.EventCounters` snapshot.
+
+    Sets the absolute value of every deterministic event metric in the
+    catalogue from *counters* (duck-typed; any object with the counter
+    attributes works).  Idempotent — safe to call once per tick or once
+    per run; the registry always reflects the latest totals.
+    """
+    for name, attr in EVENT_METRICS.items():
+        kind = CATALOGUE[name][0]
+        family = registry.counter(name) if kind == "counter" else registry.gauge(name)
+        family.set(getattr(counters, attr, 0))

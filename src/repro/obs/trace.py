@@ -1,0 +1,234 @@
+"""Tracing: lightweight spans, ring buffers, Chrome trace export.
+
+A span is one timed region — ``compile``, ``partition``, ``spawn``, or
+a per-tick kernel phase (``deliver`` / ``integrate`` / ``update`` /
+``route``) — recorded as ``(name, begin_ns, end_ns, tid, attrs)`` into
+a bounded ring buffer.  The buffer exports Chrome ``trace_event`` JSON
+loadable by ``chrome://tracing`` and Perfetto, with one timeline row
+(tid) per rank.
+
+Two recording surfaces exist:
+
+* :class:`TraceBuffer` — the in-process ring the coordinator (rank 0)
+  and the single-process engines write into;
+* :class:`SpanStrip` — a fixed-layout strip of span records inside a
+  ``multiprocessing.shared_memory`` segment, written lock-free by one
+  parallel worker and drained into the rank-0 :class:`TraceBuffer` at
+  the end of the run (timestamps are ``CLOCK_MONOTONIC``-based and so
+  comparable across processes on one host).
+
+All wall-clock reads for tracing live in this module (:func:`now_ns`),
+keeping the engines' tick paths clean under the SL104 determinism lint:
+timing is observed *about* the kernel, never fed back into it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+
+import numpy as np
+
+#: Canonical per-tick kernel phases, in execution order.  Every engine
+#: reports exactly these names (satisfying the cross-engine parity the
+#: profiling tests assert).
+PHASES = ("deliver", "integrate", "update", "route")
+
+#: Span-name <-> integer ids for the shared-memory strips.
+PHASE_IDS: dict[str, int] = {"tick": 0, **{p: i + 1 for i, p in enumerate(PHASES)}}
+ID_PHASES: dict[int, str] = {i: name for name, i in PHASE_IDS.items()}
+
+
+def now_ns() -> int:
+    """Monotonic wall-clock timestamp in nanoseconds.
+
+    The one sanctioned clock read for instrumentation; engines call
+    this instead of :mod:`time` so the determinism source lint keeps
+    their tick paths clock-free.
+    """
+    return time.perf_counter_ns()
+
+
+class Span:
+    """One recorded region: name, [begin, end) in ns, rank row, attrs."""
+
+    __slots__ = ("name", "begin_ns", "end_ns", "tid", "attrs")
+
+    def __init__(self, name: str, begin_ns: int, end_ns: int, tid: int = 0,
+                 attrs: dict | None = None) -> None:
+        self.name = name
+        self.begin_ns = begin_ns
+        self.end_ns = end_ns
+        self.tid = tid
+        self.attrs = attrs
+
+    @property
+    def duration_s(self) -> float:
+        """Span duration in seconds."""
+        return (self.end_ns - self.begin_ns) * 1e-9
+
+    @property
+    def tick(self) -> int | None:
+        """The tick attribute, if this is a per-tick span."""
+        return self.attrs.get("tick") if self.attrs else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, tid={self.tid}, "
+                f"dur={self.duration_s * 1e3:.3f} ms, attrs={self.attrs})")
+
+
+class TraceBuffer:
+    """Bounded ring of spans; overflow drops the oldest records."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        self._ring: deque[Span] = deque(maxlen=capacity)
+        self.dropped = 0
+        self._capacity = capacity
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained spans."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def add(self, name: str, begin_ns: int, end_ns: int, tid: int = 0,
+            attrs: dict | None = None) -> None:
+        """Record one completed span."""
+        if len(self._ring) == self._capacity:
+            self.dropped += 1
+        self._ring.append(Span(name, begin_ns, end_ns, tid, attrs))
+
+    def spans(self) -> list[Span]:
+        """Every retained span, in merged tick order.
+
+        Sort key is ``(tick, begin_ns)`` with tick-less spans (compile,
+        spawn, ...) ordered purely by timestamp before tick 0 — so a
+        multi-rank trace interleaves all ranks' phase spans tick by
+        tick, the order the acceptance trace is checked in.
+        """
+        def key(span: Span):
+            tick = span.tick
+            return (tick if tick is not None else -1, span.begin_ns, span.tid)
+
+        return sorted(self._ring, key=key)
+
+    def tids(self) -> list[int]:
+        """Sorted set of rank rows present in the buffer."""
+        return sorted({span.tid for span in self._ring})
+
+    # -- Chrome trace_event export -----------------------------------------
+    def chrome_trace_events(self, pid: int = 0) -> list[dict]:
+        """The buffer as Chrome ``trace_event`` complete events.
+
+        Timestamps are microseconds relative to the earliest span, so
+        traces load at t=0 in ``chrome://tracing`` / Perfetto.  One
+        metadata event names each rank's timeline row.
+        """
+        spans = self.spans()
+        if not spans:
+            return []
+        base = min(span.begin_ns for span in spans)
+        events: list[dict] = [
+            {
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": "rank0 (coordinator)" if tid == 0 else f"rank{tid}"},
+            }
+            for tid in self.tids()
+        ]
+        for span in spans:
+            event = {
+                "name": span.name,
+                "ph": "X",
+                "ts": (span.begin_ns - base) / 1e3,
+                "dur": (span.end_ns - span.begin_ns) / 1e3,
+                "pid": pid,
+                "tid": span.tid,
+            }
+            if span.attrs:
+                event["args"] = dict(span.attrs)
+            events.append(event)
+        return events
+
+    def export_chrome(self, path: str) -> int:
+        """Write the Chrome-trace JSON document to *path*; return #events."""
+        events = self.chrome_trace_events()
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, f)
+        return len(events)
+
+
+class SpanStrip:
+    """Per-rank span strip over a shared-memory int64 buffer.
+
+    Layout (int64 words): ``[written_total, capacity]`` header followed
+    by ``capacity`` records of ``(phase_id, tick, begin_ns, end_ns)``.
+    The single writer (one worker process) ring-overwrites on overflow;
+    the single reader (the coordinator) drains after the tick barrier,
+    so no locking is needed.
+    """
+
+    HEADER = 2
+    RECORD = 4
+
+    def __init__(self, buf, capacity: int, reset: bool = False) -> None:
+        # np.ndarray(buffer=...) over np.frombuffer: the latter keeps a
+        # buffer export alive past local teardown, which makes
+        # SharedMemory.__del__ raise BufferError at worker exit.
+        self._arr = np.ndarray(self.HEADER + self.RECORD * capacity,
+                               dtype=np.int64, buffer=buf)
+        self.capacity = capacity
+        if reset:
+            self._arr[0] = 0
+            self._arr[1] = capacity
+
+    @staticmethod
+    def nbytes(capacity: int) -> int:
+        """Bytes needed for a strip of *capacity* records."""
+        return 8 * (SpanStrip.HEADER + SpanStrip.RECORD * capacity)
+
+    def record(self, phase_id: int, tick: int, begin_ns: int, end_ns: int) -> None:
+        """Append one span record (ring-overwriting the oldest)."""
+        written = int(self._arr[0])
+        base = self.HEADER + self.RECORD * (written % self.capacity)
+        self._arr[base] = phase_id
+        self._arr[base + 1] = tick
+        self._arr[base + 2] = begin_ns
+        self._arr[base + 3] = end_ns
+        self._arr[0] = written + 1
+
+    def record_phase(self, name: str, tick: int, begin_ns: int, end_ns: int) -> None:
+        """Append one span by canonical phase name."""
+        self.record(PHASE_IDS[name], tick, begin_ns, end_ns)
+
+    @property
+    def written(self) -> int:
+        """Total records ever written (>= capacity means overflow)."""
+        return int(self._arr[0])
+
+    def records(self) -> list[tuple[int, int, int, int]]:
+        """Retained records, oldest first."""
+        written = self.written
+        n = min(written, self.capacity)
+        start = written % self.capacity if written > self.capacity else 0
+        out = []
+        for i in range(n):
+            base = self.HEADER + self.RECORD * ((start + i) % self.capacity)
+            out.append(tuple(int(x) for x in self._arr[base:base + self.RECORD]))
+        return out
+
+    def drain_into(self, trace: TraceBuffer, tid: int) -> int:
+        """Merge every retained record into *trace* under row *tid*."""
+        n = 0
+        for phase_id, tick, begin_ns, end_ns in self.records():
+            trace.add(ID_PHASES.get(phase_id, f"phase{phase_id}"),
+                      begin_ns, end_ns, tid=tid, attrs={"tick": tick})
+            n += 1
+        self._arr[0] = 0
+        return n
+
+    def release(self) -> None:
+        """Drop the view into the shared buffer (before segment close)."""
+        self._arr = np.zeros(0, dtype=np.int64)

@@ -29,6 +29,7 @@ from repro.compass.engine import select_engine
 from repro.core import params
 from repro.core.inputs import InputSchedule
 from repro.core.network import Network
+from repro.obs.observer import NULL_SPAN, Observer, active_observer
 from repro.utils.validation import require
 
 
@@ -58,7 +59,15 @@ class SceneSource(FrameSource):
 
 @dataclass
 class StreamReport:
-    """Accounting of one streaming session."""
+    """Accounting of one streaming session.
+
+    A thin view kept for compatibility: when the runtime carries an
+    :class:`~repro.obs.observer.Observer`, the same quantities are
+    published to the uniform metric catalogue
+    (``repro_frames_total``, ``repro_input_events_total``,
+    ``repro_output_spikes_total``, ``repro_wall_seconds_total``), where
+    they export to JSON/Prometheus alongside the engine metrics.
+    """
 
     ticks: int = 0
     frames: int = 0
@@ -90,6 +99,7 @@ class StreamingRuntime:
         max_rate: float = 0.8,
         seed: int = 0,
         engine: str = "auto",
+        obs: Observer | None = None,
     ) -> None:
         """Wrap *simulator* (or build one) in the streaming loop.
 
@@ -98,10 +108,17 @@ class StreamingRuntime:
         :class:`~repro.compass.compile.CompiledNetwork`, in which case
         :func:`repro.compass.engine.select_engine` constructs the
         *engine* expression for it (``"auto"`` picks the sparse path).
+
+        With *obs* attached, each frame's transduce-and-advance window
+        becomes a ``frame`` span and the session totals publish to the
+        uniform metric catalogue; when the runtime constructs the
+        simulator itself, the same observer is threaded into it, so one
+        trace covers frames and tick phases end to end.
         """
         require(ticks_per_frame >= 1, "need at least one tick per frame")
+        self.obs = obs
         if isinstance(simulator, (Network, CompiledNetwork)):
-            simulator = select_engine(simulator, engine)
+            simulator = select_engine(simulator, engine, obs=obs)
         self.simulator = simulator
         self.input_pins = input_pins
         self.ticks_per_frame = ticks_per_frame
@@ -146,28 +163,37 @@ class StreamingRuntime:
         after the last frame so in-flight spikes land.
         """
         report = StreamReport()
+        obs = active_observer(self.obs)
         start = time.perf_counter()
         tick_cursor = 0
         for frame_index, frame in source.frames():
-            schedule = InputSchedule()
-            report.input_events += rate_code_frame(
-                frame,
-                self.input_pins,
-                schedule,
-                start_tick=tick_cursor,
-                ticks=self.ticks_per_frame,
-                max_rate=self.max_rate,
-                seed=self.seed,
-            )
-            self.simulator.load_inputs(schedule)
-            for _ in range(self.ticks_per_frame):
-                self._tick(sink, tick_cursor, report)
-                tick_cursor += 1
-                report.ticks += 1
-            report.frames += 1
+            with (obs.span("frame", frame=frame_index)
+                  if obs is not None else NULL_SPAN):
+                schedule = InputSchedule()
+                report.input_events += rate_code_frame(
+                    frame,
+                    self.input_pins,
+                    schedule,
+                    start_tick=tick_cursor,
+                    ticks=self.ticks_per_frame,
+                    max_rate=self.max_rate,
+                    seed=self.seed,
+                )
+                self.simulator.load_inputs(schedule)
+                for _ in range(self.ticks_per_frame):
+                    self._tick(sink, tick_cursor, report)
+                    tick_cursor += 1
+                    report.ticks += 1
+                report.frames += 1
         for _ in range(drain_ticks):
             self._tick(sink, tick_cursor, report)
             tick_cursor += 1
             report.ticks += 1
         report.wall_seconds = time.perf_counter() - start
+        if obs is not None:
+            metrics = obs.metrics
+            metrics.counter("repro_frames_total").inc(report.frames)
+            metrics.counter("repro_input_events_total").inc(report.input_events)
+            metrics.counter("repro_output_spikes_total").inc(report.output_spikes)
+            metrics.counter("repro_wall_seconds_total").inc(report.wall_seconds)
         return report

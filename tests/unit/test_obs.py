@@ -1,0 +1,414 @@
+"""Unit tests for the repro.obs telemetry layer.
+
+Covers the metric registry and its exporters (with a golden-file style
+Prometheus snapshot), the trace ring buffer and shared-memory span
+strips, the observer enable/disable semantics, the structured logger,
+and the EventCounters.merge edge cases the obs layer leans on.
+"""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.core.counters import EventCounters
+from repro.obs import (
+    EVENT_METRICS,
+    PHASES,
+    MetricsRegistry,
+    Observer,
+    SpanStrip,
+    TraceBuffer,
+    active_observer,
+    configure,
+    get_logger,
+    is_enabled,
+    publish_counters,
+    set_enabled,
+)
+from repro.obs.trace import PHASE_IDS
+
+
+class TestMetricsRegistry:
+    def test_counter_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_spikes_total")
+        c.inc()
+        c.inc(41)
+        assert c.value() == 42
+
+    def test_labels_are_independent_samples(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_phase_seconds_total")
+        c.inc(1.5, phase="deliver")
+        c.inc(0.5, phase="route")
+        c.inc(0.5, phase="deliver")
+        assert c.value(phase="deliver") == 2.0
+        assert c.value(phase="route") == 0.5
+        assert c.value(phase="update") == 0
+
+    def test_gauge_set_and_set_max(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("repro_queue_depth")
+        g.set(7)
+        g.set(3)
+        assert g.value() == 3
+        g.set_max(10)
+        g.set_max(5)
+        assert g.value() == 10
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_ticks_total")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("repro_ticks_total")
+
+    def test_catalogue_help_attached(self):
+        reg = MetricsRegistry()
+        assert "firings" in reg.counter("repro_spikes_total").help
+
+    def test_histogram_buckets_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_tick_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        snap = reg.snapshot()["repro_tick_seconds"]
+        assert snap["buckets"] == {"0.1": 1, "1.0": 3, "+Inf": 4}
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(6.05)
+
+    def test_snapshot_deterministic_across_registries(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("repro_spikes_total").inc(9)
+            reg.gauge("repro_queue_depth").set(2)
+            reg.counter("repro_phase_seconds_total").inc(1, phase="route")
+            return reg
+
+        assert build().snapshot() == build().snapshot()
+        assert build().to_json() == build().to_json()
+
+
+class TestExporters:
+    @pytest.fixture()
+    def registry(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_ticks_total").inc(5)
+        reg.counter("repro_spikes_total").inc(12)
+        c = reg.counter("repro_phase_seconds_total")
+        c.inc(0.25, phase="deliver")
+        c.inc(0.75, phase="route")
+        reg.gauge("repro_queue_depth").set(3)
+        h = reg.histogram("repro_tick_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        return reg
+
+    def test_prometheus_golden(self, registry):
+        expected = "\n".join([
+            "# HELP repro_ticks_total Simulation ticks completed.",
+            "# TYPE repro_ticks_total counter",
+            "repro_ticks_total 5",
+            "# HELP repro_spikes_total Neuron firings.",
+            "# TYPE repro_spikes_total counter",
+            "repro_spikes_total 12",
+            "# HELP repro_phase_seconds_total Wall-clock seconds spent "
+            "per tick phase (label: phase).",
+            "# TYPE repro_phase_seconds_total counter",
+            'repro_phase_seconds_total{phase="deliver"} 0.25',
+            'repro_phase_seconds_total{phase="route"} 0.75',
+            "# HELP repro_queue_depth Staged future input-event ticks "
+            "awaiting injection.",
+            "# TYPE repro_queue_depth gauge",
+            "repro_queue_depth 3",
+            "# HELP repro_tick_seconds Wall-clock seconds per simulated tick.",
+            "# TYPE repro_tick_seconds histogram",
+            'repro_tick_seconds_bucket{le="0.1"} 1',
+            'repro_tick_seconds_bucket{le="1.0"} 2',
+            'repro_tick_seconds_bucket{le="+Inf"} 2',
+            "repro_tick_seconds_sum 0.55",
+            "repro_tick_seconds_count 2",
+            "",
+        ])
+        assert registry.to_prometheus() == expected
+
+    def test_json_golden(self, registry):
+        doc = json.loads(registry.to_json())
+        assert doc["repro_ticks_total"] == 5
+        assert doc['repro_phase_seconds_total{phase="route"}'] == 0.75
+        assert doc["repro_tick_seconds"]["count"] == 2
+
+
+class TestPublishCounters:
+    def test_maps_every_event_metric(self):
+        c = EventCounters(ticks=3, synaptic_events=100, spikes=10,
+                          deliveries=20, neuron_updates=96, hops=4,
+                          messages=7, membrane_saturations=2,
+                          max_core_events_per_tick=55)
+        reg = MetricsRegistry()
+        publish_counters(reg, c)
+        snap = reg.snapshot()
+        for name, attr in EVENT_METRICS.items():
+            assert snap[name] == getattr(c, attr)
+
+    def test_idempotent_republication(self):
+        c = EventCounters(spikes=10)
+        reg = MetricsRegistry()
+        publish_counters(reg, c)
+        c.spikes = 11
+        publish_counters(reg, c)
+        assert reg.snapshot()["repro_spikes_total"] == 11
+
+
+class TestEventCountersMerge:
+    def test_merge_empty_is_identity(self):
+        c = EventCounters(ticks=5, synaptic_events=10, spikes=3, messages=2)
+        c.ensure_cores(2)
+        c.synaptic_events_per_core[:] = (6, 4)
+        c.merge(EventCounters())
+        assert (c.ticks, c.synaptic_events, c.spikes, c.messages) == (5, 10, 3, 2)
+        assert c.synaptic_events_per_core.tolist() == [6, 4]
+
+    def test_merge_into_empty(self):
+        c = EventCounters(ticks=5, spikes=3, membrane_saturations=1)
+        c.ensure_cores(2)
+        c.synaptic_events_per_core[:] = (6, 4)
+        empty = EventCounters()
+        empty.merge(c)
+        assert empty.ticks == 5
+        assert empty.spikes == 3
+        assert empty.membrane_saturations == 1
+        assert empty.synaptic_events_per_core.tolist() == [6, 4]
+
+    def test_self_merge_doubles_additive_keeps_maxima(self):
+        c = EventCounters(ticks=5, synaptic_events=10, spikes=3,
+                          max_core_events_per_tick=9)
+        c.ensure_cores(2)
+        c.synaptic_events_per_core[:] = (6, 4)
+        c.merge(c)
+        assert c.ticks == 5  # shared tick count, not additive
+        assert c.synaptic_events == 20
+        assert c.spikes == 6
+        assert c.max_core_events_per_tick == 9
+        assert c.synaptic_events_per_core.tolist() == [12, 8]
+
+    def test_mismatched_core_counts_grow_and_sum(self):
+        small = EventCounters()
+        small.ensure_cores(2)
+        small.synaptic_events_per_core[:] = (1, 2)
+        big = EventCounters()
+        big.ensure_cores(4)
+        big.synaptic_events_per_core[:] = (10, 20, 30, 40)
+
+        grown = EventCounters()
+        grown.ensure_cores(2)
+        grown.synaptic_events_per_core[:] = (1, 2)
+        grown.merge(big)
+        assert grown.synaptic_events_per_core.tolist() == [11, 22, 30, 40]
+
+        big.merge(small)
+        assert big.synaptic_events_per_core.tolist() == [11, 22, 30, 40]
+
+    def test_ticks_take_maximum(self):
+        a = EventCounters(ticks=7)
+        a.merge(EventCounters(ticks=3))
+        assert a.ticks == 7
+        a.merge(EventCounters(ticks=12))
+        assert a.ticks == 12
+
+
+class TestTraceBuffer:
+    def test_spans_merge_in_tick_order(self):
+        buf = TraceBuffer()
+        # Rank rows append independently; spans() interleaves by tick.
+        buf.add("deliver", 100, 110, tid=1, attrs={"tick": 1})
+        buf.add("deliver", 90, 95, tid=2, attrs={"tick": 0})
+        buf.add("compile", 0, 50, tid=0)
+        buf.add("deliver", 80, 85, tid=1, attrs={"tick": 0})
+        ordered = [(s.name, s.tick, s.tid) for s in buf.spans()]
+        assert ordered == [
+            ("compile", None, 0),
+            ("deliver", 0, 1),
+            ("deliver", 0, 2),
+            ("deliver", 1, 1),
+        ]
+
+    def test_ring_overflow_drops_oldest(self):
+        buf = TraceBuffer(capacity=3)
+        for i in range(5):
+            buf.add("tick", i, i + 1, attrs={"tick": i})
+        assert len(buf) == 3
+        assert buf.dropped == 2
+        assert [s.tick for s in buf.spans()] == [2, 3, 4]
+
+    def test_chrome_trace_events_structure(self):
+        buf = TraceBuffer()
+        buf.add("compile", 2_000, 5_000, tid=0)
+        buf.add("deliver", 5_000, 6_000, tid=1, attrs={"tick": 0})
+        events = buf.chrome_trace_events()
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {m["args"]["name"] for m in meta} == {"rank0 (coordinator)", "rank1"}
+        first = complete[0]
+        assert first["ts"] == 0.0  # rebased to the earliest span
+        assert first["dur"] == 3.0  # ns -> us
+        assert complete[1]["args"] == {"tick": 0}
+
+    def test_export_chrome_writes_document(self, tmp_path):
+        buf = TraceBuffer()
+        buf.add("tick", 0, 1000, attrs={"tick": 0})
+        out = tmp_path / "trace.json"
+        n = buf.export_chrome(str(out))
+        doc = json.loads(out.read_text())
+        assert len(doc["traceEvents"]) == n
+        assert doc["displayTimeUnit"] == "ms"
+
+
+class TestSpanStrip:
+    def test_roundtrip(self):
+        buf = bytearray(SpanStrip.nbytes(8))
+        strip = SpanStrip(buf, 8, reset=True)
+        strip.record(PHASE_IDS["deliver"], 0, 100, 110)
+        strip.record_phase("route", 0, 110, 120)
+        assert strip.written == 2
+        assert strip.records() == [
+            (PHASE_IDS["deliver"], 0, 100, 110),
+            (PHASE_IDS["route"], 0, 110, 120),
+        ]
+
+    def test_ring_overwrite_keeps_newest(self):
+        buf = bytearray(SpanStrip.nbytes(4))
+        strip = SpanStrip(buf, 4, reset=True)
+        for i in range(6):
+            strip.record(PHASE_IDS["tick"], i, i * 10, i * 10 + 5)
+        assert strip.written == 6
+        assert [r[1] for r in strip.records()] == [2, 3, 4, 5]
+
+    def test_drain_into_trace(self):
+        buf = bytearray(SpanStrip.nbytes(8))
+        strip = SpanStrip(buf, 8, reset=True)
+        strip.record(PHASE_IDS["integrate"], 3, 50, 60)
+        trace = TraceBuffer()
+        assert strip.drain_into(trace, tid=2) == 1
+        (span,) = trace.spans()
+        assert (span.name, span.tick, span.tid) == ("integrate", 3, 2)
+        assert strip.written == 0  # drained
+
+    def test_reader_attaches_without_reset(self):
+        buf = bytearray(SpanStrip.nbytes(4))
+        writer = SpanStrip(buf, 4, reset=True)
+        writer.record(PHASE_IDS["update"], 1, 0, 9)
+        reader = SpanStrip(buf, 4)  # no reset: sees the writer's records
+        assert reader.records() == [(PHASE_IDS["update"], 1, 0, 9)]
+
+
+class TestObserver:
+    def test_span_records_into_trace(self):
+        obs = Observer()
+        with obs.span("compile", cores=4):
+            pass
+        (span,) = obs.trace.spans()
+        assert span.name == "compile"
+        assert span.attrs == {"cores": 4}
+        assert span.end_ns >= span.begin_ns
+
+    def test_disabled_observer_is_noop(self):
+        obs = Observer(enabled=False)
+        assert not obs.active
+        assert active_observer(obs) is None
+        with obs.span("compile"):
+            pass
+        assert len(obs.trace) == 0
+
+    def test_module_switch_silences_all(self):
+        obs = Observer()
+        assert is_enabled()
+        try:
+            set_enabled(False)
+            assert not obs.active
+            assert active_observer(obs) is None
+            with obs.span("compile"):
+                pass
+            assert len(obs.trace) == 0
+        finally:
+            set_enabled(True)
+        assert obs.active
+
+    def test_phase_seconds_includes_compat_aggregates(self):
+        obs = Observer()
+        obs.phase("deliver", 0, 0, 1_000_000_000)
+        obs.phase("route", 0, 0, 500_000_000)
+        seconds = obs.phase_seconds()
+        assert set(seconds) == set(PHASES) | {"synapse_neuron", "network"}
+        assert seconds["synapse_neuron"] == pytest.approx(1.0)
+        assert seconds["network"] == pytest.approx(0.5)
+
+    def test_tick_phases_synthesizes_contiguous_spans(self):
+        obs = Observer()
+        obs.tick_phases(4, 1000, (("deliver", 10), ("route", 20)))
+        spans = {s.name: s for s in obs.trace.spans()}
+        assert spans["deliver"].begin_ns == 1000
+        assert spans["deliver"].end_ns == spans["route"].begin_ns == 1010
+        assert spans["route"].end_ns == 1030
+        assert spans["tick"].tick == 4
+        hist = obs.metrics.snapshot()["repro_tick_seconds"]
+        assert hist["count"] == 1
+
+    def test_event_snapshot_covers_catalogue_subset(self):
+        obs = Observer()
+        obs.publish_counters(EventCounters(ticks=2, spikes=5))
+        snap = obs.event_snapshot()
+        assert set(snap) == set(EVENT_METRICS)
+        assert snap["repro_spikes_total"] == 5
+
+    def test_write_metrics_json(self, tmp_path):
+        obs = Observer()
+        obs.publish_counters(EventCounters(spikes=5))
+        path = tmp_path / "metrics.json"
+        obs.write_metrics_json(str(path))
+        assert json.loads(path.read_text())["repro_spikes_total"] == 5
+
+
+class TestStructuredLog:
+    @pytest.fixture()
+    def capture(self):
+        stream = io.StringIO()
+        configure(level=logging.DEBUG, stream=stream, force=True)
+        yield stream
+        configure(force=True)  # restore env-driven defaults
+
+    def test_event_key_value_rendering(self, capture):
+        log = get_logger("repro.test")
+        log.info("engine_selected", engine="fast", n_workers=4)
+        line = capture.getvalue().strip()
+        assert line.endswith("engine_selected engine=fast n_workers=4")
+        assert "INFO" in line and "repro.test" in line
+
+    def test_values_with_whitespace_are_quoted(self, capture):
+        get_logger("repro.test").info("note", reason="too many cores")
+        assert "reason='too many cores'" in capture.getvalue()
+
+    def test_level_filters(self, capture):
+        configure(level=logging.WARNING, stream=capture, force=True)
+        log = get_logger("repro.test")
+        log.info("hidden")
+        log.warning("shown")
+        text = capture.getvalue()
+        assert "hidden" not in text
+        assert "shown" in text
+
+    def test_level_from_environment(self, monkeypatch):
+        stream = io.StringIO()
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "DEBUG")
+        configure(stream=stream, force=True)
+        try:
+            get_logger("repro.test").debug("fine_grained", x=1)
+            assert "fine_grained x=1" in stream.getvalue()
+        finally:
+            monkeypatch.undo()
+            configure(force=True)
+
+    def test_logger_namespace_enforced(self):
+        with pytest.raises(ValueError, match="namespace"):
+            get_logger("other.package")

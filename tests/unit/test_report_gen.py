@@ -64,7 +64,9 @@ class TestPhaseProfiling:
         net = random_network(n_cores=2, seed=1)
         sim = CompassSimulator(net)
         sim.run(5)
-        assert sim.phase_seconds == {"synapse_neuron": 0.0, "network": 0.0}
+        # Untimed: every phase (canonical + legacy aggregates) reads zero.
+        assert set(sim.phase_seconds) >= {"synapse_neuron", "network"}
+        assert all(v == 0.0 for v in sim.phase_seconds.values())
 
     def test_profiling_does_not_change_results(self):
         net = random_network(n_cores=3, stochastic=True, seed=9)
