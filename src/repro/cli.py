@@ -10,6 +10,7 @@ Commands:
 * ``equivalence``   — run the one-to-one equivalence regressions;
 * ``future``        — Section VII system projections;
 * ``simulate``      — run a model file on a chosen expression;
+* ``serve``         — serve concurrent sessions on the batched engine;
 * ``characterize``  — simulate one recurrent sweep point and report;
 * ``lint``          — static model checker / determinism source lint;
 * ``trace``         — run a model and export a Chrome trace + metrics;
@@ -271,6 +272,46 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import time
+
+    from repro.core.builders import poisson_inputs
+    from repro.obs import Observer
+    from repro.runtime.serving import CompiledModelCache, ModelServer
+
+    network = _resolve_model(args.model)
+    obs = Observer() if args.metrics_out else None
+    cache = CompiledModelCache(capacity=args.cache_size)
+    server = ModelServer(network, n_lanes=args.lanes, cache=cache, obs=obs)
+
+    t0 = time.perf_counter()
+    for i in range(args.sessions):
+        inputs = poisson_inputs(network, args.ticks, args.rate, seed=args.seed + i)
+        server.submit(inputs, args.ticks)
+    sessions = server.run()
+    wall = time.perf_counter() - t0
+
+    stats = server.stats()
+    total_spikes = sum(s.record.n_spikes for s in sessions)
+    rows = [
+        ["sessions completed", stats["completed"], args.sessions],
+        ["batch lanes", args.lanes, ""],
+        ["batched passes", stats["passes"], ""],
+        ["lane-ticks served", stats["lane_ticks_served"], ""],
+        ["output spikes", total_spikes, ""],
+        ["wall seconds", f"{wall:.3f}", ""],
+        ["lane-ticks / second", f"{stats['lane_ticks_served'] / wall:,.0f}", ""],
+        ["compile cache", f"{cache.hits} hits / {cache.misses} misses", ""],
+    ]
+    print(render_table(["metric", "value", "requested"], rows,
+                       title=f"serve: {network.name or args.model} "
+                             f"x {args.sessions} sessions"))
+    if args.metrics_out:
+        obs.write_metrics_json(args.metrics_out)
+        print(f"wrote metric snapshot to {args.metrics_out}")
+    return 0
+
+
 def _cmd_characterize(args) -> int:
     from repro.experiments import fig5
 
@@ -385,6 +426,30 @@ def build_parser() -> argparse.ArgumentParser:
                     help="snapshot format: JSON or Prometheus text")
     pm.add_argument("--out", help="write to this path instead of stdout")
     pm.set_defaults(fn=_cmd_metrics)
+
+    pv = sub.add_parser(
+        "serve",
+        help="serve many concurrent sessions on the batched engine "
+             "(docs/serving.md)",
+    )
+    pv.add_argument("model",
+                    help="builtin network name (e.g. recurrent-stochastic; "
+                         "see `repro lint --builtin`) or .npz model path")
+    pv.add_argument("--sessions", type=int, default=32,
+                    help="number of concurrent sessions to submit")
+    pv.add_argument("--lanes", type=int, default=16,
+                    help="batch lanes (concurrent replicas per pass)")
+    pv.add_argument("--ticks", type=int, default=100,
+                    help="tick budget per session")
+    pv.add_argument("--rate", type=float, default=200.0,
+                    help="Poisson drive rate in Hz on every axon")
+    pv.add_argument("--seed", type=int, default=1,
+                    help="base seed for the per-session Poisson drives")
+    pv.add_argument("--cache-size", type=int, default=8,
+                    help="compiled-model LRU cache capacity")
+    pv.add_argument("--metrics-out",
+                    help="write the obs metric snapshot JSON here")
+    pv.set_defaults(fn=_cmd_serve)
 
     pc = sub.add_parser("characterize")
     pc.add_argument("--rate", type=float, default=100.0)

@@ -15,6 +15,11 @@ from repro.compass.partition import (
     partition_round_robin,
     rank_loads,
 )
+from repro.compass.batched import (
+    BatchedCompassSimulator,
+    replica_seeds,
+    run_batched_compass,
+)
 from repro.compass.fast import FastCompassSimulator, run_fast_compass
 from repro.compass.parallel import (
     ParallelCompassSimulator,
@@ -39,6 +44,9 @@ __all__ = [
     "partition_load_balanced",
     "partition_round_robin",
     "rank_loads",
+    "BatchedCompassSimulator",
+    "replica_seeds",
+    "run_batched_compass",
     "FastCompassSimulator",
     "run_fast_compass",
     "ParallelCompassSimulator",

@@ -1,0 +1,533 @@
+"""Batched multi-replica execution: B networks per vectorized pass.
+
+The paper's headline throughput comes from amortizing fixed per-tick
+cost across massive parallel work.  The sparse engine
+(:mod:`repro.compass.fast`) already makes one tick a handful of numpy
+calls — but serving many concurrent input streams still pays that fixed
+Python overhead once *per stream*.  This module adds the missing batch
+axis: :class:`BatchedCompassSimulator` advances ``B`` independent
+replicas of one :class:`~repro.compass.compile.CompiledNetwork` in a
+single vectorized pass, extending the delivery ring, membrane, and
+stats arrays from ``(N, ...)`` to ``(B, N, ...)`` so the sparse matvec
+becomes one CSR x ``(A, B)`` product and the neuron update one
+``(B, N)`` elementwise sweep.
+
+Replica independence is exact, not approximate.  Every lane carries its
+own PRNG coordinates — a per-lane seed and a per-lane tick counter —
+and the counter-based generator (:mod:`repro.core.prng`) makes each
+draw a pure function of (seed, purpose, core, tick, unit).  Lane ``b``
+therefore observes *bit-identical* spikes, counters, and membrane
+trajectories to a standalone :class:`~repro.compass.fast.FastCompassSimulator`
+run of the same seed and inputs, which is what the batched property
+suite asserts.  Per-lane tick counters also make lanes restartable in
+place (:meth:`~BatchedCompassSimulator.reset_lane`), the primitive the
+serving runtime (:mod:`repro.runtime.serving`) uses to admit a new
+session into a free lane mid-flight.
+
+The stochastic draw helpers are shared with the sparse engine
+(:func:`~repro.compass.fast.stoch_synapse_input`,
+:func:`~repro.compass.fast.effective_leak`,
+:func:`~repro.compass.fast.effective_threshold`), called once per lane
+with that lane's (seed, tick) coordinates — divergence between the
+engines is structurally impossible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compass.compile import CompiledNetwork, compile_network
+from repro.compass.fast import (
+    effective_leak,
+    effective_threshold,
+    staged_inputs,
+    stoch_synapse_input,
+)
+from repro.core import params
+from repro.core.counters import EventCounters
+from repro.core.inputs import InputSchedule
+from repro.core.network import Network
+from repro.core.prng import derive_stream_seed
+from repro.core.record import SpikeRecord
+from repro.obs.observer import NULL_SPAN, Observer, active_observer
+from repro.obs.trace import now_ns
+from repro.utils.validation import require
+
+
+def replica_seeds(base_seed: int, n_replicas: int) -> list[int]:
+    """The default per-lane seed vector for *n_replicas* lanes.
+
+    Lane 0 keeps *base_seed* (bit-identical to the unbatched run of the
+    network as built); later lanes get decorrelated derived seeds via
+    :func:`~repro.core.prng.derive_stream_seed`, pairwise distinct so
+    the TN401 replica-coordinate check passes by construction.
+    """
+    return [derive_stream_seed(base_seed, b) for b in range(n_replicas)]
+
+
+def _per_lane_rows(c, seeds, lane_ticks, base: np.ndarray, fn) -> np.ndarray:
+    """Apply per-lane draw helper *fn* across lanes, collapsing when uniform.
+
+    When every lane shares one (seed, tick) coordinate — the common
+    steady-state batch with no mid-flight resets — the draws are
+    identical by purity, so one ``(N,)`` row broadcasts over the batch.
+    Otherwise returns a stacked ``(B, N)`` array of per-lane rows.
+    """
+    first = fn(c, seeds[0], int(lane_ticks[0]), base)
+    if all(s == seeds[0] for s in seeds) and bool(
+        np.all(lane_ticks == lane_ticks[0])
+    ):
+        return first
+    rows = [first]
+    for b in range(1, len(seeds)):
+        rows.append(fn(c, seeds[b], int(lane_ticks[b]), base))
+    return np.stack(rows)
+
+
+def integrate_deliveries_batched(
+    c, seeds, lane_ticks: np.ndarray, active: np.ndarray
+) -> np.ndarray:
+    """Synapse phase across the batch: one CSR x dense matmul.
+
+    *active* is the ``(B, A)`` axon activity matrix.  The deterministic
+    contribution for every lane is a single sparse-times-dense product;
+    stochastic crosspoint draws run per lane through the exact sparse
+    engine helper with that lane's (seed, tick) coordinates.  Returns
+    the ``(B, N)`` synaptic input matrix.
+    """
+    syn = np.ascontiguousarray(
+        c.det_matrix_t.dot(active.T.astype(np.int64)).T
+    )
+    if c.any_stoch_synapse:
+        for b in range(active.shape[0]):
+            active_idx = np.nonzero(active[b])[0]
+            if active_idx.size:
+                contrib = stoch_synapse_input(
+                    c, seeds[b], int(lane_ticks[b]), active_idx
+                )
+                if contrib is not None:
+                    syn[b] += contrib
+    return syn
+
+
+def update_neurons_batched(
+    c, seeds, lane_ticks: np.ndarray, v: np.ndarray, syn: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Neuron phase across the batch: leak, threshold, fire, reset.
+
+    Identical algebra to :func:`repro.compass.fast.update_neurons`,
+    broadcast over the lane axis of the ``(B, N)`` membrane matrix.
+    Stochastic leak/threshold draws are per lane (collapsed to one row
+    when every lane shares one (seed, tick) coordinate — the draws are
+    equal by purity).  Returns ``(v_next, spiked)``, both ``(B, N)``.
+    """
+    v = v + syn
+
+    direction = np.where(c.leak_reversal, np.sign(v), 1)
+    leak = _per_lane_rows(c, seeds, lane_ticks, c.leak, effective_leak)
+    v = np.clip(v + direction * leak, params.MEMBRANE_MIN, params.MEMBRANE_MAX)
+
+    theta = _per_lane_rows(c, seeds, lane_ticks, c.threshold, effective_threshold)
+
+    spiked = v >= theta
+    # Same selection algebra as the sparse engine's np.select, spelled
+    # as nested wheres: one fewer (B, N) temporary per pass.
+    v_reset = np.where(
+        c.reset_mode == params.RESET_TO_VALUE,
+        c.reset_value,
+        np.where(c.reset_mode == params.RESET_LINEAR, v - theta, v),
+    )
+    v = np.where(spiked, v_reset, v)
+    below = (~spiked) & (v < -c.neg_threshold)
+    if below.any():
+        floored = np.where(
+            c.neg_floor_mode == params.NEG_FLOOR_SATURATE,
+            -c.neg_threshold,
+            -c.reset_value,
+        )
+        v = np.where(below, floored, v)
+    return np.clip(v, params.MEMBRANE_MIN, params.MEMBRANE_MAX), spiked
+
+
+class BatchedCompassSimulator:
+    """B independent replicas of one compiled network per vectorized pass.
+
+    Each lane is a full, independent simulation of the same network:
+    its own membrane state, delivery ring slice, input schedule, event
+    counters, seed, and tick counter.  Lanes sharing a seed observe
+    identical stochastic streams (flagged by the TN401 replica check);
+    pass ``seeds=replica_seeds(net.seed, B)`` for decorrelated lanes,
+    or leave the default — every lane at the network's own seed —
+    when replicas exist purely for throughput over identical dynamics.
+
+    One :meth:`step_arrays` call advances *every* lane one tick.  After
+    :meth:`reset_lane`, lane tick counters diverge: a pass advances
+    each lane at its own local tick, which is what keeps mid-flight
+    admission bit-identical to a fresh standalone run.
+    """
+
+    def __init__(
+        self,
+        network: Network | CompiledNetwork,
+        n_replicas: int = 1,
+        *,
+        seeds=None,
+        profile: bool = False,
+        obs: Observer | None = None,
+    ) -> None:
+        require(n_replicas >= 1, f"n_replicas must be >= 1, got {n_replicas}")
+        self.profile = profile
+        self.obs = obs if obs is not None else (Observer() if profile else None)
+        with (self.obs.span("compile") if self.obs is not None else NULL_SPAN):
+            compiled = compile_network(network)
+        self.compiled = compiled
+        self.network = compiled.network
+        self.n_replicas = int(n_replicas)
+
+        if seeds is None:
+            seeds = [self.network.seed] * self.n_replicas
+        else:
+            seeds = [int(s) for s in seeds]
+            require(
+                len(seeds) == self.n_replicas,
+                f"seeds has {len(seeds)} entries for {self.n_replicas} lanes",
+            )
+        self.seeds: list[int] = seeds
+        # TN401 replica-coordinate check: duplicate seeds on a stochastic
+        # network mean lanes observe identical streams (warning, not error).
+        from repro.lint.model import check_replica_seeds
+
+        self.lint_report = check_replica_seeds(
+            self.seeds, stochastic=compiled.is_stochastic
+        )
+
+        B = self.n_replicas
+        # Mutable per-run state, lane-major where it matters.
+        self.v = np.repeat(compiled.initial_v[None, :], B, axis=0)
+        self.buffers = np.zeros(
+            (params.DELAY_SLOTS, B, compiled.n_axons), dtype=bool
+        )
+        self.lane_tick = np.zeros(B, dtype=np.int64)
+        self._inputs: list[dict[int, object]] = [dict() for _ in range(B)]
+        self._lanes = np.arange(B, dtype=np.int64)
+
+        # Vectorized per-lane event stats ((B,) arrays; EventCounters
+        # structs are materialized on demand by lane_counters()).
+        C = compiled.n_cores
+        self._deliveries = np.zeros(B, dtype=np.int64)
+        self._syn_events = np.zeros(B, dtype=np.int64)
+        self._spikes = np.zeros(B, dtype=np.int64)
+        self._neuron_updates = np.zeros(B, dtype=np.int64)
+        self._saturations = np.zeros(B, dtype=np.int64)
+        self._messages = np.zeros(B, dtype=np.int64)
+        self._max_core_events = np.zeros(B, dtype=np.int64)
+        self._events_per_core = np.zeros((B, C), dtype=np.int64)
+        # Flat (lane, core-of-axon) key per (B, A) cell for one-bincount
+        # per-core event accounting across the whole batch.
+        self._core_key = (
+            self._lanes[:, None] * np.int64(C) + compiled.core_of_axon[None, :]
+        ).ravel()
+        self.passes = 0
+
+        if self.obs is not None and self.obs.active:
+            self.obs.set_gauge("repro_batch_lanes", B)
+
+    # -- input handling ----------------------------------------------------
+    def _load_lane(self, lane: int, inputs: InputSchedule) -> None:
+        """Merge *inputs* into one lane's staged schedule (local ticks)."""
+        table = self._inputs[lane]
+        for tick, axons in staged_inputs(self.compiled, inputs).items():
+            staged = table.get(tick)
+            if staged is None:
+                table[tick] = axons  # shared, read-only
+            else:
+                table[tick] = np.concatenate(
+                    [np.asarray(staged, dtype=np.int64), axons]
+                )
+
+    def load_inputs(self, inputs, lane: int | None = None) -> None:
+        """Stage input events: one schedule per lane, or one for all.
+
+        *inputs* may be ``None``, a single :class:`InputSchedule`
+        (staged into every lane — or just *lane* when given), or a
+        sequence of ``n_replicas`` schedules (one per lane; ``None``
+        entries skip a lane).  Ticks are *lane-local*: events at tick
+        ``t`` arrive at the lane's own tick ``t``, matching what a
+        standalone simulator fed the same schedule would see.
+        """
+        if inputs is None:
+            return
+        if isinstance(inputs, (list, tuple)):
+            require(
+                len(inputs) == self.n_replicas,
+                f"got {len(inputs)} schedules for {self.n_replicas} lanes",
+            )
+            for b, sched in enumerate(inputs):
+                if sched is not None:
+                    self._load_lane(b, sched)
+            return
+        if lane is not None:
+            self._load_lane(lane, inputs)
+            return
+        for b in range(self.n_replicas):
+            self._load_lane(b, inputs)
+
+    # -- lane lifecycle ----------------------------------------------------
+    def reset_lane(
+        self, lane: int, seed: int | None = None, inputs: InputSchedule | None = None
+    ) -> None:
+        """Restart one lane at tick 0 without touching the others.
+
+        Clears the lane's membrane, ring-buffer slice, staged inputs,
+        and event stats; optionally re-seeds it and stages a fresh
+        schedule.  Because PRNG coordinates are (seed, lane-local
+        tick), the restarted lane is bit-identical to a brand-new
+        standalone simulator — the admission primitive of
+        :class:`~repro.runtime.serving.ModelServer`.
+        """
+        require(0 <= lane < self.n_replicas, f"lane {lane} out of range")
+        self.v[lane] = self.compiled.initial_v
+        self.buffers[:, lane, :] = False
+        self.lane_tick[lane] = 0
+        self._inputs[lane].clear()
+        for arr in (
+            self._deliveries, self._syn_events, self._spikes,
+            self._neuron_updates, self._saturations, self._messages,
+            self._max_core_events,
+        ):
+            arr[lane] = 0
+        self._events_per_core[lane] = 0
+        if seed is not None:
+            self.seeds[lane] = int(seed)
+        if inputs is not None:
+            self._load_lane(lane, inputs)
+
+    def lane_counters(self, lane: int) -> EventCounters:
+        """One lane's event counters as a standalone struct.
+
+        Bit-identical to the counters of a standalone sparse run of the
+        same (seed, inputs) — the equivalence the batched property
+        suite asserts field by field.
+        """
+        ec = EventCounters(
+            ticks=int(self.lane_tick[lane]),
+            synaptic_events=int(self._syn_events[lane]),
+            spikes=int(self._spikes[lane]),
+            deliveries=int(self._deliveries[lane]),
+            neuron_updates=int(self._neuron_updates[lane]),
+            messages=int(self._messages[lane]),
+            membrane_saturations=int(self._saturations[lane]),
+            max_core_events_per_tick=int(self._max_core_events[lane]),
+        )
+        ec.synaptic_events_per_core = self._events_per_core[lane].copy()
+        return ec
+
+    def aggregate_counters(self) -> EventCounters:
+        """Whole-batch totals: sums across lanes, max of high-watermarks.
+
+        ``ticks`` is the *aggregate lane-tick* count (lane-ticks
+        advanced across the batch), the serving throughput currency.
+        """
+        ec = EventCounters(
+            ticks=int(self.lane_tick.sum()),
+            synaptic_events=int(self._syn_events.sum()),
+            spikes=int(self._spikes.sum()),
+            deliveries=int(self._deliveries.sum()),
+            neuron_updates=int(self._neuron_updates.sum()),
+            messages=int(self._messages.sum()),
+            membrane_saturations=int(self._saturations.sum()),
+            max_core_events_per_tick=int(self._max_core_events.max(initial=0)),
+        )
+        ec.synaptic_events_per_core = self._events_per_core.sum(axis=0)
+        return ec
+
+    @property
+    def counters(self) -> EventCounters:
+        """Alias for :meth:`aggregate_counters` (engine-common surface)."""
+        return self.aggregate_counters()
+
+    # -- tick path ---------------------------------------------------------
+    def _advance(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Advance every lane one tick; return per-spike arrays.
+
+        Returns ``(lanes, ticks, core_ids, neurons)`` — one entry per
+        spike across the whole batch, with each spike stamped with its
+        lane's *local* tick.
+        """
+        c = self.compiled
+        B = self.n_replicas
+        obs = active_observer(self.obs)
+        if obs is not None:
+            t0 = now_ns()
+        slots = self.lane_tick % params.DELAY_SLOTS  # (B,) — diverge after resets
+
+        for b in range(B):
+            staged = self._inputs[b].pop(int(self.lane_tick[b]), None)
+            if staged is not None:
+                self.buffers[slots[b], b, np.asarray(staged, dtype=np.int64)] = True
+
+        active = self.buffers[slots, self._lanes]  # fancy index -> copy, (B, A)
+        self.buffers[slots, self._lanes] = False
+        self._deliveries += active.sum(axis=1)
+        if obs is not None:
+            t1 = now_ns()
+            obs.phase("deliver", self.passes, t0, t1)
+
+        syn = integrate_deliveries_batched(c, self.seeds, self.lane_tick, active)
+        per_core = np.bincount(
+            self._core_key,
+            weights=(active * c.row_nnz).ravel(),
+            minlength=B * c.n_cores,
+        ).astype(np.int64).reshape(B, c.n_cores)
+        self._events_per_core += per_core
+        self._syn_events += per_core.sum(axis=1)
+        if c.n_cores:
+            np.maximum(
+                self._max_core_events, per_core.max(axis=1),
+                out=self._max_core_events,
+            )
+        if obs is not None:
+            t2 = now_ns()
+            obs.phase("integrate", self.passes, t1, t2)
+
+        self.v, spiked = update_neurons_batched(
+            c, self.seeds, self.lane_tick, self.v, syn
+        )
+        self._neuron_updates += c.n_neurons
+        self._saturations += (
+            np.count_nonzero(self.v == params.MEMBRANE_MIN, axis=1)
+            + np.count_nonzero(self.v == params.MEMBRANE_MAX, axis=1)
+        )
+        if obs is not None:
+            t3 = now_ns()
+            obs.phase("update", self.passes, t2, t3)
+
+        lane_f, neuron_f = np.nonzero(spiked)
+        if lane_f.size:
+            self._spikes += np.bincount(lane_f, minlength=B)
+            emit_ticks = self.lane_tick[lane_f]
+            core_ids = c.core_of_neuron[neuron_f]
+            local = c.local_neuron[neuron_f]
+            # Route: vectorized delivery into every lane's ring slice.
+            routed = c.target_axon[neuron_f] >= 0
+            rl = lane_f[routed]
+            rn = neuron_f[routed]
+            dst = c.target_axon[rn]
+            when = (self.lane_tick[rl] + c.delay[rn]) % params.DELAY_SLOTS
+            self.buffers[when, rl, dst] = True
+            # Aggregated messages: unique cross-core (src, dst) pairs,
+            # counted per lane via a flat (lane, src, dst) key.
+            src_cores = c.core_of_neuron[rn]
+            dst_cores = c.core_of_axon[dst]
+            cross = src_cores != dst_cores
+            if cross.any():
+                pair_space = c.n_cores * c.n_cores
+                key = (
+                    rl[cross] * pair_space
+                    + src_cores[cross] * c.n_cores
+                    + dst_cores[cross]
+                )
+                if B * pair_space <= (1 << 22):
+                    # Dense histogram beats the sort inside np.unique for
+                    # realistic batch x core counts.
+                    pair_counts = np.bincount(
+                        key, minlength=B * pair_space
+                    ).reshape(B, pair_space)
+                    self._messages += np.count_nonzero(pair_counts, axis=1)
+                else:
+                    uniq = np.unique(key)
+                    self._messages += np.bincount(
+                        uniq // pair_space, minlength=B
+                    )
+        else:
+            emit_ticks = core_ids = local = np.zeros(0, dtype=np.int64)
+
+        self.lane_tick += 1
+        self.passes += 1
+        if obs is not None:
+            t4 = now_ns()
+            obs.phase("route", self.passes - 1, t3, t4)
+            obs.trace.add(
+                "batch_pass", t0, t4, attrs={"pass": self.passes - 1, "lanes": B}
+            )
+            obs.metrics.histogram("repro_tick_seconds").observe((t4 - t0) * 1e-9)  # repro-lint: allow=SL106
+            obs.metrics.counter("repro_batch_passes_total").inc()
+            obs.metrics.counter("repro_lane_ticks_total").inc(B)
+            obs.publish_counters(self.aggregate_counters())
+            obs.set_gauge(
+                "repro_queue_depth", sum(len(t) for t in self._inputs)
+            )
+        return lane_f, emit_ticks, core_ids, local
+
+    # -- public API --------------------------------------------------------
+    def step_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Advance every lane one tick; return per-spike arrays.
+
+        ``(lanes, ticks, core_ids, neurons)``, one entry per spike
+        across the batch; ``ticks`` are lane-local.  The demux-free hot
+        path the serving runtime drives.
+        """
+        return self._advance()
+
+    def step(self) -> list[tuple[int, int, int, int]]:
+        """Advance one pass; return ``(lane, tick, core, neuron)`` tuples."""
+        lanes, ticks, cores, neurons = self._advance()
+        return [
+            (int(b), int(t), int(cc), int(nn))
+            for b, t, cc, nn in zip(lanes, ticks, cores, neurons)
+        ]
+
+    def run(self, n_ticks: int, inputs=None) -> list[SpikeRecord]:
+        """Advance *n_ticks* passes; return one spike record per lane.
+
+        *inputs* accepts the same forms as :meth:`load_inputs`.  Each
+        lane's record carries its own lane counters, so element ``b``
+        is bit-identical to the record of a standalone sparse run of
+        lane ``b``'s (seed, inputs).
+        """
+        self.load_inputs(inputs)
+        lanes_acc: list[np.ndarray] = []
+        ticks_acc: list[np.ndarray] = []
+        cores_acc: list[np.ndarray] = []
+        neurons_acc: list[np.ndarray] = []
+        for _ in range(n_ticks):
+            lanes, ticks, cores, neurons = self._advance()
+            if lanes.size:
+                lanes_acc.append(lanes)
+                ticks_acc.append(ticks)
+                cores_acc.append(cores)
+                neurons_acc.append(neurons)
+        if lanes_acc:
+            all_lanes = np.concatenate(lanes_acc)
+            all_ticks = np.concatenate(ticks_acc)
+            all_cores = np.concatenate(cores_acc)
+            all_neurons = np.concatenate(neurons_acc)
+        else:
+            all_lanes = all_ticks = all_cores = all_neurons = np.zeros(
+                0, dtype=np.int64
+            )
+        records = []
+        for b in range(self.n_replicas):
+            mask = all_lanes == b
+            records.append(
+                SpikeRecord.from_arrays(
+                    all_ticks[mask],
+                    all_cores[mask],
+                    all_neurons[mask],
+                    self.lane_counters(b),
+                )
+            )
+        return records
+
+
+def run_batched_compass(
+    network: Network | CompiledNetwork,
+    n_ticks: int,
+    n_replicas: int = 1,
+    inputs=None,
+    *,
+    seeds=None,
+) -> list[SpikeRecord]:
+    """Convenience one-shot batched run: one record per replica lane."""
+    sim = BatchedCompassSimulator(network, n_replicas, seeds=seeds)
+    return sim.run(n_ticks, inputs)

@@ -26,7 +26,7 @@ from repro.obs.observer import Observer
 from repro.utils.validation import require
 
 #: Recognized engine names, in rough speed order for typical workloads.
-ENGINES = ("auto", "fast", "compass", "parallel", "truenorth", "reference")
+ENGINES = ("auto", "fast", "batched", "compass", "parallel", "truenorth", "reference")
 
 log = get_logger("repro.engine")
 
@@ -37,6 +37,8 @@ def select_engine(
     *,
     n_ranks: int = 1,
     n_workers: int | str = "auto",
+    n_replicas: int = 1,
+    replica_seeds=None,
     partition_strategy: str = "load_balanced",
     profile: bool = False,
     obs: Observer | None = None,
@@ -44,15 +46,23 @@ def select_engine(
     """Construct a simulator for *network* under the named *engine*.
 
     ``engine="auto"`` resolves to the fastest applicable sparse
-    expression: the shared-memory partitioned parallel engine when the
-    network is at or above the benchmarked
-    :data:`repro.compass.parallel.AUTO_MIN_NEURONS` threshold *and* the
-    host has spare CPUs (see :func:`repro.compass.parallel.auto_workers`),
-    otherwise the single-process FastCompass path — so small-network
-    latency never pays the multi-process barrier.  It falls back to the
+    expression: the batched multi-replica engine when the caller asks
+    for more than one replica (``n_replicas > 1``), the shared-memory
+    partitioned parallel engine when the network is at or above the
+    benchmarked :data:`repro.compass.parallel.AUTO_MIN_NEURONS`
+    threshold *and* the host has spare CPUs (see
+    :func:`repro.compass.parallel.auto_workers`), otherwise the
+    single-process FastCompass path — so small-network latency never
+    pays the multi-process barrier.  It falls back to the
     rank-partitioned Compass expression only when the caller requests
     rank-level behaviour (``n_ranks > 1`` or ``profile=True``, features
     the flat engines do not model).
+
+    ``engine="batched"`` (or ``n_replicas > 1`` under auto) returns a
+    :class:`~repro.compass.batched.BatchedCompassSimulator`, whose
+    ``run()`` yields one :class:`~repro.core.record.SpikeRecord` *per
+    replica lane*; *replica_seeds* optionally sets per-lane seeds
+    (default: every lane at the network's own seed).
 
     The compass-family engines accept a pre-built
     :class:`CompiledNetwork` and share it; the hardware and reference
@@ -63,10 +73,17 @@ def select_engine(
     (set ``REPRO_LOG_LEVEL=INFO`` to see it).
     """
     require(engine in ENGINES, f"unknown engine {engine!r}; expected one of {ENGINES}")
+    require(
+        n_replicas == 1 or engine in ("auto", "batched"),
+        f"n_replicas={n_replicas} requires the batched engine, not {engine!r}",
+    )
     requested = engine
     reason = "explicit request"
     if engine == "auto":
-        if n_ranks > 1 or profile:
+        if n_replicas > 1:
+            engine = "batched"
+            reason = f"{n_replicas} replicas requested"
+        elif n_ranks > 1 or profile:
             engine = "compass"
             reason = ("rank-level features requested "
                       f"(n_ranks={n_ranks}, profile={profile})")
@@ -92,6 +109,12 @@ def select_engine(
         from repro.compass.fast import FastCompassSimulator
 
         return FastCompassSimulator(network, profile=profile, obs=obs)
+    if engine == "batched":
+        from repro.compass.batched import BatchedCompassSimulator
+
+        return BatchedCompassSimulator(
+            network, n_replicas, seeds=replica_seeds, profile=profile, obs=obs,
+        )
     if engine == "compass":
         from repro.compass.simulator import CompassSimulator
 
@@ -123,8 +146,13 @@ def run_engine(
     inputs: InputSchedule | None = None,
     engine: str = "auto",
     **kwargs,
-) -> SpikeRecord:
-    """One-shot: select an engine, run *n_ticks*, return the record."""
+) -> SpikeRecord | list[SpikeRecord]:
+    """One-shot: select an engine, run *n_ticks*, return the record.
+
+    The batched engine (``engine="batched"`` or ``n_replicas > 1``)
+    returns a *list* of records, one per replica lane; every other
+    engine returns a single record.
+    """
     return select_engine(network, engine, **kwargs).run(n_ticks, inputs)
 
 

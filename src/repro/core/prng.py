@@ -139,3 +139,18 @@ def draw_u16_scalar(seed: int, purpose: int, core: int, tick: int, unit: int) ->
 def synapse_unit(axon: int | np.ndarray, neuron: int | np.ndarray) -> int | np.ndarray:
     """Unit index for a per-synaptic-event draw at (axon, neuron)."""
     return axon * 256 + neuron
+
+
+def derive_stream_seed(seed: int, stream: int) -> int:
+    """Deterministic seed for derived stream *stream* of base *seed*.
+
+    Used by the batched multi-replica engine and the serving runtime to
+    give each replica lane / session its own decorrelated counter-based
+    key space.  Stream 0 returns *seed* unchanged, so the first lane of
+    a default batch stays bit-identical to a standalone run of the base
+    network; streams are pairwise distinct under the avalanche mix, so
+    the TN401 replica-coordinate check passes by construction.
+    """
+    if stream == 0:
+        return seed
+    return _mix64_int((seed & _MASK64) + _GOLDEN_INT * (stream & _MASK64))

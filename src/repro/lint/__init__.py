@@ -31,9 +31,11 @@ from repro.lint.model import (
     check_core,
     check_network,
     check_partition_map,
+    check_replica_seeds,
     lint_core,
     lint_network,
     lint_partition_map,
+    lint_replica_seeds,
 )
 from repro.lint.rules import CODES
 from repro.lint.source import SOURCE_CODES, lint_file, lint_paths, lint_source_text
@@ -49,10 +51,12 @@ __all__ = [
     "check_core",
     "check_network",
     "check_partition_map",
+    "check_replica_seeds",
     "lint_core",
     "lint_file",
     "lint_network",
     "lint_partition_map",
     "lint_paths",
+    "lint_replica_seeds",
     "lint_source_text",
 ]

@@ -103,3 +103,20 @@ def check_partition_map(n_cores: int, rank_of_core: np.ndarray, n_ranks: int,
     if strict:
         report.raise_for(Severity.ERROR)
     return report
+
+
+def lint_replica_seeds(seeds, stochastic: bool = True) -> LintReport:
+    """Lint a batched engine's per-lane seed vector (TN401, batched form)."""
+    report = LintReport(subject=f"replica seeds over {len(seeds)} lanes")
+    report.extend(rules.check_replica_seeds(seeds, stochastic))
+    return report
+
+
+def check_replica_seeds(seeds, stochastic: bool = True,
+                        strict: bool = True) -> LintReport:
+    """Lint replica seeds; duplicate-seed findings are warnings, so the
+    strict form raises only if a future rule escalates to ERROR."""
+    report = lint_replica_seeds(seeds, stochastic)
+    if strict:
+        report.raise_for(Severity.ERROR)
+    return report

@@ -373,6 +373,34 @@ def check_prng_coordinates(core, core_id: int | None = None) -> Iterator[Diagnos
         )
 
 
+def check_replica_seeds(seeds, stochastic: bool = True) -> Iterator[Diagnostic]:
+    """TN401 (batched form): replica lanes should own distinct seeds.
+
+    The batched engine extends the PRNG coordinate tuple with a
+    per-lane seed: lane draws are keyed on (lane seed, purpose, core,
+    lane tick, unit).  Two lanes sharing one seed therefore observe
+    *identical* stochastic streams — the whole-batch analogue of two
+    crosspoints colliding on one unit.  That is sometimes intended
+    (replicating one trajectory for throughput), so on a stochastic
+    network duplicates are reported at WARNING severity rather than the
+    rule's default ERROR; on a deterministic network seeds are inert
+    and duplicates are fine.
+    """
+    if not stochastic:
+        return
+    seen: dict[int, int] = {}
+    for lane, seed in enumerate(seeds):
+        first = seen.setdefault(int(seed), lane)
+        if first != lane:
+            yield _diag(
+                "TN401",
+                f"replica lanes {first} and {lane} share seed {int(seed)}: "
+                f"both lanes observe identical stochastic streams",
+                Location(unit=lane),
+                severity=Severity.WARNING,
+            )
+
+
 # --------------------------------------------------------------------------
 # TN5xx: partitioning
 # --------------------------------------------------------------------------

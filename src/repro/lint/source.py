@@ -86,7 +86,12 @@ DEFAULT_RNG_ALLOW = {"utils/rng.py"}
 TICK_PATH_PREFIXES = ("core/", "compass/")
 
 #: Integer-kernel modules (SL106 applies).
-INT_KERNEL_MODULES = {"core/kernel.py", "core/prng.py", "compass/fast.py"}
+INT_KERNEL_MODULES = {
+    "core/kernel.py",
+    "core/prng.py",
+    "compass/fast.py",
+    "compass/batched.py",
+}
 
 #: Wall-clock callables banned in tick paths.
 _WALL_CLOCK = {

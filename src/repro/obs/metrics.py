@@ -53,6 +53,22 @@ CATALOGUE: dict[str, tuple[str, str]] = {
         "counter", "Wall-clock seconds spent per tick phase (label: phase)."),
     "repro_tick_seconds": (
         "histogram", "Wall-clock seconds per simulated tick."),
+    "repro_batch_lanes": (
+        "gauge", "Replica lanes configured on the batched engine."),
+    "repro_batch_occupancy": (
+        "gauge", "Fraction of batch lanes holding an active session."),
+    "repro_batch_passes_total": (
+        "counter", "Vectorized batched passes (all lanes advance one tick)."),
+    "repro_lane_ticks_total": (
+        "counter", "Lane-ticks advanced across the batch (B per pass)."),
+    "repro_sessions_total": (
+        "counter", "Sessions submitted to the model server."),
+    "repro_sessions_completed_total": (
+        "counter", "Sessions served to completion."),
+    "repro_compile_cache_hits_total": (
+        "counter", "Compiled-model LRU cache hits."),
+    "repro_compile_cache_misses_total": (
+        "counter", "Compiled-model LRU cache misses (compiles performed)."),
     "repro_frames_total": ("counter", "Frames streamed through the runtime."),
     "repro_input_events_total": ("counter", "Rate-coded input spike events."),
     "repro_output_spikes_total": ("counter", "Output spikes delivered to sinks."),

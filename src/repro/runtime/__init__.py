@@ -1,5 +1,11 @@
 """Deployment runtime: continuous streaming around the simulators."""
 
+from repro.runtime.serving import (
+    CompiledModelCache,
+    ModelServer,
+    Session,
+    model_digest,
+)
 from repro.runtime.streaming import (
     FrameSource,
     SceneSource,
@@ -8,8 +14,12 @@ from repro.runtime.streaming import (
 )
 
 __all__ = [
+    "CompiledModelCache",
     "FrameSource",
+    "ModelServer",
     "SceneSource",
+    "Session",
     "StreamingRuntime",
     "StreamReport",
+    "model_digest",
 ]

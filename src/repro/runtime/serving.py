@@ -1,0 +1,314 @@
+"""High-throughput serving: many concurrent sessions, one batched engine.
+
+The ROADMAP's deployment north star is "heavy traffic from millions of
+users": many independent input streams against the same model, where
+throughput-per-watt is dominated by how well fixed per-step costs are
+amortized.  This module is that serving layer over the batched engine
+(:mod:`repro.compass.batched`):
+
+* :class:`ModelServer` multiplexes concurrent *sessions* (one input
+  stream + tick budget each) onto the lanes of one
+  :class:`~repro.compass.batched.BatchedCompassSimulator` — admission
+  into free lanes, eviction on completion, and per-session
+  :class:`~repro.core.record.SpikeRecord` demux.  Every session is
+  bit-identical to a standalone sparse run of its (seed, inputs): lane
+  admission uses ``reset_lane``, which restarts the lane's PRNG
+  coordinates at tick 0.
+* :class:`CompiledModelCache` is an LRU over compiled networks keyed by
+  :func:`model_digest`, so repeat submissions of a known model skip
+  ``compile()`` entirely — the serving analogue of the per-network
+  compile cache, but shared across model objects and bounded.
+
+The CLI front door is ``python -m repro serve``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+from repro.compass.batched import BatchedCompassSimulator
+from repro.compass.compile import CompiledNetwork, compile_network
+from repro.core.inputs import InputSchedule
+from repro.core.network import Network
+from repro.core.prng import derive_stream_seed
+from repro.core.record import SpikeRecord
+from repro.obs.observer import Observer, active_observer
+from repro.utils.validation import require
+
+
+def model_digest(network: Network | CompiledNetwork) -> str:
+    """Content hash of a network's dynamics: cores + seed, order exact.
+
+    Two networks with equal digests produce identical compiled
+    artifacts and identical simulations, so the digest is a safe
+    compiled-network cache key across distinct model objects (two loads
+    of one ``.npz``, two builds of one generator).  The display name is
+    excluded — it does not affect dynamics.
+    """
+    inner = getattr(network, "network", None)
+    net = network if inner is None else inner
+    h = hashlib.sha256()
+    h.update(f"seed={net.seed};cores={len(net.cores)};".encode())
+    for core in net.cores:
+        for f in sorted(fields(core), key=lambda f: f.name):
+            arr = np.ascontiguousarray(getattr(core, f.name))
+            h.update(f"{f.name}:{arr.dtype.str}:{arr.shape};".encode())
+            h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+class CompiledModelCache:
+    """Bounded LRU of compiled networks keyed by :func:`model_digest`.
+
+    ``get()`` returns the cached :class:`CompiledNetwork` for any model
+    object whose digest is known, compiling (and evicting the least
+    recently used entry past *capacity*) otherwise.  ``hits`` /
+    ``misses`` make cache behaviour observable; the server republishes
+    them through the obs catalogue.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        require(capacity >= 1, f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, CompiledNetwork] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, network: Network | CompiledNetwork) -> CompiledNetwork:
+        """The compiled artifact for *network*, compiling on first sight."""
+        digest = model_digest(network)
+        entry = self._entries.get(digest)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(digest)
+            return entry
+        self.misses += 1
+        compiled = compile_network(network)
+        self._entries[digest] = compiled
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return compiled
+
+    def info(self) -> dict:
+        """Snapshot: size, capacity, hit/miss counts."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+@dataclass
+class Session:
+    """One served input stream: a schedule, a tick budget, a seed.
+
+    Lifecycle: *pending* (no lane) -> *active* (``lane`` set, spikes
+    accumulating) -> *done* (``record`` set, lane released).  The
+    finished record is bit-identical to a standalone sparse run of the
+    same (seed, inputs) for ``n_ticks`` ticks.
+    """
+
+    session_id: str
+    inputs: InputSchedule | None
+    n_ticks: int
+    seed: int
+    lane: int | None = None
+    ticks_done: int = 0
+    record: SpikeRecord | None = None
+    _ticks: list = field(default_factory=list, repr=False)
+    _cores: list = field(default_factory=list, repr=False)
+    _neurons: list = field(default_factory=list, repr=False)
+
+    @property
+    def done(self) -> bool:
+        """Whether the session has finished and holds its record."""
+        return self.record is not None
+
+
+class ModelServer:
+    """Admission, batched advancement, and demux for concurrent sessions.
+
+    One server drives one model on one batched engine of ``n_lanes``
+    lanes.  Sessions past the lane count queue and are admitted as
+    lanes free up (FIFO); each admission restarts the lane at tick 0
+    with the session's seed, so serving order never changes any
+    session's spikes.  ``step()`` advances every lane one tick and
+    demuxes the pass's spikes to their sessions; ``run()`` drains the
+    queue to completion.
+    """
+
+    def __init__(
+        self,
+        network: Network | CompiledNetwork,
+        n_lanes: int = 8,
+        *,
+        cache: CompiledModelCache | None = None,
+        obs: Observer | None = None,
+    ) -> None:
+        require(n_lanes >= 1, f"n_lanes must be >= 1, got {n_lanes}")
+        self.obs = obs
+        self.cache = cache
+        compiled = cache.get(network) if cache is not None else compile_network(network)
+        self.engine = BatchedCompassSimulator(compiled, n_lanes, obs=obs)
+        self.n_lanes = n_lanes
+        self._base_seed = compiled.network.seed
+        self._pending: deque[Session] = deque()
+        self._active: dict[int, Session] = {}
+        self._free: deque[int] = deque(range(n_lanes))
+        self._completed: list[Session] = []
+        self._n_submitted = 0
+        self._publish_serving_metrics()
+
+    # -- metrics -----------------------------------------------------------
+    def _publish_serving_metrics(self) -> None:
+        obs = active_observer(self.obs)
+        if obs is None:
+            return
+        obs.set_gauge("repro_batch_lanes", self.n_lanes)
+        obs.set_gauge("repro_batch_occupancy", len(self._active) / self.n_lanes)
+        obs.metrics.counter("repro_sessions_total").set(self._n_submitted)
+        obs.metrics.counter("repro_sessions_completed_total").set(
+            len(self._completed)
+        )
+        if self.cache is not None:
+            obs.metrics.counter("repro_compile_cache_hits_total").set(
+                self.cache.hits
+            )
+            obs.metrics.counter("repro_compile_cache_misses_total").set(
+                self.cache.misses
+            )
+
+    # -- session lifecycle -------------------------------------------------
+    def submit(
+        self,
+        inputs: InputSchedule | None,
+        n_ticks: int,
+        *,
+        seed: int | None = None,
+        session_id: str | None = None,
+    ) -> Session:
+        """Enqueue one session; it is admitted as soon as a lane frees.
+
+        Without an explicit *seed* the session gets a decorrelated
+        derived seed (:func:`~repro.core.prng.derive_stream_seed` of
+        the model's base seed by submission index — the first session
+        keeps the base seed itself).  Deterministic: the same
+        submission sequence always produces the same seeds, records,
+        and admission order.
+        """
+        require(n_ticks >= 1, f"n_ticks must be >= 1, got {n_ticks}")
+        if seed is None:
+            seed = derive_stream_seed(self._base_seed, self._n_submitted)
+        session = Session(
+            session_id=session_id or f"session-{self._n_submitted}",
+            inputs=inputs,
+            n_ticks=int(n_ticks),
+            seed=int(seed),
+        )
+        self._n_submitted += 1
+        self._pending.append(session)
+        self._admit()
+        return session
+
+    def _admit(self) -> None:
+        """Move pending sessions into free lanes (FIFO, lowest lane first)."""
+        while self._free and self._pending:
+            lane = self._free.popleft()
+            session = self._pending.popleft()
+            self.engine.reset_lane(lane, seed=session.seed, inputs=session.inputs)
+            session.lane = lane
+            self._active[lane] = session
+        self._publish_serving_metrics()
+
+    def _finalize(self, session: Session) -> None:
+        """Seal a finished session's record and release its lane."""
+        lane = session.lane
+        counters = self.engine.lane_counters(lane)
+        if session._ticks:
+            session.record = SpikeRecord.from_arrays(
+                np.concatenate(session._ticks),
+                np.concatenate(session._cores),
+                np.concatenate(session._neurons),
+                counters,
+            )
+        else:
+            empty = np.zeros(0, dtype=np.int64)
+            session.record = SpikeRecord.from_arrays(empty, empty, empty, counters)
+        session._ticks = session._cores = session._neurons = []
+        del self._active[lane]
+        self._free.append(lane)
+        self._completed.append(session)
+
+    # -- advancement -------------------------------------------------------
+    def step(self) -> int:
+        """One batched pass: advance every lane, demux, evict, admit.
+
+        Returns the number of sessions that completed on this pass.
+        No-op (returns 0) when no session is active.
+        """
+        if not self._active:
+            return 0
+        lanes, ticks, cores, neurons = self.engine.step_arrays()
+        finished = []
+        for lane, session in self._active.items():
+            if lanes.size:
+                mask = lanes == lane
+                if mask.any():
+                    session._ticks.append(ticks[mask])
+                    session._cores.append(cores[mask])
+                    session._neurons.append(neurons[mask])
+            session.ticks_done += 1
+            if session.ticks_done >= session.n_ticks:
+                finished.append(session)
+        for session in finished:
+            self._finalize(session)
+        if finished:
+            self._admit()
+        else:
+            self._publish_serving_metrics()
+        return len(finished)
+
+    def run(self, max_passes: int | None = None) -> list[Session]:
+        """Drain the queue: step until every session completes.
+
+        With *max_passes* the server stops early after that many
+        passes.  Returns every session completed so far, in completion
+        order.
+        """
+        self._admit()
+        passes = 0
+        while self._active and (max_passes is None or passes < max_passes):
+            self.step()
+            passes += 1
+        return list(self._completed)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def occupancy(self) -> float:
+        """Fraction of lanes holding an active session."""
+        return len(self._active) / self.n_lanes
+
+    def stats(self) -> dict:
+        """Server snapshot: queue depths, passes, throughput totals."""
+        out = {
+            "n_lanes": self.n_lanes,
+            "pending": len(self._pending),
+            "active": len(self._active),
+            "completed": len(self._completed),
+            "submitted": self._n_submitted,
+            "passes": self.engine.passes,
+            "lane_ticks_served": sum(s.n_ticks for s in self._completed)
+            + sum(s.ticks_done for s in self._active.values()),
+            "occupancy": self.occupancy,
+        }
+        if self.cache is not None:
+            out["cache"] = self.cache.info()
+        return out

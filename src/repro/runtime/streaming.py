@@ -82,7 +82,15 @@ class StreamReport:
 
     @property
     def real_time_factor(self) -> float:
-        """Simulated time / wall time (1.0 = real time, <1 = slower)."""
+        """Simulated time / wall time (1.0 = real time, <1 = slower).
+
+        Degenerate sessions are well-defined rather than divide-by-zero
+        prone: zero ticks means no simulated time, so the factor is 0.0
+        regardless of wall clock; ticks with unmeasurably small wall
+        time report infinity.
+        """
+        if self.ticks == 0:
+            return 0.0
         if self.wall_seconds == 0.0:
             return float("inf")
         return self.ticks * params.TICK_SECONDS / self.wall_seconds

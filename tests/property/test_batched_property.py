@@ -1,0 +1,131 @@
+"""Batched-engine equivalence: every lane IS a standalone sparse run.
+
+The batched engine's contract is exact replica independence: lane ``b``
+of a ``B``-lane batch must be *bit-identical* — spikes, every event
+counter, and the final membrane snapshot — to a standalone
+:class:`~repro.compass.fast.FastCompassSimulator` run of the same
+(seed, inputs).  The exhaustive sweep pins the ISSUE matrix
+(deterministic and stochastic builtin networks x B in {1, 3, 16});
+hypothesis then explores random networks, seeds, and lane counts
+adversarially, including mid-flight lane resets.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compass.batched import BatchedCompassSimulator, replica_seeds
+from repro.compass.fast import FastCompassSimulator
+from repro.core.builders import poisson_inputs, random_network
+from repro.core.network import Network
+from repro.lint.examples import BUILTIN_NETWORKS
+
+COUNTER_FIELDS = (
+    "ticks", "synaptic_events", "spikes", "deliveries", "neuron_updates",
+    "messages", "membrane_saturations", "max_core_events_per_tick",
+)
+
+
+def reseeded(net: Network, seed: int) -> Network:
+    """The same cores under a different base seed (shares core objects)."""
+    return Network(cores=net.cores, seed=seed, name=net.name)
+
+
+def assert_lane_matches(batched, lane, record, net, seed, n_ticks, inputs):
+    """One lane vs a standalone sparse run: spikes, counters, membrane."""
+    fast = FastCompassSimulator(reseeded(net, seed))
+    ref = fast.run(n_ticks, inputs)
+    assert np.array_equal(record.ticks, ref.ticks), f"lane {lane} spike ticks"
+    assert np.array_equal(record.cores, ref.cores), f"lane {lane} spike cores"
+    assert np.array_equal(record.neurons, ref.neurons), f"lane {lane} neurons"
+    for name in COUNTER_FIELDS:
+        got = getattr(record.counters, name)
+        want = getattr(ref.counters, name)
+        assert got == want, f"lane {lane} counter {name}: {got} != {want}"
+    assert np.array_equal(
+        record.counters.synaptic_events_per_core,
+        ref.counters.synaptic_events_per_core,
+    ), f"lane {lane} per-core events"
+    assert np.array_equal(batched.v[lane], fast.v), f"lane {lane} membrane"
+
+
+class TestBuiltinMatrix:
+    """The ISSUE acceptance matrix, exhaustively."""
+
+    @pytest.mark.parametrize("name", ["recurrent-deterministic",
+                                      "recurrent-stochastic"])
+    @pytest.mark.parametrize("n_replicas", [1, 3, 16])
+    def test_lanes_bit_identical_to_standalone(self, name, n_replicas):
+        net = BUILTIN_NETWORKS[name]()
+        inputs = poisson_inputs(net, 30, 300.0, seed=7)
+        seeds = replica_seeds(net.seed, n_replicas)
+        batched = BatchedCompassSimulator(net, n_replicas, seeds=seeds)
+        records = batched.run(40, inputs)
+        assert len(records) == n_replicas
+        for lane in range(n_replicas):
+            assert_lane_matches(
+                batched, lane, records[lane], net, seeds[lane], 40, inputs
+            )
+
+    @pytest.mark.parametrize("name", ["recurrent-deterministic",
+                                      "recurrent-stochastic"])
+    def test_per_lane_schedules(self, name):
+        net = BUILTIN_NETWORKS[name]()
+        per_lane = [poisson_inputs(net, 25, 200.0, seed=50 + b) for b in range(3)]
+        seeds = replica_seeds(net.seed, 3)
+        batched = BatchedCompassSimulator(net, 3, seeds=seeds)
+        records = batched.run(30, per_lane)
+        for lane in range(3):
+            assert_lane_matches(
+                batched, lane, records[lane], net, seeds[lane], 30, per_lane[lane]
+            )
+
+
+class TestRandomNetworks:
+    @given(
+        net_seed=st.integers(0, 2**31),
+        stochastic=st.booleans(),
+        n_replicas=st.integers(1, 6),
+        rate=st.floats(50.0, 600.0),
+        in_seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_batched_matches_standalone(
+        self, net_seed, stochastic, n_replicas, rate, in_seed
+    ):
+        net = random_network(
+            n_cores=3, n_axons=12, n_neurons=12,
+            stochastic=stochastic, seed=net_seed,
+        )
+        inputs = poisson_inputs(net, 15, rate, seed=in_seed)
+        seeds = replica_seeds(net.seed, n_replicas)
+        batched = BatchedCompassSimulator(net, n_replicas, seeds=seeds)
+        records = batched.run(20, inputs)
+        for lane in range(n_replicas):
+            assert_lane_matches(
+                batched, lane, records[lane], net, seeds[lane], 20, inputs
+            )
+
+    @given(
+        net_seed=st.integers(0, 2**31),
+        stochastic=st.booleans(),
+        warmup=st.integers(1, 12),
+        new_seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_reset_lane_restarts_bit_identical(
+        self, net_seed, stochastic, warmup, new_seed
+    ):
+        # A lane reset mid-flight must replay exactly like a fresh
+        # standalone simulator — the serving admission invariant —
+        # while the untouched lane keeps its own trajectory.
+        net = random_network(
+            n_cores=2, n_axons=10, n_neurons=10,
+            stochastic=stochastic, seed=net_seed,
+        )
+        inputs = poisson_inputs(net, 15, 400.0, seed=3)
+        batched = BatchedCompassSimulator(net, 2, seeds=replica_seeds(net.seed, 2))
+        batched.run(warmup, inputs)
+        batched.reset_lane(1, seed=new_seed, inputs=inputs)
+        records = batched.run(18)
+        assert_lane_matches(batched, 1, records[1], net, new_seed, 18, inputs)

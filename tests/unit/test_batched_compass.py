@@ -1,0 +1,205 @@
+"""Unit tests for the batched multi-replica engine."""
+
+import numpy as np
+import pytest
+
+from repro.compass.batched import (
+    BatchedCompassSimulator,
+    replica_seeds,
+    run_batched_compass,
+)
+from repro.compass.compile import compile_network
+from repro.compass.engine import run_engine, select_engine
+from repro.compass.fast import FastCompassSimulator, n_input_builds, staged_inputs
+from repro.core.builders import poisson_inputs, random_network
+from repro.core.prng import derive_stream_seed
+from repro.obs import Observer
+
+
+def small_net(stochastic=False, seed=3):
+    return random_network(
+        n_cores=3, n_axons=12, n_neurons=12, stochastic=stochastic, seed=seed
+    )
+
+
+class TestConstruction:
+    def test_default_seeds_are_network_seed(self):
+        net = small_net(seed=9)
+        sim = BatchedCompassSimulator(net, 4)
+        assert sim.seeds == [9, 9, 9, 9]
+
+    def test_replica_seeds_derivation(self):
+        seeds = replica_seeds(7, 5)
+        assert seeds[0] == 7  # lane 0 keeps the base seed
+        assert len(set(seeds)) == 5  # pairwise distinct
+        assert seeds[3] == derive_stream_seed(7, 3)
+
+    def test_seed_count_must_match_lanes(self):
+        with pytest.raises(ValueError, match="entries"):
+            BatchedCompassSimulator(small_net(), 3, seeds=[1, 2])
+
+    def test_lane_count_must_be_positive(self):
+        with pytest.raises(ValueError, match="n_replicas"):
+            BatchedCompassSimulator(small_net(), 0)
+
+    def test_duplicate_seeds_warn_on_stochastic(self):
+        sim = BatchedCompassSimulator(small_net(stochastic=True), 3)
+        codes = {d.code for d in sim.lint_report.diagnostics}
+        assert codes == {"TN401"}
+        assert sim.lint_report.ok  # warning, not error
+
+    def test_duplicate_seeds_silent_on_deterministic(self):
+        sim = BatchedCompassSimulator(small_net(stochastic=False), 3)
+        assert not sim.lint_report.diagnostics
+
+    def test_accepts_compiled_artifact(self):
+        net = small_net()
+        compiled = compile_network(net)
+        sim = BatchedCompassSimulator(compiled, 2)
+        assert sim.compiled is compiled
+
+
+class TestRunShapes:
+    def test_run_returns_one_record_per_lane(self):
+        net = small_net()
+        ins = poisson_inputs(net, 10, 300.0, seed=1)
+        records = run_batched_compass(net, 15, n_replicas=3, inputs=ins)
+        assert len(records) == 3
+        # Same seed + same inputs => identical replicas.
+        assert records[0] == records[1] == records[2]
+
+    def test_step_returns_lane_tuples(self):
+        net = small_net()
+        sim = BatchedCompassSimulator(net, 2)
+        sim.load_inputs(poisson_inputs(net, 5, 2000.0, seed=1))
+        spikes = []
+        for _ in range(8):
+            spikes.extend(sim.step())
+        assert spikes, "expected some spikes under heavy drive"
+        lanes = {s[0] for s in spikes}
+        assert lanes <= {0, 1}
+        assert all(len(s) == 4 for s in spikes)
+
+    def test_aggregate_counters_sum_lanes(self):
+        net = small_net()
+        ins = poisson_inputs(net, 10, 500.0, seed=2)
+        sim = BatchedCompassSimulator(net, 3)
+        sim.run(12, ins)
+        agg = sim.aggregate_counters()
+        assert agg.ticks == 36  # 12 passes x 3 lanes
+        assert agg.spikes == sum(sim.lane_counters(b).spikes for b in range(3))
+        assert agg.deliveries == sum(
+            sim.lane_counters(b).deliveries for b in range(3)
+        )
+        assert sim.counters.ticks == agg.ticks
+
+    def test_per_lane_schedule_list_length_checked(self):
+        net = small_net()
+        sim = BatchedCompassSimulator(net, 3)
+        with pytest.raises(ValueError, match="schedules"):
+            sim.load_inputs([None, None])
+
+    def test_single_lane_schedule_targets_one_lane(self):
+        net = small_net()
+        ins = poisson_inputs(net, 8, 2000.0, seed=1)
+        sim = BatchedCompassSimulator(net, 2)
+        sim.load_inputs(ins, lane=1)
+        records = sim.run(10)
+        assert records[1].n_spikes >= records[0].n_spikes
+        assert records[1].counters.deliveries > records[0].counters.deliveries
+
+
+class TestEngineSelection:
+    def test_explicit_batched_engine(self):
+        sim = select_engine(small_net(), "batched", n_replicas=4)
+        assert isinstance(sim, BatchedCompassSimulator)
+        assert sim.n_replicas == 4
+
+    def test_auto_routes_to_batched_for_replicas(self):
+        sim = select_engine(small_net(), "auto", n_replicas=2)
+        assert isinstance(sim, BatchedCompassSimulator)
+
+    def test_auto_without_replicas_stays_fast(self):
+        assert isinstance(select_engine(small_net(), "auto"), FastCompassSimulator)
+
+    def test_replicas_on_other_engine_rejected(self):
+        with pytest.raises(ValueError, match="batched"):
+            select_engine(small_net(), "fast", n_replicas=2)
+
+    def test_run_engine_threads_replica_seeds(self):
+        net = small_net(stochastic=True)
+        ins = poisson_inputs(net, 10, 300.0, seed=1)
+        seeds = replica_seeds(net.seed, 2)
+        records = run_engine(
+            net, 15, ins, engine="batched", n_replicas=2, replica_seeds=seeds,
+        )
+        assert len(records) == 2
+        # Distinct seeds on a stochastic network => distinct trajectories.
+        assert records[0] != records[1]
+
+
+class TestInputStagingCache:
+    def test_repeat_runs_share_converted_arrays(self):
+        net = small_net()
+        compiled = compile_network(net)
+        ins = poisson_inputs(net, 10, 400.0, seed=5)
+        before = n_input_builds()
+        first = staged_inputs(compiled, ins)
+        assert n_input_builds() == before + 1
+        assert staged_inputs(compiled, ins) is first  # cache hit
+        assert n_input_builds() == before + 1
+
+    def test_cache_invalidated_by_new_events(self):
+        net = small_net()
+        compiled = compile_network(net)
+        ins = poisson_inputs(net, 10, 400.0, seed=5)
+        staged_inputs(compiled, ins)
+        before = n_input_builds()
+        ins.add(3, 0, 0)
+        staged = staged_inputs(compiled, ins)
+        assert n_input_builds() == before + 1
+        assert compiled.axon_base[0] + 0 in staged[3]
+
+    def test_cache_keyed_by_compiled_artifact(self):
+        net_a, net_b = small_net(seed=1), small_net(seed=2)
+        ca, cb = compile_network(net_a), compile_network(net_b)
+        ins = poisson_inputs(net_a, 10, 400.0, seed=5)
+        staged_inputs(ca, ins)
+        before = n_input_builds()
+        staged_inputs(cb, ins)  # different artifact => rebuild
+        assert n_input_builds() == before + 1
+
+    def test_batch_lanes_share_one_schedule_conversion(self):
+        net = small_net()
+        ins = poisson_inputs(net, 10, 400.0, seed=5)
+        sim = BatchedCompassSimulator(net, 8)
+        before = n_input_builds()
+        sim.load_inputs(ins)  # eight lanes, one conversion
+        assert n_input_builds() == before + 1
+
+
+class TestObservability:
+    def test_batch_metrics_published(self):
+        net = small_net()
+        obs = Observer()
+        sim = BatchedCompassSimulator(net, 4, obs=obs)
+        sim.run(5, poisson_inputs(net, 5, 300.0, seed=1))
+        snap = obs.metrics.snapshot()
+        assert snap["repro_batch_lanes"] == 4
+        assert snap["repro_batch_passes_total"] == 5
+        assert snap["repro_lane_ticks_total"] == 20
+        assert snap["repro_ticks_total"] == 20  # aggregate lane-ticks
+
+    def test_phase_spans_recorded(self):
+        net = small_net()
+        obs = Observer()
+        sim = BatchedCompassSimulator(net, 2, obs=obs)
+        sim.run(3)
+        names = {s.name for s in obs.trace.spans()}
+        assert {"deliver", "integrate", "update", "route", "batch_pass"} <= names
+
+    def test_disabled_observer_costs_nothing_visible(self):
+        net = small_net()
+        sim = BatchedCompassSimulator(net, 2)
+        assert sim.obs is None
+        sim.run(3)

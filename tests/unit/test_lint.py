@@ -178,6 +178,37 @@ class TestPrngCodes:
         assert "TN401" not in codes_of(lint_core(core))
 
 
+class TestReplicaSeedCodes:
+    def test_duplicate_seeds_on_stochastic_warn(self):
+        from repro.lint import lint_replica_seeds
+
+        report = lint_replica_seeds([5, 7, 5, 5], stochastic=True)
+        assert codes_of(report) == {"TN401"}
+        # Batched form downgrades to WARNING: identical-stream replicas
+        # can be intended, unlike colliding crosspoint units.
+        assert report.ok
+        assert len(report.diagnostics) == 2  # lanes 2 and 3 vs lane 0
+
+    def test_distinct_seeds_clean(self):
+        from repro.compass.batched import replica_seeds
+        from repro.lint import lint_replica_seeds
+
+        report = lint_replica_seeds(replica_seeds(0, 16), stochastic=True)
+        assert report.clean(Severity.WARNING)
+
+    def test_deterministic_network_seeds_inert(self):
+        from repro.lint import lint_replica_seeds
+
+        report = lint_replica_seeds([1, 1, 1], stochastic=False)
+        assert report.clean(Severity.WARNING)
+
+    def test_check_form_returns_without_raising(self):
+        from repro.lint import check_replica_seeds
+
+        report = check_replica_seeds([2, 2], stochastic=True)
+        assert "TN401" in codes_of(report)
+
+
 class TestPartitionCodes:
     def test_tn501_wrong_shape(self):
         report = lint_partition_map(4, np.zeros(3, dtype=np.int64), 2)

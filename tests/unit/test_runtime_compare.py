@@ -69,6 +69,37 @@ class TestStreamingRuntime:
             )
 
 
+class TestStreamReportGuards:
+    def test_zero_tick_session_is_well_defined(self):
+        from repro.runtime.streaming import StreamReport
+
+        report = StreamReport()
+        assert report.ticks == 0
+        assert report.wall_per_tick_s == 0.0
+        assert report.real_time_factor == 0.0
+
+    def test_zero_wall_with_ticks_reports_infinite_factor(self):
+        from repro.runtime.streaming import StreamReport
+
+        report = StreamReport()
+        report.ticks = 10
+        report.wall_seconds = 0.0
+        assert report.wall_per_tick_s == 0.0
+        assert report.real_time_factor == float("inf")
+
+    def test_normal_session_unchanged(self):
+        from repro.core import params
+        from repro.runtime.streaming import StreamReport
+
+        report = StreamReport()
+        report.ticks = 100
+        report.wall_seconds = 2.0
+        assert report.wall_per_tick_s == pytest.approx(0.02)
+        assert report.real_time_factor == pytest.approx(
+            100 * params.TICK_SECONDS / 2.0
+        )
+
+
 class TestCompareRecords:
     def test_identical_records(self):
         a = SpikeRecord.from_events([(0, 0, 0), (1, 0, 1)])
