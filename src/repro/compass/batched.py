@@ -36,10 +36,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compass.compile import CompiledNetwork, compile_network
+from repro.compass.compile import CompiledNetwork, compile_network, csr_row_entries
 from repro.compass.fast import (
+    _GatedSlice,
     effective_leak,
     effective_threshold,
+    settled_mask,
     staged_inputs,
     stoch_synapse_input,
 )
@@ -149,6 +151,54 @@ def update_neurons_batched(
     return np.clip(v, params.MEMBRANE_MIN, params.MEMBRANE_MAX), spiked
 
 
+class _BatchedGate:
+    """Activity-gate state across the batch: per-lane hot tracking.
+
+    The batch updates one *union* active set per pass — always-active
+    neurons, neurons hot in *any* lane, and neurons touched by any
+    lane's deliveries — so the vectorized ``(B, k)`` update stays a
+    single pass (the per-lane sets collapse to one broadcast row).
+    Including a neuron a lane didn't strictly need is harmless: for
+    that lane it is passive and settled with zero input, where the
+    update is the identity.  Per-lane saturation populations are
+    tracked separately because the counter is per lane.
+    """
+
+    def __init__(self, c, v: np.ndarray) -> None:
+        self.c = c
+        self.always_mask = ~c.passive_mask
+        self.hot = c.passive_mask[None, :] & ~settled_mask(c, v)
+        self._work = np.empty(c.n_neurons, dtype=bool)
+        self.n_saturated = (
+            np.count_nonzero(v == params.MEMBRANE_MIN, axis=1)
+            + np.count_nonzero(v == params.MEMBRANE_MAX, axis=1)
+        ).astype(np.int64)
+
+    def active_set(self, touched: np.ndarray) -> np.ndarray:
+        """Sorted union active set across every lane for this pass."""
+        np.logical_or(self.always_mask, self.hot.any(axis=0), out=self._work)
+        self._work[touched] = True
+        return np.nonzero(self._work)[0]
+
+    def commit(self, sl, idx: np.ndarray, v_old: np.ndarray, v_new: np.ndarray) -> None:
+        """Account one gated pass over the ``(B, k)`` subset *idx*."""
+        self.hot[:, idx] = self.c.passive_mask[idx] & ~settled_mask(sl, v_new)
+        self.n_saturated += (
+            np.count_nonzero(v_new == params.MEMBRANE_MIN, axis=1)
+            + np.count_nonzero(v_new == params.MEMBRANE_MAX, axis=1)
+            - np.count_nonzero(v_old == params.MEMBRANE_MIN, axis=1)
+            - np.count_nonzero(v_old == params.MEMBRANE_MAX, axis=1)
+        )
+
+    def reset_lane(self, lane: int, v_lane: np.ndarray) -> None:
+        """Re-derive one lane's gate state after a mid-flight reset."""
+        self.hot[lane] = self.c.passive_mask & ~settled_mask(self.c, v_lane)
+        self.n_saturated[lane] = int(
+            np.count_nonzero(v_lane == params.MEMBRANE_MIN)
+            + np.count_nonzero(v_lane == params.MEMBRANE_MAX)
+        )
+
+
 class BatchedCompassSimulator:
     """B independent replicas of one compiled network per vectorized pass.
 
@@ -164,6 +214,12 @@ class BatchedCompassSimulator:
     :meth:`reset_lane`, lane tick counters diverge: a pass advances
     each lane at its own local tick, which is what keeps mid-flight
     admission bit-identical to a fresh standalone run.
+
+    ``gated`` selects the activity-gated update (``"auto"`` engages it
+    when the network has passive-stable neurons): each pass updates the
+    cross-lane *union* active set (see :class:`_BatchedGate`), keeping
+    one vectorized ``(B, k)`` sweep while staying bit-identical per
+    lane to the dense path.
     """
 
     def __init__(
@@ -174,6 +230,7 @@ class BatchedCompassSimulator:
         seeds=None,
         profile: bool = False,
         obs: Observer | None = None,
+        gated: bool | str = "auto",
     ) -> None:
         require(n_replicas >= 1, f"n_replicas must be >= 1, got {n_replicas}")
         self.profile = profile
@@ -183,6 +240,9 @@ class BatchedCompassSimulator:
         self.compiled = compiled
         self.network = compiled.network
         self.n_replicas = int(n_replicas)
+        self.gated = (
+            compiled.gating_worthwhile if gated == "auto" else bool(gated)
+        )
 
         if seeds is None:
             seeds = [self.network.seed] * self.n_replicas
@@ -218,6 +278,7 @@ class BatchedCompassSimulator:
         self._syn_events = np.zeros(B, dtype=np.int64)
         self._spikes = np.zeros(B, dtype=np.int64)
         self._neuron_updates = np.zeros(B, dtype=np.int64)
+        self._active_updates = np.zeros(B, dtype=np.int64)
         self._saturations = np.zeros(B, dtype=np.int64)
         self._messages = np.zeros(B, dtype=np.int64)
         self._max_core_events = np.zeros(B, dtype=np.int64)
@@ -228,6 +289,7 @@ class BatchedCompassSimulator:
             self._lanes[:, None] * np.int64(C) + compiled.core_of_axon[None, :]
         ).ravel()
         self.passes = 0
+        self._gate = _BatchedGate(compiled, self.v) if self.gated else None
 
         if self.obs is not None and self.obs.active:
             self.obs.set_gauge("repro_batch_lanes", B)
@@ -292,8 +354,8 @@ class BatchedCompassSimulator:
         self._inputs[lane].clear()
         for arr in (
             self._deliveries, self._syn_events, self._spikes,
-            self._neuron_updates, self._saturations, self._messages,
-            self._max_core_events,
+            self._neuron_updates, self._active_updates, self._saturations,
+            self._messages, self._max_core_events,
         ):
             arr[lane] = 0
         self._events_per_core[lane] = 0
@@ -301,6 +363,8 @@ class BatchedCompassSimulator:
             self.seeds[lane] = int(seed)
         if inputs is not None:
             self._load_lane(lane, inputs)
+        if self._gate is not None:
+            self._gate.reset_lane(lane, self.v[lane])
 
     def lane_counters(self, lane: int) -> EventCounters:
         """One lane's event counters as a standalone struct.
@@ -315,6 +379,7 @@ class BatchedCompassSimulator:
             spikes=int(self._spikes[lane]),
             deliveries=int(self._deliveries[lane]),
             neuron_updates=int(self._neuron_updates[lane]),
+            active_neuron_updates=int(self._active_updates[lane]),
             messages=int(self._messages[lane]),
             membrane_saturations=int(self._saturations[lane]),
             max_core_events_per_tick=int(self._max_core_events[lane]),
@@ -334,6 +399,7 @@ class BatchedCompassSimulator:
             spikes=int(self._spikes.sum()),
             deliveries=int(self._deliveries.sum()),
             neuron_updates=int(self._neuron_updates.sum()),
+            active_neuron_updates=int(self._active_updates.sum()),
             messages=int(self._messages.sum()),
             membrane_saturations=int(self._saturations.sum()),
             max_core_events_per_tick=int(self._max_core_events.max(initial=0)),
@@ -390,19 +456,43 @@ class BatchedCompassSimulator:
             t2 = now_ns()
             obs.phase("integrate", self.passes, t1, t2)
 
-        self.v, spiked = update_neurons_batched(
-            c, self.seeds, self.lane_tick, self.v, syn
-        )
         self._neuron_updates += c.n_neurons
-        self._saturations += (
-            np.count_nonzero(self.v == params.MEMBRANE_MIN, axis=1)
-            + np.count_nonzero(self.v == params.MEMBRANE_MAX, axis=1)
-        )
+        if self._gate is not None:
+            gate = self._gate
+            # Union of every lane's touched neurons, from the union of
+            # active axons: a superset per lane, harmless by idempotence.
+            ua = np.nonzero(active.any(axis=0))[0]
+            touched = c.det_col[csr_row_entries(c.det_indptr, ua)]
+            if c.any_stoch_synapse:
+                touched = np.concatenate(
+                    [touched, c.stoch_col[csr_row_entries(c.stoch_indptr, ua)]]
+                )
+            act = gate.active_set(touched)
+            sl = _GatedSlice(c, act)
+            v_old = self.v[:, act]
+            v_new, spiked_sub = update_neurons_batched(
+                sl, self.seeds, self.lane_tick, v_old, syn[:, act]
+            )
+            self.v[:, act] = v_new
+            gate.commit(sl, act, v_old, v_new)
+            self._active_updates += act.size
+            self._saturations += gate.n_saturated
+            lane_f, pos = np.nonzero(spiked_sub)
+            neuron_f = act[pos]
+        else:
+            self.v, spiked = update_neurons_batched(
+                c, self.seeds, self.lane_tick, self.v, syn
+            )
+            self._active_updates += c.n_neurons
+            self._saturations += (
+                np.count_nonzero(self.v == params.MEMBRANE_MIN, axis=1)
+                + np.count_nonzero(self.v == params.MEMBRANE_MAX, axis=1)
+            )
+            lane_f, neuron_f = np.nonzero(spiked)
         if obs is not None:
             t3 = now_ns()
             obs.phase("update", self.passes, t2, t3)
 
-        lane_f, neuron_f = np.nonzero(spiked)
         if lane_f.size:
             self._spikes += np.bincount(lane_f, minlength=B)
             emit_ticks = self.lane_tick[lane_f]
@@ -457,6 +547,15 @@ class BatchedCompassSimulator:
             obs.set_gauge(
                 "repro_queue_depth", sum(len(t) for t in self._inputs)
             )
+            if self._gate is not None:
+                obs.set_gauge("repro_active_neurons", int(act.size))
+                obs.set_gauge(
+                    "repro_active_fraction",
+                    act.size / c.n_neurons if c.n_neurons else 0.0,
+                )
+                obs.metrics.counter("repro_active_neuron_updates_total").set(
+                    int(self._active_updates.sum())
+                )
         return lane_f, emit_ticks, core_ids, local
 
     # -- public API --------------------------------------------------------
@@ -527,7 +626,8 @@ def run_batched_compass(
     inputs=None,
     *,
     seeds=None,
+    gated: bool | str = "auto",
 ) -> list[SpikeRecord]:
     """Convenience one-shot batched run: one record per replica lane."""
-    sim = BatchedCompassSimulator(network, n_replicas, seeds=seeds)
+    sim = BatchedCompassSimulator(network, n_replicas, seeds=seeds, gated=gated)
     return sim.run(n_ticks, inputs)

@@ -45,6 +45,42 @@ def n_builds() -> int:
     return _n_builds
 
 
+def csr_row_entries(indptr: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Flat entry indices of the CSR *rows*, in row-then-entry order.
+
+    The one flat-enumeration idiom shared by every consumer that walks a
+    subset of CSR rows — the stochastic-crosspoint draw in
+    :func:`repro.compass.fast.stoch_synapse_input`, the per-rank slices
+    in :func:`partition_compiled`, and the gated synapse scatter in
+    :func:`repro.compass.fast.integrate_deliveries_gated`.  Returns an
+    int64 index array of ``sum(indptr[rows+1] - indptr[rows])`` entries.
+    """
+    starts = indptr[rows]
+    counts = indptr[rows + 1] - starts
+    total = int(counts.sum())
+    if not total:
+        return np.zeros(0, dtype=np.int64)
+    cum = np.cumsum(counts)
+    return np.arange(total, dtype=np.int64) + np.repeat(
+        starts - (cum - counts), counts
+    )
+
+
+def classify_activity(
+    leak: np.ndarray, stoch_leak_mask: np.ndarray, threshold_mask: np.ndarray
+) -> np.ndarray:
+    """Per-neuron passive-stable mask for the activity-gated tick path.
+
+    A neuron is **passive-stable** when its membrane and spike output
+    provably cannot change on a tick without synaptic input: zero leak
+    (no deterministic drift), non-stochastic leak (no Bernoulli unit
+    steps), and a zero threshold mask (deterministic threshold, so the
+    fire decision is a pure function of the membrane).  Everything else
+    is **always-active** and must run the full update every tick.
+    """
+    return (leak == 0) & ~stoch_leak_mask & (threshold_mask == 0)
+
+
 @dataclass(eq=False)
 class CompiledNetwork:
     """Flattened, immutable execution artifact for one network.
@@ -73,6 +109,9 @@ class CompiledNetwork:
     weight_matrix: sparse.csr_matrix  # (A, N) all crosspoints, signed
     det_matrix_t: sparse.csr_matrix  # (N, A) stochastic entries zeroed
     row_nnz: np.ndarray  # (A,) programmed crosspoints per axon row
+    det_indptr: np.ndarray  # (A+1,) CSR row pointer over deterministic entries
+    det_col: np.ndarray  # (D,) global target neuron per deterministic entry
+    det_weight: np.ndarray  # (D,) signed weight per deterministic entry
     stoch_indptr: np.ndarray  # (A+1,) CSR row pointer over stochastic entries
     stoch_col: np.ndarray  # (S,) global target neuron per stochastic entry
     stoch_core: np.ndarray  # (S,) owning core id (PRNG core coordinate)
@@ -92,6 +131,15 @@ class CompiledNetwork:
     neg_floor_mode: np.ndarray
     initial_v: np.ndarray
 
+    # -- activity classification (gated tick path) -------------------------
+    # Passive-stable neurons (zero leak, deterministic leak + threshold)
+    # provably cannot change state without synaptic input, so the gated
+    # tick path may skip them on silent ticks; always-active neurons run
+    # the full update every tick.  See repro.compass.fast.ActivityGate.
+    passive_mask: np.ndarray  # (N,) True where passive-stable
+    passive_idx: np.ndarray  # global indices of passive-stable neurons
+    always_active_idx: np.ndarray  # global indices of always-active neurons
+
     # -- flat routing tables ----------------------------------------------
     target_axon: np.ndarray  # (N,) global destination axon, -1 = output
     delay: np.ndarray  # (N,) delivery delay in ticks
@@ -100,6 +148,11 @@ class CompiledNetwork:
     def n_cores(self) -> int:
         """Number of cores in the compiled network."""
         return self.network.n_cores
+
+    @property
+    def gating_worthwhile(self) -> bool:
+        """True when any neuron is passive-stable (the gate can win)."""
+        return self.passive_idx.size > 0
 
     @property
     def any_stoch_synapse(self) -> bool:
@@ -202,6 +255,16 @@ def _build(network: Network) -> CompiledNetwork:
     stoch_indptr = np.zeros(n_axons + 1, dtype=np.int64)
     np.cumsum(np.bincount(row[stoch], minlength=n_axons), out=stoch_indptr[1:])
 
+    # Axon-major deterministic crosspoint table (the complement of the
+    # stochastic table, filtered — not zeroed like det_matrix_t's copy):
+    # the gated tick path scatters from exactly the spiking axons' rows,
+    # so it needs them enumerable without touching the (N, A) matvec CSR.
+    det = ~stoch
+    det_col_arr = col[det]
+    det_weight_arr = val[det]
+    det_indptr = np.zeros(n_axons + 1, dtype=np.int64)
+    np.cumsum(np.bincount(row[det], minlength=n_axons), out=det_indptr[1:])
+
     def flat(attr, dtype=np.int64):
         return np.concatenate(
             [np.asarray(getattr(core, attr), dtype=dtype) for core in network.cores]
@@ -212,6 +275,7 @@ def _build(network: Network) -> CompiledNetwork:
     stoch_leak = flat("stoch_leak", bool)
     threshold = flat("threshold")
     threshold_mask = flat("threshold_mask")
+    passive_mask = classify_activity(leak, stoch_leak, threshold_mask)
 
     # Routing: neuron -> global target axon (or -1) and delay.
     target_axon = np.full(n_neurons, -1, dtype=np.int64)
@@ -236,6 +300,9 @@ def _build(network: Network) -> CompiledNetwork:
         weight_matrix=weight_matrix,
         det_matrix_t=det_matrix_t,
         row_nnz=row_nnz,
+        det_indptr=det_indptr,
+        det_col=det_col_arr,
+        det_weight=det_weight_arr,
         stoch_indptr=stoch_indptr,
         stoch_col=stoch_col,
         stoch_core=stoch_core,
@@ -252,6 +319,9 @@ def _build(network: Network) -> CompiledNetwork:
         reset_mode=flat("reset_mode"),
         neg_floor_mode=flat("neg_floor_mode"),
         initial_v=flat("initial_v"),
+        passive_mask=passive_mask,
+        passive_idx=np.nonzero(passive_mask)[0],
+        always_active_idx=np.nonzero(~passive_mask)[0],
         target_axon=target_axon,
         delay=delay,
     )
@@ -293,6 +363,9 @@ class CompiledPartition:
     # -- synapse state (local rows/cols, global PRNG coords) ---------------
     det_matrix_t: sparse.csr_matrix  # (N_r, A_r) deterministic matvec slice
     row_nnz: np.ndarray  # (A_r,) programmed crosspoints per local axon
+    det_indptr: np.ndarray  # (A_r+1,) CSR pointer over deterministic entries
+    det_col: np.ndarray  # (D_r,) *local* target neuron per entry
+    det_weight: np.ndarray  # (D_r,) signed weight per entry
     stoch_indptr: np.ndarray  # (A_r+1,) CSR pointer over stochastic entries
     stoch_col: np.ndarray  # (S_r,) *local* target neuron per entry
     stoch_core: np.ndarray  # (S_r,) global core id (PRNG coordinate)
@@ -311,6 +384,11 @@ class CompiledPartition:
     reset_mode: np.ndarray
     neg_floor_mode: np.ndarray
     initial_v: np.ndarray
+
+    # -- activity classification (sliced to the rank's neurons) ------------
+    passive_mask: np.ndarray  # (N_r,) True where passive-stable
+    passive_idx: np.ndarray  # local indices of passive-stable neurons
+    always_active_idx: np.ndarray  # local indices of always-active neurons
 
     # -- routing, pre-resolved to (rank, local axon) -----------------------
     target_axon: np.ndarray  # (N_r,) global destination axon, -1 = output
@@ -337,6 +415,11 @@ class CompiledPartition:
     def any_stoch_threshold(self) -> bool:
         """True when any owned neuron uses a stochastic threshold mask."""
         return self.stoch_threshold_idx.size > 0
+
+    @property
+    def gating_worthwhile(self) -> bool:
+        """True when any owned neuron is passive-stable."""
+        return self.passive_idx.size > 0
 
 
 @dataclass(eq=False)
@@ -404,18 +487,22 @@ def partition_compiled(
 
         # Stochastic crosspoint slice: the entries of the owned axons'
         # CSR rows, re-pointed over the local axon index space.
-        starts = compiled.stoch_indptr[ax]
-        counts = compiled.stoch_indptr[ax + 1] - starts
-        total = int(counts.sum())
-        if total:
-            cum = np.cumsum(counts)
-            flat = np.arange(total, dtype=np.int64) + np.repeat(
-                starts - (cum - counts), counts
-            )
-        else:
-            flat = np.zeros(0, dtype=np.int64)
+        flat = csr_row_entries(compiled.stoch_indptr, ax)
         stoch_indptr = np.zeros(ax.size + 1, dtype=np.int64)
-        np.cumsum(counts, out=stoch_indptr[1:])
+        np.cumsum(
+            compiled.stoch_indptr[ax + 1] - compiled.stoch_indptr[ax],
+            out=stoch_indptr[1:],
+        )
+
+        # Deterministic crosspoint slice, same treatment.  Columns map
+        # through local_neuron_of_global: block-diagonality guarantees a
+        # crosspoint's target neuron lives on the axon's own rank.
+        det_flat = csr_row_entries(compiled.det_indptr, ax)
+        det_indptr = np.zeros(ax.size + 1, dtype=np.int64)
+        np.cumsum(
+            compiled.det_indptr[ax + 1] - compiled.det_indptr[ax],
+            out=det_indptr[1:],
+        )
 
         # Routing, resolved to the destination rank's local axon space.
         tgt = compiled.target_axon[nr]
@@ -444,6 +531,9 @@ def partition_compiled(
             core_slot_of_axon=core_slot[compiled.core_of_axon[ax]],
             det_matrix_t=det_slice,
             row_nnz=compiled.row_nnz[ax],
+            det_indptr=det_indptr,
+            det_col=local_neuron_of_global[compiled.det_col[det_flat]],
+            det_weight=compiled.det_weight[det_flat],
             stoch_indptr=stoch_indptr,
             stoch_col=local_neuron_of_global[compiled.stoch_col[flat]],
             stoch_core=compiled.stoch_core[flat],
@@ -460,6 +550,9 @@ def partition_compiled(
             reset_mode=compiled.reset_mode[nr],
             neg_floor_mode=compiled.neg_floor_mode[nr],
             initial_v=compiled.initial_v[nr],
+            passive_mask=compiled.passive_mask[nr],
+            passive_idx=np.nonzero(compiled.passive_mask[nr])[0],
+            always_active_idx=np.nonzero(~compiled.passive_mask[nr])[0],
             target_axon=tgt,
             target_rank=target_rank,
             target_local_axon=target_local,

@@ -42,6 +42,7 @@ def select_engine(
     partition_strategy: str = "load_balanced",
     profile: bool = False,
     obs: Observer | None = None,
+    gated: bool | str = "auto",
 ):
     """Construct a simulator for *network* under the named *engine*.
 
@@ -71,6 +72,12 @@ def select_engine(
     compass-family engines for tracing and metrics, and the selection
     decision itself is logged on the ``repro.engine`` structured logger
     (set ``REPRO_LOG_LEVEL=INFO`` to see it).
+
+    *gated* selects the activity-gated tick path on the sparse engines
+    (fast/parallel/batched): ``"auto"`` (default) engages it whenever
+    the compiled network has passive-stable neurons, ``True``/``False``
+    force it.  Bit-identical either way; see
+    :class:`~repro.compass.fast.ActivityGate`.
     """
     require(engine in ENGINES, f"unknown engine {engine!r}; expected one of {ENGINES}")
     require(
@@ -108,12 +115,13 @@ def select_engine(
     if engine == "fast":
         from repro.compass.fast import FastCompassSimulator
 
-        return FastCompassSimulator(network, profile=profile, obs=obs)
+        return FastCompassSimulator(network, profile=profile, obs=obs, gated=gated)
     if engine == "batched":
         from repro.compass.batched import BatchedCompassSimulator
 
         return BatchedCompassSimulator(
             network, n_replicas, seeds=replica_seeds, profile=profile, obs=obs,
+            gated=gated,
         )
     if engine == "compass":
         from repro.compass.simulator import CompassSimulator
@@ -127,7 +135,7 @@ def select_engine(
 
         return ParallelCompassSimulator(
             network, n_workers=n_workers,
-            partition_strategy=partition_strategy, obs=obs,
+            partition_strategy=partition_strategy, obs=obs, gated=gated,
         )
 
     raw = network.network if isinstance(network, CompiledNetwork) else network

@@ -28,9 +28,11 @@ workers advance their partitions with exactly this vectorized code.
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
-from repro.compass.compile import CompiledNetwork, compile_network
+from repro.compass.compile import CompiledNetwork, compile_network, csr_row_entries
 from repro.core import params, prng
 from repro.core.counters import EventCounters
 from repro.core.inputs import InputSchedule
@@ -40,10 +42,10 @@ from repro.obs.observer import NULL_SPAN, Observer, active_observer
 from repro.obs.trace import PHASES, now_ns
 
 
-def stoch_synapse_input(
+def stoch_synapse_events(
     c, seed: int, tick: int, active_idx: np.ndarray
-) -> np.ndarray | None:
-    """Stochastic synaptic contribution for one tick, or None when idle.
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Per-event stochastic synaptic contributions, or None when idle.
 
     Enumerates the active *stochastic* crosspoints from the CSR rows of
     spiking axons and draws one Bernoulli per event.  The (core, unit)
@@ -51,16 +53,12 @@ def stoch_synapse_input(
     stream is identical under any partitioning — and a pure function of
     (seed, tick), which is what lets the batched engine call this once
     per replica lane with that lane's own seed and tick coordinates.
+    Returns ``(target_neurons, contributions)`` — unreduced, so the
+    gated path can learn which neurons were touched before scattering.
     """
-    starts = c.stoch_indptr[active_idx]
-    counts = c.stoch_indptr[active_idx + 1] - starts
-    total = int(counts.sum())
-    if not total:
+    flat = csr_row_entries(c.stoch_indptr, active_idx)
+    if not flat.size:
         return None
-    cum = np.cumsum(counts)
-    flat = np.arange(total, dtype=np.int64) + np.repeat(
-        starts - (cum - counts), counts
-    )
     w = c.stoch_weight[flat]
     rho = prng.draw_u8_multi(
         seed,
@@ -70,9 +68,25 @@ def stoch_synapse_input(
         c.stoch_unit[flat],
     )
     contrib = np.sign(w) * (rho < np.abs(w))
-    return np.bincount(
-        c.stoch_col[flat], weights=contrib, minlength=c.n_neurons
-    ).astype(np.int64)
+    return c.stoch_col[flat], contrib
+
+
+def stoch_synapse_input(
+    c, seed: int, tick: int, active_idx: np.ndarray
+) -> np.ndarray | None:
+    """Stochastic synaptic contribution vector for one tick, or None.
+
+    Accumulation is exact int64 (``np.add.at`` on an integer buffer);
+    the previous float64 ``np.bincount(weights=...)`` reduction could
+    lose integer precision once a neuron's event tally crossed 2**53.
+    """
+    events = stoch_synapse_events(c, seed, tick, active_idx)
+    if events is None:
+        return None
+    cols, contrib = events
+    out = np.zeros(c.n_neurons, dtype=np.int64)
+    np.add.at(out, cols, contrib)
+    return out
 
 
 def integrate_deliveries(
@@ -93,6 +107,35 @@ def integrate_deliveries(
         if contrib is not None:
             syn += contrib
     return syn
+
+
+def integrate_deliveries_gated(
+    c, seed: int, tick: int, active_idx: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Synapse phase driven by the spiking axons only (event scatter).
+
+    Instead of the dense ``(N, A)`` matvec — which touches every neuron
+    row even on a near-silent tick — this walks exactly the CSR rows of
+    the spiking axons (deterministic table + stochastic draws) and
+    scatters their contributions with exact int64 accumulation.
+    Returns ``(syn, touched)``: the per-neuron synaptic input vector and
+    the indices of every neuron reached by at least one crosspoint this
+    tick (a superset of ``nonzero(syn)`` — zero-weight and cancelling
+    contributions are included, which is harmless: updating a settled
+    passive neuron with zero input is the identity).
+    """
+    syn = np.zeros(c.n_neurons, dtype=np.int64)
+    flat = csr_row_entries(c.det_indptr, active_idx)
+    cols = c.det_col[flat]
+    np.add.at(syn, cols, c.det_weight[flat])
+    touched = cols
+    if c.any_stoch_synapse:
+        events = stoch_synapse_events(c, seed, tick, active_idx)
+        if events is not None:
+            scols, contrib = events
+            np.add.at(syn, scols, contrib)
+            touched = np.concatenate([touched, scols])
+    return syn, touched
 
 
 def effective_leak(c, seed: int, tick: int, leak: np.ndarray) -> np.ndarray:
@@ -173,6 +216,123 @@ def update_neurons(
     return np.clip(v, params.MEMBRANE_MIN, params.MEMBRANE_MAX), spiked
 
 
+#: Shared empty index array for silent ticks (read-only by convention).
+_EMPTY_IDX = np.zeros(0, dtype=np.int64)
+
+
+def settled_mask(c, v: np.ndarray) -> np.ndarray:
+    """True where a *passive-stable* neuron with membrane *v* is settled.
+
+    Settled means :func:`update_neurons` with zero synaptic input is the
+    identity (and fires no spike): the membrane is inside the 20-bit
+    range, strictly below threshold, and either at/above the negative
+    threshold or already pinned at its negative-floor value (a
+    ``NEG_FLOOR_RESET`` neuron re-floored to ``-reset_value`` below
+    ``-neg_threshold`` stays there).  Only meaningful where
+    ``passive_mask`` holds — always-active neurons are never consulted.
+
+    *c* is any compiled-like artifact (whole network, partition, or a
+    :class:`_GatedSlice`) whose parameter vectors align with *v*.
+    """
+    floored = np.where(
+        c.neg_floor_mode == params.NEG_FLOOR_SATURATE,
+        -c.neg_threshold,
+        -c.reset_value,
+    )
+    in_range = (v >= params.MEMBRANE_MIN) & (v <= params.MEMBRANE_MAX)
+    no_fire = v < c.threshold
+    neg_ok = (v >= -c.neg_threshold) | (v == floored)
+    return in_range & no_fire & neg_ok
+
+
+class _GatedSlice:
+    """A compiled-like view restricted to the active subset *idx*.
+
+    Exposes exactly the attribute surface :func:`update_neurons` (and
+    the batched variant) reads, gathered to ``idx``, with the stochastic
+    leak/threshold index lists re-based to subset positions.  The PRNG
+    coordinates (``core_of_neuron``/``local_neuron``) keep their global
+    values, so every draw is bit-identical to the dense path.  Relies on
+    every stochastic-leak/stochastic-threshold neuron being present in
+    *idx* — guaranteed, because stochastic neurons classify as
+    always-active and the active set always contains them.
+    """
+
+    __slots__ = (
+        "leak", "leak_reversal", "threshold", "threshold_mask",
+        "neg_threshold", "reset_value", "reset_mode", "neg_floor_mode",
+        "core_of_neuron", "local_neuron",
+        "stoch_leak_idx", "stoch_threshold_idx",
+        "any_stoch_leak", "any_stoch_threshold",
+    )
+
+    def __init__(self, c, idx: np.ndarray) -> None:
+        self.leak = c.leak[idx]
+        self.leak_reversal = c.leak_reversal[idx]
+        self.threshold = c.threshold[idx]
+        self.threshold_mask = c.threshold_mask[idx]
+        self.neg_threshold = c.neg_threshold[idx]
+        self.reset_value = c.reset_value[idx]
+        self.reset_mode = c.reset_mode[idx]
+        self.neg_floor_mode = c.neg_floor_mode[idx]
+        self.core_of_neuron = c.core_of_neuron[idx]
+        self.local_neuron = c.local_neuron[idx]
+        self.stoch_leak_idx = np.searchsorted(idx, c.stoch_leak_idx)
+        self.stoch_threshold_idx = np.searchsorted(idx, c.stoch_threshold_idx)
+        self.any_stoch_leak = self.stoch_leak_idx.size > 0
+        self.any_stoch_threshold = self.stoch_threshold_idx.size > 0
+
+
+class ActivityGate:
+    """Persistent per-run state for the activity-gated tick path.
+
+    The gated tick updates only the neurons whose state could change:
+
+    * the compile-time **always-active** set (nonzero or stochastic
+      leak, stochastic threshold), plus
+    * the neurons **touched** by a crosspoint of a spiking axon this
+      tick, plus
+    * the **hot** passive neurons — currently unsettled (at/over
+      threshold, out of the 20-bit range, or below the negative floor),
+      tracked incrementally: a neuron's settledness can only change when
+      it is updated, so each gated tick refreshes exactly the updated
+      subset.
+
+    Everything outside that set is passive and settled, where the dense
+    update with zero input is provably the identity — skipping it is
+    bit-identical.  The gate also maintains the current population of
+    saturated membranes so the cumulative ``membrane_saturations``
+    counter matches the dense path's full-vector per-tick count without
+    scanning every membrane.
+    """
+
+    def __init__(self, c, v: np.ndarray) -> None:
+        self.c = c
+        self.always_mask = ~c.passive_mask
+        self.hot = c.passive_mask & ~settled_mask(c, v)
+        self._work = np.empty(c.n_neurons, dtype=bool)
+        self.n_saturated = int(
+            np.count_nonzero(v == params.MEMBRANE_MIN)
+            + np.count_nonzero(v == params.MEMBRANE_MAX)
+        )
+
+    def active_set(self, touched: np.ndarray) -> np.ndarray:
+        """Sorted indices of the neurons to update this tick."""
+        np.logical_or(self.always_mask, self.hot, out=self._work)
+        self._work[touched] = True
+        return np.nonzero(self._work)[0]
+
+    def commit(self, sl, idx: np.ndarray, v_old: np.ndarray, v_new: np.ndarray) -> None:
+        """Account one gated update over subset *idx* (slice view *sl*)."""
+        self.hot[idx] = self.c.passive_mask[idx] & ~settled_mask(sl, v_new)
+        self.n_saturated += int(
+            np.count_nonzero(v_new == params.MEMBRANE_MIN)
+            + np.count_nonzero(v_new == params.MEMBRANE_MAX)
+            - np.count_nonzero(v_old == params.MEMBRANE_MIN)
+            - np.count_nonzero(v_old == params.MEMBRANE_MAX)
+        )
+
+
 def count_cross_core_messages(src_cores: np.ndarray, dst_cores: np.ndarray, n_cores: int) -> int:
     """Aggregated message count for one tick's routed deliveries.
 
@@ -210,12 +370,16 @@ def staged_inputs(compiled, inputs: InputSchedule) -> dict[int, np.ndarray]:
     events to the schedule (a changed ``n_events``) or staging it for a
     different compiled network invalidates the entry.
 
+    The cache key holds the compiled artifact through a ``weakref`` so a
+    long-lived schedule object never pins a large compiled network (and
+    its sparse matrices) in memory after the last simulator drops it.
+
     The returned arrays are shared and must be treated as read-only.
     """
     cached = inputs.__dict__.get(_INPUT_CACHE_ATTR)
     if (
         cached is not None
-        and cached[0] is compiled
+        and cached[0]() is compiled
         and cached[1] == inputs.n_events
     ):
         return cached[2]
@@ -232,7 +396,9 @@ def staged_inputs(compiled, inputs: InputSchedule) -> dict[int, np.ndarray]:
         for i, tick in enumerate(uniq.tolist()):
             end = starts[i + 1] if i + 1 < starts.size else ticks.size
             per_tick[int(tick)] = axons[starts[i] : end]
-    inputs.__dict__[_INPUT_CACHE_ATTR] = (compiled, inputs.n_events, per_tick)
+    inputs.__dict__[_INPUT_CACHE_ATTR] = (
+        weakref.ref(compiled), inputs.n_events, per_tick
+    )
     return per_tick
 
 
@@ -250,6 +416,11 @@ class FastCompassSimulator:
     reference :class:`~repro.compass.simulator.CompassSimulator`
     reports — and publish the uniform event metrics.  With neither, the
     tick path pays a single ``None`` check.
+
+    ``gated`` selects the activity-gated tick path (bit-identical to
+    the dense path; see :class:`ActivityGate`): ``"auto"`` (default)
+    engages it whenever the compiled network has any passive-stable
+    neuron, ``True`` forces it, ``False`` forces the dense path.
     """
 
     def __init__(
@@ -258,6 +429,7 @@ class FastCompassSimulator:
         *,
         profile: bool = False,
         obs: Observer | None = None,
+        gated: bool | str = "auto",
     ) -> None:
         self.profile = profile
         self.obs = obs if obs is not None else (Observer() if profile else None)
@@ -265,6 +437,9 @@ class FastCompassSimulator:
             compiled = compile_network(network)
         self.compiled = compiled
         self.network = compiled.network
+        self.gated = (
+            compiled.gating_worthwhile if gated == "auto" else bool(gated)
+        )
 
         # Mutable per-run state (everything else is shared, read-only).
         self.v = compiled.initial_v.copy()
@@ -272,6 +447,7 @@ class FastCompassSimulator:
         self.tick = 0
         self.counters = EventCounters()
         self.counters.ensure_cores(compiled.n_cores)
+        self._gate = ActivityGate(compiled, self.v) if self.gated else None
         # tick -> staged global-axon indices (list or read-only ndarray).
         self._input_by_tick: dict[int, object] = {}
 
@@ -310,24 +486,37 @@ class FastCompassSimulator:
                 )
 
     # -- tick phases -------------------------------------------------------
-    def _synapse_phase(self, active: np.ndarray, active_idx: np.ndarray) -> np.ndarray:
-        """Integrate this tick's deliveries and account synaptic events."""
+    def _synapse_phase(
+        self, active: np.ndarray, active_idx: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Integrate this tick's deliveries and account synaptic events.
+
+        Returns ``(syn, touched)``; *touched* is the gated path's
+        reached-neuron index array, or None on the dense path.
+        """
         c = self.compiled
-        syn = integrate_deliveries(c, self.network.seed, self.tick, active, active_idx)
+        if self._gate is not None:
+            syn, touched = integrate_deliveries_gated(
+                c, self.network.seed, self.tick, active_idx
+            )
+        else:
+            syn = integrate_deliveries(
+                c, self.network.seed, self.tick, active, active_idx
+            )
+            touched = None
 
         events_per_axon = c.row_nnz[active_idx]
         self.counters.synaptic_events += int(events_per_axon.sum())
-        per_core = np.bincount(
-            c.core_of_axon[active_idx],
-            weights=events_per_axon,
-            minlength=c.n_cores,
-        ).astype(np.int64)
+        # Exact int64 accumulation (np.bincount with weights= reduces in
+        # float64, which silently loses precision past 2**53 events).
+        per_core = np.zeros(c.n_cores, dtype=np.int64)
+        np.add.at(per_core, c.core_of_axon[active_idx], events_per_axon)
         self.counters.synaptic_events_per_core += per_core
         if per_core.size:
             self.counters.max_core_events_per_tick = max(
                 self.counters.max_core_events_per_tick, int(per_core.max())
             )
-        return syn
+        return syn, touched
 
     def _advance(self) -> tuple[int, np.ndarray, np.ndarray]:
         """Advance one tick; return (tick, fired core ids, local neurons)."""
@@ -351,24 +540,42 @@ class FastCompassSimulator:
             obs.phase("deliver", self.tick, t0, t1)
 
         if active_idx.size:
-            syn = self._synapse_phase(active, active_idx)
+            syn, touched = self._synapse_phase(active, active_idx)
         else:
             syn = np.zeros(c.n_neurons, dtype=np.int64)
+            touched = _EMPTY_IDX
         if obs is not None:
             t2 = now_ns()
             obs.phase("integrate", self.tick, t1, t2)
 
-        self.v, spiked = update_neurons(c, self.network.seed, self.tick, self.v, syn)
         self.counters.neuron_updates += c.n_neurons
-        self.counters.membrane_saturations += int(
-            np.count_nonzero(self.v == params.MEMBRANE_MIN)
-            + np.count_nonzero(self.v == params.MEMBRANE_MAX)
-        )
+        if self._gate is not None:
+            gate = self._gate
+            act = gate.active_set(touched if touched is not None else _EMPTY_IDX)
+            sl = _GatedSlice(c, act)
+            v_old = self.v[act]
+            v_new, spiked_sub = update_neurons(
+                sl, self.network.seed, self.tick, v_old, syn[act]
+            )
+            self.v[act] = v_new
+            gate.commit(sl, act, v_old, v_new)
+            self.counters.active_neuron_updates += int(act.size)
+            self.counters.membrane_saturations += gate.n_saturated
+            fired = act[spiked_sub]
+        else:
+            self.v, spiked = update_neurons(
+                c, self.network.seed, self.tick, self.v, syn
+            )
+            self.counters.active_neuron_updates += c.n_neurons
+            self.counters.membrane_saturations += int(
+                np.count_nonzero(self.v == params.MEMBRANE_MIN)
+                + np.count_nonzero(self.v == params.MEMBRANE_MAX)
+            )
+            fired = np.nonzero(spiked)[0]
         if obs is not None:
             t3 = now_ns()
             obs.phase("update", self.tick, t2, t3)
 
-        fired = np.nonzero(spiked)[0]
         if fired.size:
             self.counters.spikes += int(fired.size)
             core_ids = c.core_of_neuron[fired]
@@ -395,6 +602,15 @@ class FastCompassSimulator:
             obs.metrics.histogram("repro_tick_seconds").observe((t4 - t0) * 1e-9)  # repro-lint: allow=SL106
             obs.publish_counters(self.counters)
             obs.set_gauge("repro_queue_depth", len(self._input_by_tick))
+            if self._gate is not None:
+                obs.set_gauge("repro_active_neurons", int(act.size))
+                obs.set_gauge(
+                    "repro_active_fraction",
+                    act.size / c.n_neurons if c.n_neurons else 0.0,
+                )
+                obs.metrics.counter("repro_active_neuron_updates_total").set(
+                    self.counters.active_neuron_updates
+                )
         return emitted_tick, core_ids, local
 
     # -- public API --------------------------------------------------------

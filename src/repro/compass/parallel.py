@@ -38,9 +38,11 @@ spikes     (1 + N_r,)               worker: header count + fired local
 outbox     (1 + 3*N_r,)             worker: header count + (dst_rank,
                                     dst_local_axon, abs_tick) rows for
                                     remote deliveries; coordinator scatters
-stats      (4 + C_r,)               worker: deliveries, synaptic events,
-                                    spikes, neuron updates, then per-owned-
-                                    core synaptic events for this tick
+stats      (6 + C_r,)               worker: deliveries, synaptic events,
+                                    spikes, neuron updates, saturations,
+                                    active (computed) neuron updates, then
+                                    per-owned-core synaptic events for
+                                    this tick
 =========  =======================  =========================================
 
 Determinism: the counter-based PRNG makes every worker's draws a pure
@@ -63,7 +65,14 @@ from repro.compass.compile import (
     compile_network,
     partition_compiled,
 )
-from repro.compass.fast import integrate_deliveries, update_neurons
+from repro.compass.fast import (
+    _EMPTY_IDX,
+    ActivityGate,
+    _GatedSlice,
+    integrate_deliveries,
+    integrate_deliveries_gated,
+    update_neurons,
+)
 from repro.compass.partition import partition
 from repro.core import params
 from repro.core.counters import EventCounters
@@ -82,7 +91,8 @@ _ST_SYN_EVENTS = 1
 _ST_SPIKES = 2
 _ST_NEURON_UPDATES = 3
 _ST_SATURATIONS = 4
-_ST_N = 5
+_ST_ACTIVE_UPDATES = 5
+_ST_N = 6
 
 #: Span records each worker's shared-memory trace strip retains (ring
 #: overwrite beyond this).  Five spans per tick -> ~3k traced ticks.
@@ -136,12 +146,20 @@ def _attach(name: str) -> shared_memory.SharedMemory:
     return shared_memory.SharedMemory(name=name)
 
 
-def _worker_main(conn, part: CompiledPartition, shm_names: dict, seed: int) -> None:
+def _worker_main(
+    conn, part: CompiledPartition, shm_names: dict, seed: int,
+    gated: bool = False,
+) -> None:
     """Worker process: advance one compiled partition on command.
 
     Protocol per tick: receive the tick number on the control pipe, run
     the vectorized tick phases on the shared regions, reply with the
     same tick number once every region for that tick is complete.
+
+    With *gated* the worker runs the activity-gated update over its own
+    partition (a per-rank :class:`~repro.compass.fast.ActivityGate`):
+    the partition keeps global PRNG coordinates, so per-rank gating is
+    bit-identical to the dense whole-network path.
 
     When the coordinator created an ``obs`` trace strip for this rank
     (see :class:`repro.obs.trace.SpanStrip`), the worker records its
@@ -166,6 +184,7 @@ def _worker_main(conn, part: CompiledPartition, shm_names: dict, seed: int) -> N
     )
 
     v = part.initial_v.copy()
+    gate = ActivityGate(part, v) if gated else None
     while True:
         tick = conn.recv()
         if tick == _STOP:
@@ -182,21 +201,44 @@ def _worker_main(conn, part: CompiledPartition, shm_names: dict, seed: int) -> N
         if strip is not None:
             t1 = now_ns()
             strip.record(PHASE_IDS["deliver"], tick, t0, t1)
+        touched = _EMPTY_IDX
         if active_idx.size:
-            active = row.copy()
-            row[:] = False
-            syn = integrate_deliveries(part, seed, tick, active, active_idx)
+            if gate is not None:
+                row[:] = False
+                syn, touched = integrate_deliveries_gated(
+                    part, seed, tick, active_idx
+                )
+            else:
+                active = row.copy()
+                row[:] = False
+                syn = integrate_deliveries(part, seed, tick, active, active_idx)
         else:
             syn = np.zeros(part.n_neurons, dtype=np.int64)
         if strip is not None:
             t2 = now_ns()
             strip.record(PHASE_IDS["integrate"], tick, t1, t2)
 
-        v, spiked = update_neurons(part, seed, tick, v, syn)
+        if gate is not None:
+            act = gate.active_set(touched)
+            sl = _GatedSlice(part, act)
+            v_old = v[act]
+            v_new, spiked_sub = update_neurons(sl, seed, tick, v_old, syn[act])
+            v[act] = v_new
+            gate.commit(sl, act, v_old, v_new)
+            fired = act[spiked_sub]
+            n_active = int(act.size)
+            n_saturated = gate.n_saturated
+        else:
+            v, spiked = update_neurons(part, seed, tick, v, syn)
+            fired = np.nonzero(spiked)[0]
+            n_active = part.n_neurons
+            n_saturated = int(
+                np.count_nonzero(v == params.MEMBRANE_MIN)
+                + np.count_nonzero(v == params.MEMBRANE_MAX)
+            )
         if strip is not None:
             t3 = now_ns()
             strip.record(PHASE_IDS["update"], tick, t2, t3)
-        fired = np.nonzero(spiked)[0]
 
         spike_buf[1 : 1 + fired.size] = fired
         spike_buf[0] = fired.size
@@ -226,15 +268,13 @@ def _worker_main(conn, part: CompiledPartition, shm_names: dict, seed: int) -> N
         stats[_ST_SYN_EVENTS] = events.sum()
         stats[_ST_SPIKES] = fired.size
         stats[_ST_NEURON_UPDATES] = part.n_neurons
-        stats[_ST_SATURATIONS] = int(
-            np.count_nonzero(v == params.MEMBRANE_MIN)
-            + np.count_nonzero(v == params.MEMBRANE_MAX)
-        )
-        stats[_ST_N:] = np.bincount(
-            part.core_slot_of_axon[active_idx],
-            weights=events,
-            minlength=part.n_cores,
-        ).astype(np.int64)
+        stats[_ST_SATURATIONS] = n_saturated
+        stats[_ST_ACTIVE_UPDATES] = n_active
+        # Exact int64 accumulation (np.bincount with weights= reduces in
+        # float64, which silently loses precision past 2**53 events).
+        per_core = stats[_ST_N:]
+        per_core[:] = 0
+        np.add.at(per_core, part.core_slot_of_axon[active_idx], events)
 
         if strip is not None:
             t4 = now_ns()
@@ -255,6 +295,9 @@ class ParallelCompassSimulator:
     partitioned artifact and performs an independent, fresh simulation.
 
     ``n_workers="auto"`` picks :func:`auto_workers`'s recommendation.
+    ``gated`` selects the activity-gated update on every worker
+    (``"auto"`` engages it when the network has any passive-stable
+    neuron; bit-identical either way).
     """
 
     def __init__(
@@ -263,12 +306,16 @@ class ParallelCompassSimulator:
         n_workers: int | str = 2,
         partition_strategy: str = "load_balanced",
         obs: Observer | None = None,
+        gated: bool | str = "auto",
     ) -> None:
         self.obs = obs
         with (obs.span("compile") if obs is not None else NULL_SPAN):
             compiled = compile_network(network)
         self.compiled = compiled
         self.network = compiled.network
+        self.gated = (
+            compiled.gating_worthwhile if gated == "auto" else bool(gated)
+        )
         if n_workers == "auto":
             n_workers = auto_workers(compiled)
         require(
@@ -382,6 +429,7 @@ class ParallelCompassSimulator:
                     part,
                     {key: shm.name for key, shm in shms.items()},
                     self.network.seed,
+                    self.gated,
                 ),
                 daemon=True,
             )
@@ -446,6 +494,7 @@ class ParallelCompassSimulator:
         cores_acc: list[np.ndarray] = []
         neurons_acc: list[np.ndarray] = []
         c = self.counters
+        active_this_tick = 0
         for rank, part in enumerate(self.partitioned.partitions):
             stats = self._stats[rank]
             c.deliveries += int(stats[_ST_DELIVERIES])
@@ -453,6 +502,7 @@ class ParallelCompassSimulator:
             c.spikes += int(stats[_ST_SPIKES])
             c.neuron_updates += int(stats[_ST_NEURON_UPDATES])
             c.membrane_saturations += int(stats[_ST_SATURATIONS])
+            active_this_tick += int(stats[_ST_ACTIVE_UPDATES])
             per_core = stats[_ST_N:]
             if per_core.size:
                 c.synaptic_events_per_core[part.core_ids] += per_core
@@ -489,6 +539,7 @@ class ParallelCompassSimulator:
         else:
             core_ids = neurons = np.zeros(0, dtype=np.int64)
 
+        c.active_neuron_updates += active_this_tick
         emitted_tick = self.tick
         self.tick += 1
         c.ticks = self.tick
@@ -500,6 +551,16 @@ class ParallelCompassSimulator:
                           tid=0, attrs={"tick": emitted_tick})
             obs.publish_counters(c)
             obs.set_gauge("repro_queue_depth", len(self._future_inputs))
+            if self.gated:
+                n = self.compiled.n_neurons
+                obs.set_gauge("repro_active_neurons", active_this_tick)
+                obs.set_gauge(
+                    "repro_active_fraction",
+                    active_this_tick / n if n else 0.0,
+                )
+                obs.metrics.counter("repro_active_neuron_updates_total").set(
+                    c.active_neuron_updates
+                )
         return emitted_tick, core_ids, neurons
 
     def step(self) -> list[tuple[int, int, int]]:
@@ -633,9 +694,11 @@ def run_parallel_compass(
     n_workers: int | str = 2,
     partition_strategy: str = "load_balanced",
     obs: Observer | None = None,
+    gated: bool | str = "auto",
 ) -> SpikeRecord:
     """Convenience one-shot parallel run."""
     sim = ParallelCompassSimulator(
-        network, n_workers=n_workers, partition_strategy=partition_strategy, obs=obs
+        network, n_workers=n_workers, partition_strategy=partition_strategy,
+        obs=obs, gated=gated,
     )
     return sim.run(n_ticks, inputs)

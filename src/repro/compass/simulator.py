@@ -162,6 +162,7 @@ class CompassSimulator:
                 )
                 self.membranes[core_id] = v
                 self.counters.neuron_updates += core.n_neurons
+                self.counters.active_neuron_updates += core.n_neurons
                 self.counters.membrane_saturations += int(
                     np.count_nonzero(v == params.MEMBRANE_MIN)
                     + np.count_nonzero(v == params.MEMBRANE_MAX)

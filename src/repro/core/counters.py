@@ -23,6 +23,11 @@ class EventCounters:
     spikes: int = 0  # neuron firings
     deliveries: int = 0  # axon events delivered (incl. external inputs)
     neuron_updates: int = 0  # neurons evaluated (leak/threshold) per tick
+    # Neurons whose update was actually *computed*: equals neuron_updates
+    # on the dense path; under the activity-gated path only the per-tick
+    # active set is computed, so this is the measure of work done (and is
+    # therefore engine-dependent, unlike every logical count above).
+    active_neuron_updates: int = 0
     hops: int = 0  # mesh router hops traversed by spike packets
     # Aggregated inter-rank messages (Compass/Parallel expressions).
     # Semantics: a cumulative tally over the whole run — every simulator
@@ -85,6 +90,7 @@ class EventCounters:
         self.spikes += other.spikes
         self.deliveries += other.deliveries
         self.neuron_updates += other.neuron_updates
+        self.active_neuron_updates += other.active_neuron_updates
         self.hops += other.hops
         self.messages += other.messages
         self.membrane_saturations += other.membrane_saturations

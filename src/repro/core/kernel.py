@@ -180,6 +180,7 @@ class ReferenceKernel:
                 )
                 self.membranes[core_id][neuron] = v
                 self.counters.neuron_updates += 1
+                self.counters.active_neuron_updates += 1
                 if spiked:
                     self.counters.spikes += 1
                     emitted.append((self.tick, core_id, neuron))

@@ -185,6 +185,7 @@ class TrueNorthSimulator:
             )
             self.membranes[core_id] = v
             self.counters.neuron_updates += core.n_neurons
+            self.counters.active_neuron_updates += core.n_neurons
 
             fired = np.nonzero(spiked)[0]
             if fired.size == 0:

@@ -1,0 +1,140 @@
+"""Property-based bit-identity of the activity-gated tick path.
+
+For ANY randomly generated network, seed, and input schedule, the gated
+sparse engines must agree with their dense counterparts on the spike
+stream, the final membranes, and every logical event counter — the gate
+may only change ``active_neuron_updates``, the measure of work actually
+computed.  Hypothesis explores the classification space adversarially:
+stochastic synapse/leak/threshold modes, mixed passive/always-active
+populations, all-silent stretches, and single-spike ticks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.compass.batched import BatchedCompassSimulator
+from repro.compass.compile import compile_network
+from repro.compass.fast import FastCompassSimulator
+from repro.compass.parallel import ParallelCompassSimulator
+from repro.core.builders import poisson_inputs, random_network
+from repro.core.inputs import InputSchedule
+from repro.core.network import Core, Network
+
+TICKS = 12
+
+LOGICAL = (
+    "ticks", "synaptic_events", "spikes", "deliveries", "neuron_updates",
+    "hops", "messages", "membrane_saturations", "max_core_events_per_tick",
+)
+
+
+def assert_logical_counters_equal(gated, dense) -> None:
+    for name in LOGICAL:
+        assert getattr(gated, name) == getattr(dense, name), name
+    np.testing.assert_array_equal(
+        gated.synaptic_events_per_core, dense.synaptic_events_per_core
+    )
+    assert dense.active_neuron_updates == dense.neuron_updates
+    assert gated.active_neuron_updates <= dense.active_neuron_updates
+
+
+@st.composite
+def small_networks(draw):
+    n_cores = draw(st.integers(1, 4))
+    size = draw(st.sampled_from([4, 8, 12]))
+    stochastic = draw(st.booleans())
+    seed = draw(st.integers(0, 2**31))
+    connectivity = draw(st.floats(0.1, 0.9))
+    return random_network(
+        n_cores=n_cores, n_axons=size, n_neurons=size,
+        connectivity=connectivity, stochastic=stochastic, seed=seed,
+    )
+
+
+@st.composite
+def schedules(draw):
+    # rate 0.0 produces the all-silent schedule — the gate's best case —
+    # and hypothesis shrinks toward it.
+    rate = draw(st.sampled_from([0.0, 100.0, 400.0, 800.0]))
+    seed = draw(st.integers(0, 2**31))
+    return rate, seed
+
+
+class TestFastGatedEqualsDense:
+    @given(net=small_networks(), sched=schedules())
+    @settings(max_examples=30, deadline=None)
+    def test_spikes_membranes_counters(self, net, sched):
+        rate, seed = sched
+        ins = poisson_inputs(net, TICKS, rate, seed=seed) if rate else None
+        compiled = compile_network(net)
+        g = FastCompassSimulator(compiled, gated=True)
+        d = FastCompassSimulator(compiled, gated=False)
+        assert g.run(TICKS, ins) == d.run(TICKS, ins)
+        np.testing.assert_array_equal(g.v, d.v)
+        assert_logical_counters_equal(g.counters, d.counters)
+
+    @given(
+        axon=st.integers(0, 3),
+        tick=st.integers(0, TICKS - 2),
+        net_seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_single_spike_tick(self, axon, tick, net_seed):
+        # Exactly one external event in the whole run: the gate must
+        # wake precisely the touched cone and nothing else diverges.
+        net = random_network(
+            n_cores=2, n_axons=4, n_neurons=4, connectivity=0.5, seed=net_seed
+        )
+        ins = InputSchedule.from_events([(tick, 0, axon)])
+        compiled = compile_network(net)
+        g = FastCompassSimulator(compiled, gated=True)
+        d = FastCompassSimulator(compiled, gated=False)
+        assert g.run(TICKS, ins) == d.run(TICKS, ins)
+        np.testing.assert_array_equal(g.v, d.v)
+        assert_logical_counters_equal(g.counters, d.counters)
+
+
+class TestParallelGatedEqualsDense:
+    @given(net=small_networks(), sched=schedules())
+    @settings(max_examples=6, deadline=None)
+    def test_spikes_and_counters(self, net, sched):
+        # (Bounded example count: each example spawns a worker pool.)
+        rate, seed = sched
+        ins = poisson_inputs(net, TICKS, rate, seed=seed) if rate else None
+        compiled = compile_network(net)
+        g = ParallelCompassSimulator(compiled, n_workers=2, gated=True)
+        d = ParallelCompassSimulator(compiled, n_workers=2, gated=False)
+        try:
+            rg = g.run(TICKS, ins)
+            rd = d.run(TICKS, ins)
+        finally:
+            g.close()
+            d.close()
+        assert rg == rd
+        assert_logical_counters_equal(g.counters, d.counters)
+
+
+class TestBatchedGatedEqualsDense:
+    @given(
+        net=small_networks(),
+        sched=schedules(),
+        lane_seeds=st.lists(st.integers(0, 2**31), min_size=2, max_size=3),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_per_lane_identity(self, net, sched, lane_seeds):
+        rate, seed = sched
+        ins = poisson_inputs(net, TICKS, rate, seed=seed) if rate else None
+        compiled = compile_network(net)
+        lanes = len(lane_seeds)
+        g = BatchedCompassSimulator(compiled, lanes, seeds=lane_seeds, gated=True)
+        d = BatchedCompassSimulator(compiled, lanes, seeds=lane_seeds, gated=False)
+        rg = g.run(TICKS, ins)
+        rd = d.run(TICKS, ins)
+        assert rg == rd
+        np.testing.assert_array_equal(g.v, d.v)
+        for lane in range(lanes):
+            assert_logical_counters_equal(
+                g.lane_counters(lane), d.lane_counters(lane)
+            )

@@ -1,0 +1,344 @@
+"""Activity-gated tick path: classification, bit-identity, telemetry.
+
+The gate's contract is exact (ISSUE 7 / paper Section VI-A): for any
+network, seed, and input schedule, the gated sparse engines produce the
+same spike stream, the same final membranes, and the same *logical*
+event counters as the dense path.  Only ``active_neuron_updates`` — the
+measure of work actually computed — may shrink under gating.
+"""
+
+from __future__ import annotations
+
+import gc
+import weakref
+
+import numpy as np
+import pytest
+
+from repro.compass.batched import BatchedCompassSimulator
+from repro.compass.compile import (
+    classify_activity,
+    compile_network,
+    csr_row_entries,
+    invalidate as compile_invalidate,
+    partition_compiled,
+)
+from repro.compass.fast import (
+    ActivityGate,
+    FastCompassSimulator,
+    n_input_builds,
+    settled_mask,
+    staged_inputs,
+)
+from repro.compass.parallel import ParallelCompassSimulator
+from repro.core import params
+from repro.core.builders import poisson_inputs, random_network
+from repro.core.inputs import InputSchedule
+from repro.core.network import Core, Network
+from repro.lint.examples import BUILTIN_NETWORKS
+from repro.obs import Observer
+
+TICKS = 24
+
+#: Counter fields whose value is engine-invariant (unlike the computed
+#: active_neuron_updates, which is the whole point of gating).
+LOGICAL = (
+    "ticks", "synaptic_events", "spikes", "deliveries", "neuron_updates",
+    "hops", "messages", "membrane_saturations", "max_core_events_per_tick",
+)
+
+
+def assert_counters_match(gated, dense) -> None:
+    for name in LOGICAL:
+        assert getattr(gated, name) == getattr(dense, name), name
+    np.testing.assert_array_equal(
+        gated.synaptic_events_per_core, dense.synaptic_events_per_core
+    )
+    assert dense.active_neuron_updates == dense.neuron_updates
+    assert gated.active_neuron_updates <= dense.active_neuron_updates
+
+
+def assert_fast_identity(net, inputs=None, ticks=TICKS):
+    g = FastCompassSimulator(net, gated=True)
+    d = FastCompassSimulator(net, gated=False)
+    rg = g.run(ticks, inputs)
+    rd = d.run(ticks, inputs)
+    assert rg == rd
+    np.testing.assert_array_equal(g.v, d.v)
+    assert_counters_match(g.counters, d.counters)
+    return g, d
+
+
+# ---------------------------------------------------------------------------
+# Compile-time classification
+# ---------------------------------------------------------------------------
+
+class TestClassification:
+    def test_formula(self):
+        leak = np.array([0, 3, 0, 0, -2])
+        stoch_leak = np.array([False, False, True, False, False])
+        mask = np.array([0, 0, 0, 7, 0])
+        np.testing.assert_array_equal(
+            classify_activity(leak, stoch_leak, mask),
+            [True, False, False, False, False],
+        )
+
+    def test_compiled_fields(self):
+        core = Core.build(
+            4, 4,
+            crossbar=np.eye(4, dtype=bool),
+            leak=np.array([0, 1, 0, 0]),
+            threshold_mask=np.array([0, 0, 3, 0]),
+            threshold=4,
+        )
+        c = compile_network(Network(cores=[core], seed=0))
+        np.testing.assert_array_equal(c.passive_mask, [True, False, False, True])
+        np.testing.assert_array_equal(c.passive_idx, [0, 3])
+        np.testing.assert_array_equal(c.always_active_idx, [1, 2])
+        assert c.gating_worthwhile
+
+    def test_fully_active_network_is_not_worthwhile(self):
+        core = Core.build(2, 2, crossbar=np.eye(2, dtype=bool), leak=1, threshold=4)
+        c = compile_network(Network(cores=[core], seed=0))
+        assert not c.gating_worthwhile
+        # auto resolves to the dense path...
+        assert FastCompassSimulator(c).gated is False
+        # ...but forcing the gate on stays bit-identical.
+        assert_fast_identity(c)
+
+    def test_partition_slices_align(self):
+        net = random_network(n_cores=6, n_neurons=12, stochastic=True, seed=7)
+        compiled = compile_network(net)
+        rank_of_core = np.array([0, 1, 0, 1, 0, 1])
+        parts = partition_compiled(compiled, rank_of_core, 2).partitions
+        for part in parts:
+            np.testing.assert_array_equal(
+                part.passive_mask, compiled.passive_mask[part.neuron_global]
+            )
+            np.testing.assert_array_equal(
+                part.passive_idx, np.nonzero(part.passive_mask)[0]
+            )
+            np.testing.assert_array_equal(
+                part.always_active_idx, np.nonzero(~part.passive_mask)[0]
+            )
+        assert sum(p.passive_idx.size for p in parts) == compiled.passive_idx.size
+        assert (
+            sum(p.always_active_idx.size for p in parts)
+            == compiled.always_active_idx.size
+        )
+
+    def test_csr_row_entries(self):
+        indptr = np.array([0, 2, 2, 5], dtype=np.int64)
+        np.testing.assert_array_equal(
+            csr_row_entries(indptr, np.array([0, 2])), [0, 1, 2, 3, 4]
+        )
+        np.testing.assert_array_equal(
+            csr_row_entries(indptr, np.array([1])), np.zeros(0, dtype=np.int64)
+        )
+        assert csr_row_entries(indptr, np.zeros(0, dtype=np.int64)).size == 0
+
+
+# ---------------------------------------------------------------------------
+# Fast engine bit-identity
+# ---------------------------------------------------------------------------
+
+class TestFastIdentity:
+    @pytest.mark.parametrize("name", sorted(BUILTIN_NETWORKS))
+    def test_builtin(self, name):
+        net = BUILTIN_NETWORKS[name]()
+        inputs = poisson_inputs(net, TICKS, 400.0, seed=5)
+        assert_fast_identity(compile_network(net), inputs)
+
+    @pytest.mark.parametrize("stochastic", [False, True])
+    def test_random(self, stochastic):
+        net = random_network(
+            n_cores=5, n_neurons=24, connectivity=0.3,
+            stochastic=stochastic, seed=13,
+        )
+        inputs = poisson_inputs(net, TICKS, 500.0, seed=2)
+        assert_fast_identity(compile_network(net), inputs)
+
+    def test_all_silent_costs_nothing(self):
+        # Zero-leak, settled-at-init, no inputs: after classification the
+        # gated path computes nothing at all.
+        core = Core.build(4, 4, crossbar=np.eye(4, dtype=bool), threshold=4)
+        net = Network(cores=[core], seed=0)
+        g, _ = assert_fast_identity(net)
+        assert g.counters.active_neuron_updates == 0
+        assert g.counters.neuron_updates == TICKS * 4
+
+    def test_single_spike_tick(self):
+        # One external event on one axon: exactly one neuron is touched.
+        core = Core.build(
+            4, 4, crossbar=np.eye(4, dtype=bool), weights=[8, 0, 0, 0],
+            threshold=4,
+        )
+        net = Network(cores=[core], seed=0)
+        ins = InputSchedule()
+        ins.add(3, 0, 2)
+        g, _ = assert_fast_identity(net, ins, ticks=8)
+        # Tick 3 touches neuron 2 (fires, resets); tick 4 re-checks it
+        # because firing left it listed hot until its next update shows
+        # it settled again.
+        assert g.counters.active_neuron_updates <= 2
+        assert g.counters.spikes == 1
+
+    def test_initially_unsettled_neurons_update_without_input(self):
+        # initial_v at threshold: passive but hot at tick 0 — must fire.
+        core = Core.build(
+            2, 2, crossbar=np.zeros((2, 2), dtype=bool),
+            threshold=4, initial_v=np.array([4, 0]),
+        )
+        net = Network(cores=[core], seed=0)
+        g, _ = assert_fast_identity(net, ticks=4)
+        assert g.counters.spikes == 1
+        assert g.counters.active_neuron_updates >= 1
+
+    def test_reset_none_refire_stays_hot(self):
+        # RESET_NONE above threshold refires every tick; the gate must
+        # keep the neuron hot forever even though it is passive-stable.
+        core = Core.build(
+            2, 2, crossbar=np.zeros((2, 2), dtype=bool),
+            threshold=2, initial_v=np.array([3, 0]),
+            reset_mode=params.RESET_NONE,
+        )
+        net = Network(cores=[core], seed=0)
+        g, _ = assert_fast_identity(net, ticks=10)
+        assert g.counters.spikes == 10
+
+    def test_negative_floor_settles(self):
+        # Membranes below -beta are floored; under NEG_FLOOR_SATURATE the
+        # floored value is a fixed point, so these neurons go cold.
+        core = Core.build(
+            2, 2, crossbar=np.zeros((2, 2), dtype=bool),
+            threshold=4, neg_threshold=2, initial_v=np.array([-7, -1]),
+            neg_floor_mode=params.NEG_FLOOR_SATURATE,
+        )
+        net = Network(cores=[core], seed=0)
+        g, _ = assert_fast_identity(net, ticks=6)
+        # Tick 0 floors neuron 0 to -2; from tick 1 nothing is computed.
+        assert g.counters.active_neuron_updates <= 2
+
+    def test_settled_mask_direct(self):
+        core = Core.build(
+            2, 4, crossbar=np.zeros((2, 4), dtype=bool),
+            threshold=4, neg_threshold=2,
+        )
+        c = compile_network(Network(cores=[core], seed=0))
+        v = np.array([0, 4, -3, -2], dtype=np.int64)
+        np.testing.assert_array_equal(
+            settled_mask(c, v), [True, False, False, True]
+        )
+
+    def test_gate_tracks_saturation_population(self):
+        core = Core.build(
+            2, 2, crossbar=np.zeros((2, 2), dtype=bool),
+            threshold=params.THRESHOLD_MAX,
+            initial_v=np.array([params.MEMBRANE_MIN, 0]),
+            neg_threshold=-params.MEMBRANE_MIN,
+        )
+        c = compile_network(Network(cores=[core], seed=0))
+        gate = ActivityGate(c, c.initial_v.copy())
+        assert gate.n_saturated == 1
+
+
+# ---------------------------------------------------------------------------
+# Parallel and batched engines
+# ---------------------------------------------------------------------------
+
+class TestParallelIdentity:
+    def test_gated_matches_dense_and_fast(self):
+        net = random_network(n_cores=6, n_neurons=16, stochastic=True, seed=9)
+        compiled = compile_network(net)
+        inputs = poisson_inputs(net, TICKS, 400.0, seed=4)
+
+        fast = FastCompassSimulator(compiled, gated=True)
+        ref = fast.run(TICKS, inputs)
+
+        pg = ParallelCompassSimulator(compiled, n_workers=2, gated=True)
+        pd = ParallelCompassSimulator(compiled, n_workers=2, gated=False)
+        try:
+            rg = pg.run(TICKS, inputs)
+            rd = pd.run(TICKS, inputs)
+        finally:
+            pg.close()
+            pd.close()
+        assert rg == rd == ref
+        assert_counters_match(pg.counters, pd.counters)
+
+
+class TestBatchedIdentity:
+    def test_lanes_match_dense_including_reset(self):
+        net = BUILTIN_NETWORKS["recurrent-stochastic"]()
+        inputs = poisson_inputs(net, TICKS, 400.0, seed=6)
+        seeds = [11, 22, 33]
+
+        g = BatchedCompassSimulator(net, 3, seeds=seeds, gated=True)
+        d = BatchedCompassSimulator(net, 3, seeds=seeds, gated=False)
+        for sim in (g, d):
+            sim.load_inputs(inputs)
+            for _ in range(8):
+                sim.step()
+            sim.reset_lane(1, seed=44, inputs=inputs)
+            for _ in range(8):
+                sim.step()
+
+        np.testing.assert_array_equal(g.v, d.v)
+        for lane in range(3):
+            assert_counters_match(g.lane_counters(lane), d.lane_counters(lane))
+        assert_counters_match(g.aggregate_counters(), d.aggregate_counters())
+
+    def test_records_match(self):
+        net = BUILTIN_NETWORKS["haar"]()
+        inputs = poisson_inputs(net, TICKS, 300.0, seed=8)
+        rg = BatchedCompassSimulator(net, 2, gated=True).run(TICKS, inputs)
+        rd = BatchedCompassSimulator(net, 2, gated=False).run(TICKS, inputs)
+        assert rg == rd
+
+
+# ---------------------------------------------------------------------------
+# Telemetry and caching satellites
+# ---------------------------------------------------------------------------
+
+class TestObsGauges:
+    def test_gated_run_publishes_activity_gauges(self):
+        net = BUILTIN_NETWORKS["haar"]()
+        inputs = poisson_inputs(net, TICKS, 400.0, seed=5)
+        obs = Observer()
+        sim = FastCompassSimulator(net, obs=obs, gated=True)
+        sim.run(TICKS, inputs)
+        snap = obs.metrics.snapshot()
+        assert 0 < snap["repro_active_fraction"] <= 1.0
+        assert snap["repro_active_neurons"] >= 0
+        assert (
+            snap["repro_active_neuron_updates_total"]
+            == sim.counters.active_neuron_updates
+        )
+
+    def test_dense_run_does_not_publish_activity_gauges(self):
+        net = BUILTIN_NETWORKS["haar"]()
+        obs = Observer()
+        FastCompassSimulator(net, obs=obs, gated=False).run(4)
+        assert "repro_active_fraction" not in obs.metrics.snapshot()
+
+
+class TestStagedInputsWeakCache:
+    def test_cache_does_not_keep_compiled_network_alive(self):
+        net = random_network(n_cores=2, n_neurons=8, seed=3)
+        compiled = compile_network(net)
+        ins = poisson_inputs(net, 8, 400.0, seed=5)
+        staged_inputs(compiled, ins)
+        ref = weakref.ref(compiled)
+        del compiled
+        compile_invalidate(net)  # drop the on-network compile cache too
+        gc.collect()
+        assert ref() is None
+
+    def test_cache_still_hits_while_alive(self):
+        net = random_network(n_cores=2, n_neurons=8, seed=3)
+        compiled = compile_network(net)
+        ins = poisson_inputs(net, 8, 400.0, seed=5)
+        before = n_input_builds()
+        first = staged_inputs(compiled, ins)
+        assert staged_inputs(compiled, ins) is first
+        assert n_input_builds() == before + 1
