@@ -1,0 +1,75 @@
+"""SANITIZE: overhead guard for the disabled race detector.
+
+The sanitizer promises zero tick-path cost when off — with
+``sanitize=False`` (or unset, no ``REPRO_SANITIZE``) the engines build
+no recorder and no shadow views, so the hot loop is byte-for-byte the
+normal one; the only residue is a handful of ``is not None`` checks.
+This benchmark holds that promise to the same budget as the obs gate:
+the parallel engine constructed with an explicit ``sanitize=False``
+must stay within 5% of the engine with the kwarg never mentioned (with
+an absolute floor so worker spawn jitter on near-millisecond runs
+cannot trip the gate).
+
+Enabled-mode cost is reported informationally — shadow recording is a
+debug tool and carries no budget.
+"""
+
+import time
+
+from benchmarks.conftest import emit
+from repro.apps.recurrent import probabilistic_recurrent_network
+from repro.compass.parallel import ParallelCompassSimulator
+
+N_TICKS = 150
+ROUNDS = 7
+#: Relative overhead budget for the disabled sanitizer (ISSUE 8).
+MAX_OVERHEAD = 0.05
+#: Absolute slack (seconds): worker spawn/teardown jitter floor.
+ABS_SLACK_S = 0.025
+
+
+def _network():
+    return probabilistic_recurrent_network(
+        100.0, 32, grid_side=4, neurons_per_core=64, coupling="balanced", seed=5
+    )
+
+
+def _run_once(network, sanitize):
+    sim = ParallelCompassSimulator(network, n_workers=2, sanitize=sanitize)
+    start = time.perf_counter()
+    sim.run(N_TICKS)
+    return time.perf_counter() - start
+
+
+class TestDisabledSanitizeOverhead:
+    def test_disabled_sanitizer_within_budget(self):
+        network = _network()
+        bare_s = off_s = float("inf")
+        # Interleave the two variants and take the minimum per variant:
+        # min-of-N is the standard noise filter for micro-benchmarks.
+        for _ in range(ROUNDS):
+            bare_s = min(bare_s, _run_once(network, None))
+            off_s = min(off_s, _run_once(network, False))
+        overhead = off_s / bare_s - 1.0
+        emit(
+            f"SANITIZE overhead: bare {bare_s * 1e3:.2f} ms, sanitize=False "
+            f"{off_s * 1e3:.2f} ms over {N_TICKS} ticks "
+            f"({overhead * +100:.2f}% overhead)"
+        )
+        assert off_s - bare_s <= ABS_SLACK_S or overhead <= MAX_OVERHEAD, (
+            f"disabled sanitizer costs {overhead * 100:.1f}% "
+            f"(> {MAX_OVERHEAD * 100:.0f}% budget)"
+        )
+
+    def test_enabled_sanitizer_reported(self):
+        network = _network()
+        bare_s = on_s = float("inf")
+        for _ in range(3):
+            bare_s = min(bare_s, _run_once(network, None))
+            on_s = min(on_s, _run_once(network, True))
+        emit(
+            f"SANITIZE enabled-mode cost: bare {bare_s * 1e3:.2f} ms, "
+            f"sanitize=True {on_s * 1e3:.2f} ms over {N_TICKS} ticks "
+            f"({on_s / bare_s:.2f}x; informational, no budget)"
+        )
+        assert on_s > 0

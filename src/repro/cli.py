@@ -13,6 +13,7 @@ Commands:
 * ``serve``         — serve concurrent sessions on the batched engine;
 * ``characterize``  — simulate one recurrent sweep point and report;
 * ``lint``          — static model checker / determinism source lint;
+* ``sanitize``      — shm race detector / tick-protocol checks;
 * ``trace``         — run a model and export a Chrome trace + metrics;
 * ``metrics``       — run a model and print the uniform metric snapshot.
 """
@@ -174,9 +175,15 @@ def _cmd_lint(args) -> int:
     from repro.lint.diagnostics import LintReport
 
     if args.codes:
+        from repro.sanitize import SANITIZE_CODES
+
         rows = [
             [info.code, info.title, str(info.severity)]
-            for info in list(CODES.values()) + list(SOURCE_CODES.values())
+            for info in (
+                list(CODES.values())
+                + list(SOURCE_CODES.values())
+                + list(SANITIZE_CODES.values())
+            )
         ]
         print(render_table(["code", "title", "severity"], rows,
                            title="lint diagnostic codes (see docs/lint.md)"))
@@ -209,6 +216,67 @@ def _cmd_lint(args) -> int:
     for report in reports:
         print(report.render_json() if args.json else report.render_text())
         failed = failed or not report.clean(fail_at)
+    return 1 if failed else 0
+
+
+def _cmd_sanitize(args) -> int:
+    from repro.lint.diagnostics import LintReport, Severity
+    from repro.sanitize import check_protocol_sources, resolve_fault
+
+    fault = resolve_fault(args.fault) if args.fault else None
+    reports: list[LintReport] = []
+
+    if not args.dynamic_only:
+        reports.append(check_protocol_sources())
+
+    if not args.static_only:
+        from repro.core.builders import poisson_inputs
+
+        if args.builtin or not args.models:
+            from repro.lint.examples import builtin_networks
+
+            networks = builtin_networks()
+        else:
+            networks = {path: _resolve_model(path) for path in args.models}
+        engines = (
+            ["parallel", "batched"] if args.engine == "both" else [args.engine]
+        )
+        for name, network in networks.items():
+            inputs = poisson_inputs(network, args.ticks, args.rate, seed=args.seed)
+            for engine in engines:
+                if engine == "parallel":
+                    from repro.compass.parallel import ParallelCompassSimulator
+
+                    sim = ParallelCompassSimulator(
+                        network, n_workers=args.workers,
+                        sanitize=True, sanitize_fault=fault,
+                    )
+                    sim.run(args.ticks, inputs)
+                    report = sim.sanitize_report
+                else:
+                    from repro.compass.batched import BatchedCompassSimulator
+
+                    sim = BatchedCompassSimulator(
+                        network, n_replicas=2,
+                        sanitize=True, sanitize_fault=fault,
+                    )
+                    sim.run(args.ticks, inputs)
+                    report = sim.sanitize_report
+                if report is None:  # pragma: no cover - defensive
+                    report = LintReport(subject=f"sanitize:{engine}")
+                report.subject = f"{name} [{engine}]"
+                reports.append(report)
+
+    fail_at = Severity.WARNING if args.strict else Severity.ERROR
+    any_findings = False
+    failed = False
+    for report in reports:
+        print(report.render_json() if args.json else report.render_text())
+        any_findings = any_findings or bool(len(report))
+        failed = failed or not report.clean(fail_at)
+    if args.expect_findings:
+        # Fault-injection CI runs: succeed only when something fired.
+        return 0 if any_findings else 1
     return 1 if failed else 0
 
 
@@ -389,6 +457,41 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--codes", action="store_true",
                     help="list every diagnostic code and exit")
     pl.set_defaults(fn=_cmd_lint)
+
+    pz = sub.add_parser(
+        "sanitize",
+        help="shm race detector / tick-protocol checks (docs/sanitizer.md)",
+    )
+    pz.add_argument("models", nargs="*",
+                    help="builtin network names or .npz model paths "
+                         "(default: every builtin network)")
+    pz.add_argument("--builtin", action="store_true",
+                    help="sweep every bundled example/app network")
+    pz.add_argument("--engine", choices=["parallel", "batched", "both"],
+                    default="both",
+                    help="engine(s) to run under the dynamic detector")
+    pz.add_argument("--ticks", type=int, default=25)
+    pz.add_argument("--rate", type=float, default=200.0,
+                    help="Poisson drive rate in Hz on every axon")
+    pz.add_argument("--seed", type=int, default=1)
+    pz.add_argument("--workers", type=int, default=2,
+                    help="worker processes for the parallel engine")
+    pz.add_argument("--fault",
+                    help="inject a protocol fault: drop-barrier, "
+                         "overlap-slices, or out-of-phase-write "
+                         "(optionally KIND:RANK:TICK)")
+    pz.add_argument("--static-only", action="store_true",
+                    help="run only the static tick-protocol check")
+    pz.add_argument("--dynamic-only", action="store_true",
+                    help="skip the static tick-protocol check")
+    pz.add_argument("--expect-findings", action="store_true",
+                    help="invert the exit status: succeed when findings "
+                         "fired (fault-injection CI runs)")
+    pz.add_argument("--strict", action="store_true",
+                    help="fail on warnings as well as errors")
+    pz.add_argument("--json", action="store_true",
+                    help="emit JSON diagnostics")
+    pz.set_defaults(fn=_cmd_sanitize)
 
     def _observed_args(p, default_ticks: int) -> None:
         p.add_argument("model",

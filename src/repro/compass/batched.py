@@ -53,6 +53,10 @@ from repro.core.prng import derive_stream_seed
 from repro.core.record import SpikeRecord
 from repro.obs.observer import NULL_SPAN, Observer, active_observer
 from repro.obs.trace import now_ns
+from repro.sanitize.analyze import analyze_access_log
+from repro.sanitize.dynamic import AccessRecorder, sanitize_enabled, shadow_view
+from repro.sanitize.faults import resolve_fault
+from repro.sanitize.protocol import BATCHED_PROTOCOL
 from repro.utils.validation import require
 
 
@@ -231,6 +235,8 @@ class BatchedCompassSimulator:
         profile: bool = False,
         obs: Observer | None = None,
         gated: bool | str = "auto",
+        sanitize: bool | None = None,
+        sanitize_fault=None,
     ) -> None:
         require(n_replicas >= 1, f"n_replicas must be >= 1, got {n_replicas}")
         self.profile = profile
@@ -262,11 +268,24 @@ class BatchedCompassSimulator:
         )
 
         B = self.n_replicas
+        self.sanitize_report = None
+        self._san = (
+            AccessRecorder("engine", fault=resolve_fault(sanitize_fault))
+            if sanitize_enabled(sanitize) else None
+        )
         # Mutable per-run state, lane-major where it matters.
         self.v = np.repeat(compiled.initial_v[None, :], B, axis=0)
         self.buffers = np.zeros(
             (params.DELAY_SLOTS, B, compiled.n_axons), dtype=bool
         )
+        if self._san is not None:
+            # The single-actor engine still gets phase conformance
+            # checking: buffers accesses record through the shadow view;
+            # self.v is rebound each dense pass, so its traffic is noted
+            # explicitly at the phase boundaries.
+            self._san.set_context(-1, "init")
+            self.buffers = shadow_view(self.buffers, ("batch", "buffers"), self._san)
+            self._san.note(("batch", "v"), "W")
         self.lane_tick = np.zeros(B, dtype=np.int64)
         self._inputs: list[dict[int, object]] = [dict() for _ in range(B)]
         self._lanes = np.arange(B, dtype=np.int64)
@@ -348,6 +367,9 @@ class BatchedCompassSimulator:
         :class:`~repro.runtime.serving.ModelServer`.
         """
         require(0 <= lane < self.n_replicas, f"lane {lane} out of range")
+        if self._san is not None:
+            self._san.set_context(self.passes, "reset")
+            self._san.note(("batch", "v"), "W")
         self.v[lane] = self.compiled.initial_v
         self.buffers[:, lane, :] = False
         self.lane_tick[lane] = 0
@@ -423,6 +445,9 @@ class BatchedCompassSimulator:
         c = self.compiled
         B = self.n_replicas
         obs = active_observer(self.obs)
+        san = self._san
+        if san is not None:
+            san.set_context(self.passes, "deliver")
         if obs is not None:
             t0 = now_ns()
         slots = self.lane_tick % params.DELAY_SLOTS  # (B,) — diverge after resets
@@ -456,6 +481,9 @@ class BatchedCompassSimulator:
             t2 = now_ns()
             obs.phase("integrate", self.passes, t1, t2)
 
+        if san is not None:
+            san.set_context(self.passes, "update")
+            san.note(("batch", "v"), "R")
         self._neuron_updates += c.n_neurons
         if self._gate is not None:
             gate = self._gate
@@ -489,10 +517,23 @@ class BatchedCompassSimulator:
                 + np.count_nonzero(self.v == params.MEMBRANE_MAX, axis=1)
             )
             lane_f, neuron_f = np.nonzero(spiked)
+        if san is not None:
+            san.note(("batch", "v"), "W")
         if obs is not None:
             t3 = now_ns()
             obs.phase("update", self.passes, t2, t3)
 
+        if san is not None:
+            san.set_context(self.passes, "route")
+            if (
+                san.fault is not None
+                and san.fault.kind == "out-of-phase-write"
+                and self.passes == san.fault.tick
+            ):
+                # Deliberate protocol tear for detection tests: a
+                # value-neutral membrane poke during the route phase.
+                self.v[0, 0] = self.v[0, 0]
+                san.note(("batch", "v"), "W")
         if lane_f.size:
             self._spikes += np.bincount(lane_f, minlength=B)
             emit_ticks = self.lane_tick[lane_f]
@@ -558,6 +599,33 @@ class BatchedCompassSimulator:
                 )
         return lane_f, emit_ticks, core_ids, local
 
+    def sanitize_check(self):
+        """Analyze the recorded access log against the batched protocol.
+
+        Returns the :class:`~repro.lint.diagnostics.LintReport` (also
+        kept as ``sanitize_report``), or ``None`` when the engine runs
+        without sanitize.  :meth:`run` calls this automatically; callers
+        driving :meth:`step_arrays` directly call it when done.  The
+        log keeps accumulating, so the report covers every pass so far.
+        """
+        if self._san is None:
+            return None
+        report = analyze_access_log(
+            self._san.events, BATCHED_PROTOCOL, subject="sanitize:batched"
+        )
+        self.sanitize_report = report
+        n_accesses = sum(
+            ev.count for ev in self._san.events if ev.region is not None
+        )
+        obs = active_observer(self.obs)
+        if obs is not None:
+            obs.metrics.counter("repro_sanitize_accesses_total").inc(n_accesses)
+            obs.metrics.counter("repro_sanitize_findings_total").inc(len(report))
+            obs.metrics.counter("repro_sanitize_races_total").inc(
+                sum(1 for d in report if d.code == "SL210")
+            )
+        return report
+
     # -- public API --------------------------------------------------------
     def step_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Advance every lane one tick; return per-spike arrays.
@@ -605,6 +673,8 @@ class BatchedCompassSimulator:
             all_lanes = all_ticks = all_cores = all_neurons = np.zeros(
                 0, dtype=np.int64
             )
+        if self._san is not None:
+            self.sanitize_check()
         records = []
         for b in range(self.n_replicas):
             mask = all_lanes == b

@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import traceback
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -79,11 +80,34 @@ from repro.core.counters import EventCounters
 from repro.core.inputs import InputSchedule
 from repro.core.network import Network
 from repro.core.record import SpikeRecord
+from repro.obs.log import get_logger
 from repro.obs.observer import NULL_SPAN, Observer, active_observer
 from repro.obs.trace import ID_PHASES, PHASE_IDS, PHASES, SpanStrip, now_ns
+from repro.sanitize.analyze import analyze_access_log
+from repro.sanitize.dynamic import AccessRecorder, sanitize_enabled, shadow_view
+from repro.sanitize.faults import apply_overlap_relabel, resolve_fault
+from repro.sanitize.protocol import PARALLEL_PROTOCOL
 from repro.utils.validation import require
 
 _STOP = -1  # control-channel stop sentinel (any tick is >= 0)
+_ERR = "__error__"  # worker -> coordinator: (tag, rank, traceback text)
+_SAN = "__sanitize__"  # worker -> coordinator: (tag, access events) at stop
+
+log = get_logger("repro.compass.parallel")
+
+
+class WorkerFailedError(RuntimeError):
+    """A worker rank raised or died mid-run.
+
+    Raised by the coordinator in place of the historical hang on the
+    tick barrier; by the time it propagates the pool is closed and
+    every shared segment unlinked.  Carries the failing *rank* and the
+    worker's traceback text when one arrived over the control pipe.
+    """
+
+    def __init__(self, rank: int, detail: str) -> None:
+        self.rank = rank
+        super().__init__(f"parallel worker rank {rank} failed: {detail}")
 
 # stats region layout
 _ST_DELIVERIES = 0
@@ -148,18 +172,26 @@ def _attach(name: str) -> shared_memory.SharedMemory:
 
 def _worker_main(
     conn, part: CompiledPartition, shm_names: dict, seed: int,
-    gated: bool = False,
+    gated: bool = False, sanitize: bool = False,
 ) -> None:
     """Worker process: advance one compiled partition on command.
 
     Protocol per tick: receive the tick number on the control pipe, run
     the vectorized tick phases on the shared regions, reply with the
-    same tick number once every region for that tick is complete.
+    same tick number once every region for that tick is complete.  If
+    any phase raises, the worker ships ``(_ERR, rank, traceback)`` back
+    instead of a reply and exits, so the coordinator fails fast and
+    unlinks the segments rather than hanging on the barrier.
 
     With *gated* the worker runs the activity-gated update over its own
     partition (a per-rank :class:`~repro.compass.fast.ActivityGate`):
     the partition keeps global PRNG coordinates, so per-rank gating is
     bit-identical to the dense whole-network path.
+
+    With *sanitize* the shared views are wrapped in recording shadow
+    views (:mod:`repro.sanitize.dynamic`); barrier pipe messages are
+    logged as ordering markers and the full access log is shipped back
+    as ``(_SAN, events)`` when the stop sentinel arrives.
 
     When the coordinator created an ``obs`` trace strip for this rank
     (see :class:`repro.obs.trace.SpanStrip`), the worker records its
@@ -182,105 +214,132 @@ def _worker_main(
     strip = (
         SpanStrip(obs_shm.buf, TRACE_STRIP_RECORDS) if obs_shm is not None else None
     )
+    rec = AccessRecorder(f"rank{part.rank}") if sanitize else None
+    if rec is not None:
+        owner = f"rank{part.rank}"
+        ring = shadow_view(ring, (owner, "ring"), rec)
+        spike_buf = shadow_view(spike_buf, (owner, "spikes"), rec)
+        out_buf = shadow_view(out_buf, (owner, "outbox"), rec)
+        stats = shadow_view(stats, (owner, "stats"), rec)
 
     v = part.initial_v.copy()
     gate = ActivityGate(part, v) if gated else None
-    while True:
-        tick = conn.recv()
-        if tick == _STOP:
+    try:
+        while True:
+            tick = conn.recv()
+            if tick == _STOP:
+                if rec is not None:
+                    conn.send((_SAN, rec.events))
+                if strip is not None:
+                    strip.release()
+                conn.close()
+                return
+
+            if rec is not None:
+                rec.barrier("recv", "coord", tick)
+                rec.set_context(tick, "deliver")
             if strip is not None:
-                strip.release()
-            conn.close()
-            return
-
-        if strip is not None:
-            t0 = now_ns()
-        slot = tick % params.DELAY_SLOTS
-        row = ring[slot]
-        active_idx = np.nonzero(row)[0]
-        if strip is not None:
-            t1 = now_ns()
-            strip.record(PHASE_IDS["deliver"], tick, t0, t1)
-        touched = _EMPTY_IDX
-        if active_idx.size:
-            if gate is not None:
-                row[:] = False
-                syn, touched = integrate_deliveries_gated(
-                    part, seed, tick, active_idx
-                )
+                t0 = now_ns()
+            slot = tick % params.DELAY_SLOTS
+            row = ring[slot]
+            active_idx = np.nonzero(row)[0]
+            if strip is not None:
+                t1 = now_ns()
+                strip.record(PHASE_IDS["deliver"], tick, t0, t1)
+            touched = _EMPTY_IDX
+            if active_idx.size:
+                if gate is not None:
+                    row[:] = False
+                    syn, touched = integrate_deliveries_gated(
+                        part, seed, tick, active_idx
+                    )
+                else:
+                    active = row.copy()
+                    row[:] = False
+                    syn = integrate_deliveries(part, seed, tick, active, active_idx)
             else:
-                active = row.copy()
-                row[:] = False
-                syn = integrate_deliveries(part, seed, tick, active, active_idx)
-        else:
-            syn = np.zeros(part.n_neurons, dtype=np.int64)
-        if strip is not None:
-            t2 = now_ns()
-            strip.record(PHASE_IDS["integrate"], tick, t1, t2)
+                syn = np.zeros(part.n_neurons, dtype=np.int64)
+            if strip is not None:
+                t2 = now_ns()
+                strip.record(PHASE_IDS["integrate"], tick, t1, t2)
 
-        if gate is not None:
-            act = gate.active_set(touched)
-            sl = _GatedSlice(part, act)
-            v_old = v[act]
-            v_new, spiked_sub = update_neurons(sl, seed, tick, v_old, syn[act])
-            v[act] = v_new
-            gate.commit(sl, act, v_old, v_new)
-            fired = act[spiked_sub]
-            n_active = int(act.size)
-            n_saturated = gate.n_saturated
-        else:
-            v, spiked = update_neurons(part, seed, tick, v, syn)
-            fired = np.nonzero(spiked)[0]
-            n_active = part.n_neurons
-            n_saturated = int(
-                np.count_nonzero(v == params.MEMBRANE_MIN)
-                + np.count_nonzero(v == params.MEMBRANE_MAX)
-            )
-        if strip is not None:
-            t3 = now_ns()
-            strip.record(PHASE_IDS["update"], tick, t2, t3)
+            if rec is not None:
+                rec.set_context(tick, "update")
+            if gate is not None:
+                act = gate.active_set(touched)
+                sl = _GatedSlice(part, act)
+                v_old = v[act]
+                v_new, spiked_sub = update_neurons(sl, seed, tick, v_old, syn[act])
+                v[act] = v_new
+                gate.commit(sl, act, v_old, v_new)
+                fired = act[spiked_sub]
+                n_active = int(act.size)
+                n_saturated = gate.n_saturated
+            else:
+                v, spiked = update_neurons(part, seed, tick, v, syn)
+                fired = np.nonzero(spiked)[0]
+                n_active = part.n_neurons
+                n_saturated = int(
+                    np.count_nonzero(v == params.MEMBRANE_MIN)
+                    + np.count_nonzero(v == params.MEMBRANE_MAX)
+                )
+            if strip is not None:
+                t3 = now_ns()
+                strip.record(PHASE_IDS["update"], tick, t2, t3)
 
-        spike_buf[1 : 1 + fired.size] = fired
-        spike_buf[0] = fired.size
+            if rec is not None:
+                rec.set_context(tick, "route")
+            spike_buf[1 : 1 + fired.size] = fired
+            spike_buf[0] = fired.size
 
-        n_remote = 0
-        if fired.size:
-            # Network phase: local targets go straight into our own ring
-            # slab; remote targets queue in the outbox for the barrier.
-            t_rank = part.target_rank[fired]
-            routed = t_rank >= 0
-            rf = fired[routed]
-            t_rank = t_rank[routed]
-            t_axon = part.target_local_axon[rf]
-            when = tick + part.delay[rf]
-            own = t_rank == part.rank
-            ring[when[own] % params.DELAY_SLOTS, t_axon[own]] = True
-            rem = ~own
-            n_remote = int(rem.sum())
-            if n_remote:
-                out_buf[1 : 1 + 3 * n_remote] = np.column_stack(
-                    [t_rank[rem], t_axon[rem], when[rem]]
-                ).ravel()
-        out_buf[0] = n_remote
+            n_remote = 0
+            if fired.size:
+                # Network phase: local targets go straight into our own
+                # ring slab; remote targets queue in the outbox for the
+                # barrier.
+                t_rank = part.target_rank[fired]
+                routed = t_rank >= 0
+                rf = fired[routed]
+                t_rank = t_rank[routed]
+                t_axon = part.target_local_axon[rf]
+                when = tick + part.delay[rf]
+                own = t_rank == part.rank
+                ring[when[own] % params.DELAY_SLOTS, t_axon[own]] = True
+                rem = ~own
+                n_remote = int(rem.sum())
+                if n_remote:
+                    out_buf[1 : 1 + 3 * n_remote] = np.column_stack(
+                        [t_rank[rem], t_axon[rem], when[rem]]
+                    ).ravel()
+            out_buf[0] = n_remote
 
-        events = part.row_nnz[active_idx]
-        stats[_ST_DELIVERIES] = active_idx.size
-        stats[_ST_SYN_EVENTS] = events.sum()
-        stats[_ST_SPIKES] = fired.size
-        stats[_ST_NEURON_UPDATES] = part.n_neurons
-        stats[_ST_SATURATIONS] = n_saturated
-        stats[_ST_ACTIVE_UPDATES] = n_active
-        # Exact int64 accumulation (np.bincount with weights= reduces in
-        # float64, which silently loses precision past 2**53 events).
-        per_core = stats[_ST_N:]
-        per_core[:] = 0
-        np.add.at(per_core, part.core_slot_of_axon[active_idx], events)
+            events = part.row_nnz[active_idx]
+            stats[_ST_DELIVERIES] = active_idx.size
+            stats[_ST_SYN_EVENTS] = events.sum()
+            stats[_ST_SPIKES] = fired.size
+            stats[_ST_NEURON_UPDATES] = part.n_neurons
+            stats[_ST_SATURATIONS] = n_saturated
+            stats[_ST_ACTIVE_UPDATES] = n_active
+            # Exact int64 accumulation (np.bincount with weights= reduces
+            # in float64, which silently loses precision past 2**53
+            # events).
+            per_core = stats[_ST_N:]
+            per_core[:] = 0
+            np.add.at(per_core, part.core_slot_of_axon[active_idx], events)
 
-        if strip is not None:
-            t4 = now_ns()
-            strip.record(PHASE_IDS["route"], tick, t3, t4)
-            strip.record(PHASE_IDS["tick"], tick, t0, t4)
-        conn.send(tick)
+            if strip is not None:
+                t4 = now_ns()
+                strip.record(PHASE_IDS["route"], tick, t3, t4)
+                strip.record(PHASE_IDS["tick"], tick, t0, t4)
+            if rec is not None:
+                rec.barrier("send", "coord", tick)
+            conn.send(tick)
+    except Exception:
+        try:
+            conn.send((_ERR, part.rank, traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+        conn.close()
 
 
 class ParallelCompassSimulator:
@@ -307,8 +366,14 @@ class ParallelCompassSimulator:
         partition_strategy: str = "load_balanced",
         obs: Observer | None = None,
         gated: bool | str = "auto",
+        sanitize: bool | None = None,
+        sanitize_fault=None,
     ) -> None:
         self.obs = obs
+        self.sanitize = sanitize_enabled(sanitize)
+        self.sanitize_fault = resolve_fault(sanitize_fault)
+        self.sanitize_report = None
+        self._san = None
         with (obs.span("compile") if obs is not None else NULL_SPAN):
             compiled = compile_network(network)
         self.compiled = compiled
@@ -380,6 +445,13 @@ class ParallelCompassSimulator:
         self._procs, self._conns, self._shms = [], [], []
         self._rings, self._spike_bufs, self._out_bufs, self._stats = [], [], [], []
         self._strips = []
+        self.sanitize_report = None
+        self._san = (
+            AccessRecorder("coord", fault=self.sanitize_fault)
+            if self.sanitize else None
+        )
+        if self._san is not None:
+            self._san.set_context(-1, "init")
         obs = active_observer(self.obs)
         spawn_span = (obs.span("spawn", workers=self.n_workers)
                       if obs is not None else NULL_SPAN)
@@ -408,7 +480,6 @@ class ParallelCompassSimulator:
                 (params.DELAY_SLOTS, part.n_axons), dtype=bool,
                 buffer=shms["ring"].buf,
             )
-            ring[:] = False
             spike_buf = np.ndarray(
                 1 + part.n_neurons, dtype=np.int64, buffer=shms["spikes"].buf
             )
@@ -418,6 +489,13 @@ class ParallelCompassSimulator:
             stats = np.ndarray(
                 _ST_N + part.n_cores, dtype=np.int64, buffer=shms["stats"].buf
             )
+            if self._san is not None:
+                owner = f"rank{part.rank}"
+                ring = shadow_view(ring, (owner, "ring"), self._san)
+                spike_buf = shadow_view(spike_buf, (owner, "spikes"), self._san)
+                out_buf = shadow_view(out_buf, (owner, "outbox"), self._san)
+                stats = shadow_view(stats, (owner, "stats"), self._san)
+            ring[:] = False
             spike_buf[0] = out_buf[0] = 0
             stats[:] = 0
 
@@ -430,6 +508,7 @@ class ParallelCompassSimulator:
                     {key: shm.name for key, shm in shms.items()},
                     self.network.seed,
                     self.gated,
+                    self.sanitize,
                 ),
                 daemon=True,
             )
@@ -480,16 +559,35 @@ class ParallelCompassSimulator:
         obs = active_observer(self.obs)
         if obs is not None:
             tick_begin = now_ns()
+        san = self._san
+        if san is not None:
+            san.set_context(self.tick, "scatter")
         slot = self.tick % params.DELAY_SLOTS
         for rank, local_axon in self._future_inputs.pop(self.tick, ()):
             self._rings[rank][slot, local_axon] = True
+        if (
+            san is not None
+            and san.fault is not None
+            and san.fault.kind == "out-of-phase-write"
+            and self.tick == san.fault.tick
+        ):
+            # Deliberate protocol tear for detection tests: a stats slot
+            # poked during scatter.  Value-neutral — the worker rewrites
+            # every stats slot before the gather reads it.
+            self._stats[0][_ST_DELIVERIES] = -1  # repro-lint: allow=SL201
 
         for rank, conn in enumerate(self._conns):
-            conn.send(self.tick)
+            if san is not None:
+                san.barrier("send", f"rank{rank}", self.tick)
+            try:
+                conn.send(self.tick)
+            except (BrokenPipeError, OSError):
+                self._worker_failed(rank, "control pipe closed unexpectedly")
             self._awaiting[rank] = True
-        for rank, conn in enumerate(self._conns):
-            conn.recv()
-            self._awaiting[rank] = False
+        for rank in range(self.n_workers):
+            self._barrier_recv(rank)
+        if san is not None:
+            san.set_context(self.tick, "gather")
 
         cores_acc: list[np.ndarray] = []
         neurons_acc: list[np.ndarray] = []
@@ -563,6 +661,47 @@ class ParallelCompassSimulator:
                 )
         return emitted_tick, core_ids, neurons
 
+    def _barrier_recv(self, rank: int) -> None:
+        """Wait for *rank*'s tick reply, failing fast on a dead worker.
+
+        The historical behaviour was a bare ``conn.recv()`` — a worker
+        that raised or was killed left the coordinator blocked forever
+        on the barrier with the shared segments leaked.  Poll instead,
+        watching process liveness, and convert either an ``_ERR``
+        message or a silent death into :class:`WorkerFailedError`
+        (raised from :meth:`_worker_failed` after a full cleanup).
+        """
+        conn = self._conns[rank]
+        proc = self._procs[rank]
+        while True:
+            try:
+                if conn.poll(0.1):
+                    msg = conn.recv()
+                    break
+            except (EOFError, OSError):
+                self._worker_failed(rank, "control pipe closed unexpectedly")
+            if not proc.is_alive():
+                self._worker_failed(
+                    rank,
+                    f"worker process died without a reply "
+                    f"(exitcode {proc.exitcode})",
+                )
+        self._awaiting[rank] = False
+        if isinstance(msg, tuple) and msg and msg[0] == _ERR:
+            self._worker_failed(rank, str(msg[2]))
+        if self._san is not None:
+            self._san.barrier("recv", f"rank{rank}", msg)
+
+    def _worker_failed(self, rank: int, detail: str) -> None:
+        """Tear down the pool and surface a worker death as an error."""
+        self._awaiting[rank] = False
+        summary = detail.strip().splitlines()[-1] if detail.strip() else detail
+        log.error(
+            "parallel.worker_failed", rank=rank, tick=self.tick, error=summary
+        )
+        self.close()
+        raise WorkerFailedError(rank, detail)
+
     def step(self) -> list[tuple[int, int, int]]:
         """Advance one tick; return spikes as (tick, core, neuron) tuples."""
         tick, core_ids, neurons = self.step_arrays()
@@ -630,14 +769,21 @@ class ParallelCompassSimulator:
         for conn in self._conns:
             try:
                 conn.send(_STOP)
-                conn.close()
             except (BrokenPipeError, OSError):
+                pass
+        worker_logs = self._collect_worker_logs() if self._san is not None else []
+        for conn in self._conns:
+            try:
+                conn.close()
+            except (BrokenPipeError, OSError):  # pragma: no cover
                 pass
         for proc in self._procs:
             proc.join(timeout=5)
             if proc.is_alive():
                 proc.terminate()
         self._merge_worker_spans()
+        if self._san is not None:
+            self._finish_sanitize(worker_logs)
         # Drop our views before closing the segments (numpy arrays hold
         # exported buffers), then unlink — the coordinator owns them.
         self._rings, self._spike_bufs, self._out_bufs, self._stats = [], [], [], []
@@ -653,6 +799,58 @@ class ParallelCompassSimulator:
                     pass
         self._shms = []
         self._spawned = False
+
+    def _collect_worker_logs(self) -> list:
+        """Receive each worker's ``(_SAN, events)`` reply to the stop."""
+        logs = []
+        for conn in self._conns:
+            try:
+                if conn.poll(5.0):
+                    msg = conn.recv()
+                    if isinstance(msg, tuple) and msg and msg[0] == _SAN:
+                        logs.append(msg[1])
+            except (EOFError, OSError):
+                pass
+        return logs
+
+    def _finish_sanitize(self, worker_logs: list) -> None:
+        """Merge access logs, run the analyzer, publish the report.
+
+        Skipped (with a structured warning) when any worker's log is
+        missing — a dead worker already surfaced as
+        :class:`WorkerFailedError`, and analyzing a partial log would
+        only bury that signal under SL212 noise.
+        """
+        san, self._san = self._san, None
+        if len(worker_logs) != self.n_workers:
+            log.warning(
+                "parallel.sanitize_incomplete",
+                got=len(worker_logs), expected=self.n_workers,
+            )
+            return
+        events = list(san.events)
+        for events_r in worker_logs:
+            events.extend(events_r)
+        apply_overlap_relabel(events, san.fault)
+        report = analyze_access_log(
+            events, PARALLEL_PROTOCOL, subject="sanitize:parallel"
+        )
+        self.sanitize_report = report
+        n_accesses = sum(ev.count for ev in events if ev.region is not None)
+        obs = active_observer(self.obs)
+        if obs is not None:
+            obs.metrics.counter("repro_sanitize_accesses_total").inc(n_accesses)
+            obs.metrics.counter("repro_sanitize_findings_total").inc(len(report))
+            obs.metrics.counter("repro_sanitize_races_total").inc(
+                sum(1 for d in report if d.code == "SL210")
+            )
+        if len(report):
+            log.error(
+                "parallel.sanitize_findings", findings=len(report),
+                codes=",".join(sorted({d.code for d in report})),
+            )
+        else:
+            log.info("parallel.sanitize_clean", accesses=n_accesses)
 
     def _merge_worker_spans(self) -> None:
         """Drain every rank's trace strip into the rank-0 observer.

@@ -18,7 +18,11 @@ codes:
   hooks carry an explicit pragma);
 * ``SL105`` — every ``multiprocessing.shared_memory`` ``create=True``
   must be paired with ``.close()`` and ``.unlink()`` calls in the same
-  class, or segments leak across runs;
+  class, or segments leak across runs; additionally, a class holding an
+  ``np.ndarray(..., buffer=...)`` view in an attribute must reassign
+  that attribute somewhere (a release path), or the lingering buffer
+  export makes segment close raise ``BufferError`` — the SpanStrip /
+  ParallelCompassSimulator discipline;
 * ``SL106`` — float literals must not enter arithmetic in the integer
   kernel modules (``core/kernel.py``, ``core/prng.py``,
   ``compass/fast.py``); the datapath is integer-exact.
@@ -71,7 +75,9 @@ SOURCE_CODES: dict[str, SourceRuleInfo] = {
         SourceRuleInfo("SL105", "shm-create-without-cleanup", Severity.ERROR,
                        "pair every SharedMemory(create=True) with .close() "
                        "and .unlink() in the same class to avoid leaking "
-                       "segments across runs"),
+                       "segments across runs; reassign buffer-view "
+                       "attributes at release time so no buffer export "
+                       "outlives the segment"),
         SourceRuleInfo("SL106", "float-in-integer-kernel", Severity.ERROR,
                        "the membrane datapath is integer-exact; keep float "
                        "literals out of kernel arithmetic"),
@@ -214,7 +220,87 @@ class _SourceVisitor(ast.NodeVisitor):
             self._add("SL105",
                       f"class {node.name} creates shared memory but never "
                       f"calls {missing}", creates[0])
+        self._check_buffer_views(node)
         self.generic_visit(node)
+
+    def _check_buffer_views(self, node: ast.ClassDef) -> None:
+        """SL105, view half: held ``buffer=`` views need a release path.
+
+        A class that stows an ``np.ndarray(..., buffer=...)`` view in an
+        attribute (directly, or by appending a view-holding local to an
+        attribute list) keeps a live export of the underlying buffer; if
+        no method ever *reassigns* that attribute, the export outlives
+        the segment and ``SharedMemory.close()`` raises ``BufferError``.
+        View-ness propagates through wrapper calls taking a view local
+        as a positional argument (``shadow_view(ring, ...)``).
+        """
+        assigns = [sub for sub in ast.walk(node) if isinstance(sub, ast.Assign)]
+        view_locals: set[str] = set()
+
+        def _is_view_expr(expr: ast.AST) -> bool:
+            if isinstance(expr, ast.Call):
+                if any(kw.arg == "buffer" for kw in expr.keywords):
+                    return True
+                return any(
+                    isinstance(arg, ast.Name) and arg.id in view_locals
+                    for arg in expr.args
+                )
+            return isinstance(expr, ast.Name) and expr.id in view_locals
+
+        changed = True
+        while changed:
+            changed = False
+            for assign in assigns:
+                if not _is_view_expr(assign.value):
+                    continue
+                for target in assign.targets:
+                    if isinstance(target, ast.Name) and target.id not in view_locals:
+                        view_locals.add(target.id)
+                        changed = True
+
+        view_attrs: dict[str, int] = {}  # attr -> first holding line
+        rebound_attrs: set[str] = set()
+        for assign in assigns:
+            holds_view = _is_view_expr(assign.value)
+            for target in assign.targets:
+                elts = target.elts if isinstance(target, ast.Tuple) else [target]
+                for elt in elts:
+                    if not (
+                        isinstance(elt, ast.Attribute)
+                        and isinstance(elt.value, ast.Name)
+                        and elt.value.id == "self"
+                    ):
+                        continue
+                    if holds_view and not isinstance(target, ast.Tuple):
+                        view_attrs.setdefault(elt.attr, assign.lineno)
+                    else:
+                        rebound_attrs.add(elt.attr)
+        for sub in ast.walk(node):
+            if not (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "append"
+            ):
+                continue
+            holder = sub.func.value
+            if (
+                isinstance(holder, ast.Attribute)
+                and isinstance(holder.value, ast.Name)
+                and holder.value.id == "self"
+                and any(
+                    isinstance(arg, ast.Name) and arg.id in view_locals
+                    for arg in sub.args
+                )
+            ):
+                view_attrs.setdefault(holder.attr, sub.lineno)
+
+        for attr, line in sorted(view_attrs.items(), key=lambda kv: kv[1]):
+            if attr not in rebound_attrs:
+                self._add("SL105",
+                          f"class {node.name} holds buffer view "
+                          f"self.{attr} but never reassigns it; add a "
+                          f"release path dropping the view before the "
+                          f"segment closes", line)
 
     # -- SL106: float literals in integer-kernel arithmetic ----------------
     def _check_float_operands(self, *operands: ast.AST) -> None:

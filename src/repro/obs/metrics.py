@@ -78,6 +78,13 @@ CATALOGUE: dict[str, tuple[str, str]] = {
         "counter", "Compiled-model LRU cache hits."),
     "repro_compile_cache_misses_total": (
         "counter", "Compiled-model LRU cache misses (compiles performed)."),
+    "repro_sanitize_accesses_total": (
+        "counter", "Shared-memory accesses recorded by the sanitizer's "
+                   "shadow views (coalesced spans)."),
+    "repro_sanitize_findings_total": (
+        "counter", "Sanitizer diagnostics reported across analyzed runs."),
+    "repro_sanitize_races_total": (
+        "counter", "SL210 data races reported across analyzed runs."),
     "repro_frames_total": ("counter", "Frames streamed through the runtime."),
     "repro_input_events_total": ("counter", "Rate-coded input spike events."),
     "repro_output_spikes_total": ("counter", "Output spikes delivered to sinks."),

@@ -135,6 +135,75 @@ class TestSl105:
         assert codes(text) == []
 
 
+class TestSl105BufferViews:
+    """The view half of SL105: held ``buffer=`` views need a release."""
+
+    def test_held_view_without_release_fires(self):
+        text = """
+            import numpy as np
+            class Holder:
+                def __init__(self, buf):
+                    self._arr = np.ndarray(8, dtype=np.int64, buffer=buf)
+        """
+        diags = findings(text)
+        assert [d.code for d in diags] == ["SL105"]
+        assert "self._arr" in diags[0].message
+
+    def test_release_reassignment_is_clean(self):
+        text = """
+            import numpy as np
+            class Strip:
+                def __init__(self, buf):
+                    self._arr = np.ndarray(8, dtype=np.int64, buffer=buf)
+                def release(self):
+                    self._arr = np.zeros(0, dtype=np.int64)
+        """
+        assert codes(text) == []
+
+    def test_view_propagates_through_wrapper_calls(self):
+        text = """
+            import numpy as np
+            class Pool:
+                def _spawn(self):
+                    ring = np.ndarray(8, dtype=bool, buffer=self._shm.buf)
+                    ring = wrap(ring, "tag")
+                    self._rings.append(ring)
+        """
+        diags = findings(text)
+        assert [d.code for d in diags] == ["SL105"]
+        assert "self._rings" in diags[0].message
+
+    def test_tuple_rebind_counts_as_release(self):
+        text = """
+            import numpy as np
+            class Pool:
+                def _spawn(self):
+                    ring = np.ndarray(8, dtype=bool, buffer=self._shm.buf)
+                    self._rings.append(ring)
+                def close(self):
+                    self._rings, self._stats = [], []
+        """
+        assert codes(text) == []
+
+    def test_plain_arrays_never_fire(self):
+        text = """
+            import numpy as np
+            class Engine:
+                def __init__(self):
+                    self.v = np.zeros((2, 8), dtype=np.int64)
+        """
+        assert codes(text) == []
+
+    def test_span_strip_and_serving_sources_are_clean(self):
+        """The named shm-view holders sweep clean under the rule."""
+        import repro.obs.trace as trace_mod
+        import repro.runtime.serving as serving_mod
+
+        for mod in (trace_mod, serving_mod):
+            diags = lint_file(mod.__file__)
+            assert diags == [], [d.render() for d in diags]
+
+
 class TestSl106:
     def test_float_literal_in_kernel_arithmetic(self):
         assert codes("def f(v):\n    return v * 0.5\n", KERNEL) == ["SL106"]

@@ -207,3 +207,95 @@ class TestAutoWorkers:
         net = random_network(n_cores=2, seed=20)
         with pytest.raises(ValueError):
             ParallelCompassSimulator(net, n_workers=0)
+
+
+class TestWorkerFailure:
+    """A dead rank must surface as WorkerFailedError, not a barrier hang."""
+
+    @staticmethod
+    def _fork_only():
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("fault injection via monkeypatch needs fork start method")
+
+    def test_worker_exception_raises_and_unlinks(self, monkeypatch):
+        self._fork_only()
+        from multiprocessing import shared_memory
+
+        from repro.compass import parallel as par
+
+        def _boom(*args, **kwargs):
+            raise RuntimeError("injected worker fault")
+
+        # Fork inherits the patched module, so every worker raises on
+        # its first neuron update.
+        monkeypatch.setattr(par, "update_neurons", _boom)
+        net = random_network(n_cores=4, connectivity=0.6, seed=31)
+        sim = ParallelCompassSimulator(net, n_workers=2)
+        sim._spawn()
+        names = [shm.name for shms in sim._shms for shm in shms.values()]
+        with pytest.raises(par.WorkerFailedError, match="rank"):
+            sim.step()
+        assert sim._closed
+        assert sim._shms == []
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        assert all(not p.is_alive() for p in sim._procs)
+
+    def test_error_carries_worker_traceback(self, monkeypatch):
+        self._fork_only()
+        from repro.compass import parallel as par
+
+        def _boom(*args, **kwargs):
+            raise ValueError("distinctive-worker-detail")
+
+        monkeypatch.setattr(par, "integrate_deliveries", _boom)
+        monkeypatch.setattr(par, "integrate_deliveries_gated", _boom)
+        net = random_network(n_cores=4, connectivity=0.6, seed=32)
+        ins = poisson_inputs(net, 4, 800.0, seed=1)
+        sim = ParallelCompassSimulator(net, n_workers=2)
+        sim.load_inputs(ins)
+        with pytest.raises(par.WorkerFailedError) as err:
+            for _ in range(4):
+                sim.step()
+        assert "distinctive-worker-detail" in str(err.value)
+        assert err.value.rank in (0, 1)
+
+    def test_killed_worker_does_not_hang(self):
+        net = random_network(n_cores=4, connectivity=0.6, seed=33)
+        sim = ParallelCompassSimulator(net, n_workers=2)
+        sim.step()  # spawn + one clean barrier round-trip
+        sim._procs[0].kill()
+        sim._procs[0].join(timeout=5)
+        from repro.compass.parallel import WorkerFailedError
+
+        with pytest.raises(WorkerFailedError, match="died|closed"):
+            for _ in range(3):
+                sim.step()
+        assert sim._closed and sim._shms == []
+
+    def test_failure_emits_structured_log_event(self, monkeypatch):
+        self._fork_only()
+        import io
+
+        from repro.compass import parallel as par
+        from repro.obs.log import configure
+
+        def _boom(*args, **kwargs):
+            raise RuntimeError("logged fault")
+
+        monkeypatch.setattr(par, "update_neurons", _boom)
+        stream = io.StringIO()
+        configure(level="ERROR", stream=stream, force=True)
+        try:
+            net = random_network(n_cores=4, connectivity=0.6, seed=34)
+            sim = ParallelCompassSimulator(net, n_workers=2)
+            with pytest.raises(par.WorkerFailedError):
+                sim.step()
+        finally:
+            configure(force=True)
+        out = stream.getvalue()
+        assert "parallel.worker_failed" in out
+        assert "rank=" in out and "tick=" in out

@@ -5,9 +5,11 @@ Usage::
 
     python tools/run_lint.py [paths ...] [--json]
 
-With no paths, lints ``src/repro``.  Exits non-zero when any finding
-survives the in-source pragma allowlist, so CI can gate on it.  See
-``docs/lint.md`` for the SL rule catalogue.
+With no paths, lints ``src/repro`` and additionally runs the sanitizer's
+static tick-protocol check over the parallel engine sources (SL2xx; see
+``docs/sanitizer.md``).  Exits non-zero when any finding survives the
+in-source pragma allowlist, so CI can gate on it.  See ``docs/lint.md``
+for the SL rule catalogue.
 """
 
 from __future__ import annotations
@@ -20,17 +22,21 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.lint.source import lint_paths  # noqa: E402
+from repro.sanitize import check_protocol_sources  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
     """Lint the given paths (default: src/repro); return the exit code."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("paths", nargs="*", default=[str(REPO_ROOT / "src" / "repro")],
+    parser.add_argument("paths", nargs="*", default=[],
                         help="files or directories to lint (default: src/repro)")
     parser.add_argument("--json", action="store_true", help="emit JSON diagnostics")
     args = parser.parse_args(argv)
 
-    report = lint_paths(args.paths)
+    default_sweep = not args.paths
+    report = lint_paths(args.paths or [str(REPO_ROOT / "src" / "repro")])
+    if default_sweep:
+        report.extend(check_protocol_sources())
     print(report.render_json() if args.json else report.render_text())
     return 1 if len(report) else 0
 
