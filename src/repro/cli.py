@@ -348,9 +348,15 @@ def _cmd_serve(args) -> int:
     from repro.runtime.serving import CompiledModelCache, ModelServer
 
     network = _resolve_model(args.model)
-    obs = Observer() if args.metrics_out else None
+    telemetry_port = args.telemetry_port
+    obs = Observer() if (args.metrics_out or telemetry_port is not None) else None
     cache = CompiledModelCache(capacity=args.cache_size)
-    server = ModelServer(network, n_lanes=args.lanes, cache=cache, obs=obs)
+    server = ModelServer(network, n_lanes=args.lanes, cache=cache, obs=obs,
+                         telemetry_port=telemetry_port)
+    if server.telemetry is not None:
+        # Flushed eagerly so wrappers (the CI smoke job) can parse the
+        # bound URL before the run finishes.
+        print(f"telemetry: {server.telemetry.url}", flush=True)
 
     t0 = time.perf_counter()
     for i in range(args.sessions):
@@ -358,6 +364,19 @@ def _cmd_serve(args) -> int:
         server.submit(inputs, args.ticks)
     sessions = server.run()
     wall = time.perf_counter() - t0
+
+    if server.telemetry is not None and args.linger > 0:
+        # Keep the endpoints up after the drain so probes can scrape a
+        # finished run; Ctrl-C (SIGINT) ends the linger cleanly.
+        print(f"lingering {args.linger:.0f}s for telemetry scrapes "
+              "(Ctrl-C to stop)", flush=True)
+        try:
+            deadline = time.monotonic() + args.linger
+            while time.monotonic() < deadline:
+                time.sleep(0.1)
+        except KeyboardInterrupt:
+            pass
+    server.close()
 
     stats = server.stats()
     total_spikes = sum(s.record.n_spikes for s in sessions)
@@ -377,6 +396,65 @@ def _cmd_serve(args) -> int:
     if args.metrics_out:
         obs.write_metrics_json(args.metrics_out)
         print(f"wrote metric snapshot to {args.metrics_out}")
+    return 0
+
+
+def _cmd_top(args) -> int:
+    import json
+    import time
+    import urllib.error
+    import urllib.request
+
+    base = args.url.rstrip("/")
+
+    def fetch(path):
+        with urllib.request.urlopen(base + path, timeout=5.0) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    def fmt(value, spec=".3g"):
+        if value is None:
+            return "-"
+        if isinstance(value, float) and value == float("inf"):
+            return "inf"
+        return format(value, spec) if isinstance(value, float) else str(value)
+
+    iterations = 0
+    while args.iterations is None or iterations < args.iterations:
+        if iterations and args.interval > 0:
+            time.sleep(args.interval)
+        iterations += 1
+        try:
+            health = fetch("/health")
+        except (urllib.error.URLError, OSError) as err:
+            if isinstance(err, urllib.error.HTTPError) and err.code == 503:
+                health = json.loads(err.read().decode("utf-8"))
+            else:
+                print(f"telemetry endpoint unreachable: {base} ({err})",
+                      file=sys.stderr)
+                return 1
+        flight = health.get("flight", {})
+        workers = health.get("workers", {})
+        rows = [
+            ["status", health.get("status", "?")],
+            ["ticks (window)", fmt(health.get("ticks"))],
+            ["real-time factor", fmt(health.get("real_time_factor"))],
+            ["budget ratio (last)", fmt(health.get("budget_ratio"))],
+            ["budget compliance", fmt(flight.get("budget_compliance"))],
+            ["mean tick (ms)", fmt(flight.get("mean_tick_ms"))],
+            ["max tick (ms)", fmt(flight.get("max_tick_ms"))],
+            ["spikes / s", fmt(flight.get("spikes_per_second"), ",.0f")],
+            ["messages / s", fmt(flight.get("messages_per_second"), ",.0f")],
+            ["lane occupancy", fmt(health.get("occupancy"))],
+            ["queue depth", fmt(health.get("queue_depth"))],
+            ["workers", ", ".join(
+                f"{name}:{'up' if ok else 'DOWN'}"
+                for name, ok in workers.items()) or "-"],
+        ]
+        if not args.plain:
+            # ANSI clear + home: a curses-free live view.
+            print("\x1b[2J\x1b[H", end="")
+        print(render_table(["signal", "value"], rows,
+                           title=f"repro top — {base}"))
     return 0
 
 
@@ -552,7 +630,29 @@ def build_parser() -> argparse.ArgumentParser:
                     help="compiled-model LRU cache capacity")
     pv.add_argument("--metrics-out",
                     help="write the obs metric snapshot JSON here")
+    pv.add_argument("--telemetry-port", type=int, default=None,
+                    help="expose live /metrics /health /ready /flight /trace "
+                         "on this port while serving (0 = ephemeral; "
+                         "docs/observability.md)")
+    pv.add_argument("--linger", type=float, default=0.0,
+                    help="with --telemetry-port: keep the endpoints up this "
+                         "many seconds after the drain (Ctrl-C to stop early)")
     pv.set_defaults(fn=_cmd_serve)
+
+    pp = sub.add_parser(
+        "top",
+        help="live terminal view polling a telemetry endpoint "
+             "(docs/observability.md)",
+    )
+    pp.add_argument("--url", default="http://127.0.0.1:9100",
+                    help="base URL of a repro telemetry server")
+    pp.add_argument("--interval", type=float, default=1.0,
+                    help="seconds between polls")
+    pp.add_argument("--iterations", type=int, default=None,
+                    help="stop after this many polls (default: run forever)")
+    pp.add_argument("--plain", action="store_true",
+                    help="append snapshots instead of redrawing the screen")
+    pp.set_defaults(fn=_cmd_top)
 
     pc = sub.add_parser("characterize")
     pc.add_argument("--rate", type=float, default=100.0)

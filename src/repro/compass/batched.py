@@ -226,6 +226,10 @@ class BatchedCompassSimulator:
     lane to the dense path.
     """
 
+    #: This engine records its own flight-recorder rows per pass, so
+    #: wrappers (the serving runtime) must not record duplicates.
+    _records_flight = True
+
     def __init__(
         self,
         network: Network | CompiledNetwork,
@@ -584,7 +588,8 @@ class BatchedCompassSimulator:
             obs.metrics.histogram("repro_tick_seconds").observe((t4 - t0) * 1e-9)  # repro-lint: allow=SL106
             obs.metrics.counter("repro_batch_passes_total").inc()
             obs.metrics.counter("repro_lane_ticks_total").inc(B)
-            obs.publish_counters(self.aggregate_counters())
+            agg = self.aggregate_counters()
+            obs.publish_counters(agg)
             obs.set_gauge(
                 "repro_queue_depth", sum(len(t) for t in self._inputs)
             )
@@ -597,6 +602,19 @@ class BatchedCompassSimulator:
                 obs.metrics.counter("repro_active_neuron_updates_total").set(
                     int(self._active_updates.sum())
                 )
+            if self._gate is not None and c.n_neurons:
+                frac = act.size / c.n_neurons
+            else:
+                frac = 1.0
+            # One flight row per vectorized pass (all lanes advance one
+            # tick): tick = the pass index, spikes/messages aggregated
+            # across lanes; occupancy arrives from the serving gauge.
+            obs.flight_tick(
+                self.passes - 1, t0, t4, int(lane_f.size), agg.messages,
+                active_fraction=frac,
+                deliver_ns=t1 - t0, integrate_ns=t2 - t1,
+                update_ns=t3 - t2, route_ns=t4 - t3,
+            )
         return lane_f, emit_ticks, core_ids, local
 
     def sanitize_check(self):

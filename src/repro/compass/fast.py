@@ -423,6 +423,10 @@ class FastCompassSimulator:
     neuron, ``True`` forces it, ``False`` forces the dense path.
     """
 
+    #: This engine records its own flight-recorder rows per tick, so
+    #: wrappers (the streaming runtime) must not record duplicates.
+    _records_flight = True
+
     def __init__(
         self,
         network: Network | CompiledNetwork,
@@ -611,6 +615,16 @@ class FastCompassSimulator:
                 obs.metrics.counter("repro_active_neuron_updates_total").set(
                     self.counters.active_neuron_updates
                 )
+            if self._gate is not None and c.n_neurons:
+                frac = act.size / c.n_neurons
+            else:
+                frac = 1.0
+            obs.flight_tick(
+                emitted_tick, t0, t4, int(fired.size), self.counters.messages,
+                active_fraction=frac,
+                deliver_ns=t1 - t0, integrate_ns=t2 - t1,
+                update_ns=t3 - t2, route_ns=t4 - t3,
+            )
         return emitted_tick, core_ids, local
 
     # -- public API --------------------------------------------------------

@@ -80,6 +80,7 @@ from repro.core.counters import EventCounters
 from repro.core.inputs import InputSchedule
 from repro.core.network import Network
 from repro.core.record import SpikeRecord
+from repro.obs.flight import write_crash_dump
 from repro.obs.log import get_logger
 from repro.obs.observer import NULL_SPAN, Observer, active_observer
 from repro.obs.trace import ID_PHASES, PHASE_IDS, PHASES, SpanStrip, now_ns
@@ -358,6 +359,10 @@ class ParallelCompassSimulator:
     (``"auto"`` engages it when the network has any passive-stable
     neuron; bit-identical either way).
     """
+
+    #: This engine records its own flight-recorder rows per tick, so
+    #: wrappers (the streaming runtime) must not record duplicates.
+    _records_flight = True
 
     def __init__(
         self,
@@ -659,6 +664,17 @@ class ParallelCompassSimulator:
                 obs.metrics.counter("repro_active_neuron_updates_total").set(
                     c.active_neuron_updates
                 )
+            n = self.compiled.n_neurons
+            if self.gated and n:
+                frac = active_this_tick / n
+            else:
+                frac = 1.0
+            # Coordinator granularity: whole-tick wall time only (the
+            # per-phase split lives in the workers' span strips).
+            obs.flight_tick(
+                emitted_tick, tick_begin, now_ns(), int(core_ids.size),
+                c.messages, active_fraction=frac,
+            )
         return emitted_tick, core_ids, neurons
 
     def _barrier_recv(self, rank: int) -> None:
@@ -693,14 +709,25 @@ class ParallelCompassSimulator:
             self._san.barrier("recv", f"rank{rank}", msg)
 
     def _worker_failed(self, rank: int, detail: str) -> None:
-        """Tear down the pool and surface a worker death as an error."""
+        """Tear down the pool and surface a worker death as an error.
+
+        After the cleanup (workers reaped, shared segments unlinked) a
+        postmortem bundle — flight ring, metric snapshot, recent spans,
+        sanitize report if armed — is written to ``$REPRO_CRASH_DIR``
+        so the telemetry survives the dead pool.
+        """
         self._awaiting[rank] = False
         summary = detail.strip().splitlines()[-1] if detail.strip() else detail
         log.error(
             "parallel.worker_failed", rank=rank, tick=self.tick, error=summary
         )
         self.close()
-        raise WorkerFailedError(rank, detail)
+        err = WorkerFailedError(rank, detail)
+        write_crash_dump(
+            self.obs, f"worker_failed rank={rank}", detail=detail, exc=err,
+            sanitize_report=self.sanitize_report,
+        )
+        raise err
 
     def step(self) -> list[tuple[int, int, int]]:
         """Advance one tick; return spikes as (tick, core, neuron) tuples."""

@@ -11,7 +11,14 @@ streaming runtime:
   uniform ``repro_*`` name catalogue with JSON and Prometheus export
   (:mod:`repro.obs.metrics`);
 * **logging** — ``repro.*`` structured loggers, level set by
-  ``REPRO_LOG_LEVEL`` (:mod:`repro.obs.log`).
+  ``REPRO_LOG_LEVEL`` (:mod:`repro.obs.log`);
+* **flight recorder** — an always-cheap per-tick telemetry ring
+  (wall time vs the 1 ms budget, spikes, messages, occupancy) plus
+  crash-dump bundles under ``REPRO_CRASH_DIR``
+  (:mod:`repro.obs.flight`);
+* **telemetry server** — a stdlib HTTP thread exposing ``/metrics``,
+  ``/health``, ``/ready``, ``/flight``, ``/trace`` over a live
+  observer (:mod:`repro.obs.server`).
 
 Instrumentation is opt-in per engine via ``obs=Observer()`` and
 near-zero-cost when absent or disabled (:func:`set_enabled`); see
@@ -19,6 +26,14 @@ docs/observability.md for the span API, the metric name catalogue, and
 the trace-viewer walkthrough.
 """
 
+from repro.obs.flight import (
+    BUDGET_NS,
+    CRASH_DIR_ENV,
+    FLIGHT_FIELDS,
+    FlightRecorder,
+    crash_dump_dir,
+    write_crash_dump,
+)
 from repro.obs.log import StructuredLogger, configure, get_logger
 from repro.obs.metrics import (
     CATALOGUE,
@@ -34,6 +49,11 @@ from repro.obs.observer import (
     is_enabled,
     set_enabled,
 )
+from repro.obs.server import (
+    ENDPOINTS,
+    TelemetryServer,
+    evaluate_health,
+)
 from repro.obs.trace import (
     PHASE_IDS,
     PHASES,
@@ -44,8 +64,13 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BUDGET_NS",
     "CATALOGUE",
+    "CRASH_DIR_ENV",
+    "ENDPOINTS",
     "EVENT_METRICS",
+    "FLIGHT_FIELDS",
+    "FlightRecorder",
     "MetricFamily",
     "MetricsRegistry",
     "NULL_SPAN",
@@ -55,12 +80,16 @@ __all__ = [
     "Span",
     "SpanStrip",
     "StructuredLogger",
+    "TelemetryServer",
     "TraceBuffer",
     "active_observer",
     "configure",
+    "crash_dump_dir",
+    "evaluate_health",
     "get_logger",
     "is_enabled",
     "now_ns",
     "publish_counters",
     "set_enabled",
+    "write_crash_dump",
 ]

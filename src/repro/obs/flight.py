@@ -1,0 +1,359 @@
+"""Flight recorder: an always-cheap per-tick telemetry ring + crash dumps.
+
+The paper's headline claim is *real-time* operation — a fixed 1 ms tick
+budget sustained at scale — so a long-lived engine needs a continuous
+record of wall-clock-vs-biological-time behaviour that costs next to
+nothing while everything is healthy and is *already there* when
+something goes wrong.  This module provides both halves:
+
+* :class:`FlightRecorder` — a fixed-size numpy ring of per-tick
+  snapshots (spikes, messages, active fraction, per-phase durations,
+  tick wall time against the 1 ms budget, batch lane occupancy), fed by
+  a single :meth:`~repro.obs.observer.Observer.flight_tick` hook in
+  each engine's tick loop.  Recording one tick is one row assignment
+  into a preallocated ``(capacity, n_fields)`` float64 array; the ring
+  can be snapshotted to JSON (the ``/flight`` telemetry endpoint) or
+  dumped to ``.npz`` + JSON at any moment.
+* :func:`write_crash_dump` — a postmortem bundle writer.  When
+  ``REPRO_CRASH_DIR`` is set, a failing engine (a
+  :class:`~repro.compass.parallel.WorkerFailedError`, an unhandled
+  exception in the serving or streaming runtimes) leaves behind a
+  directory containing the flight ring, the metric snapshot, the recent
+  span trace, and — when the sanitizer was armed — its report, so a
+  crashed worker no longer takes its telemetry with it.
+
+Real-time cortical simulation work (Rhodes et al.; Simula et al.)
+treats wall-vs-biological time as a first-class measurement; the
+recorder's derived quantities follow that convention: the *budget
+ratio* is ``tick wall time / 1 ms`` (<= 1 means real time) and the
+*real-time factor* is its reciprocal aggregated over the window.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback as _traceback
+
+import numpy as np
+
+from repro.core import params
+from repro.obs.log import get_logger
+from repro.utils.validation import require
+
+log = get_logger("repro.obs.flight")
+
+#: The 1 ms real-time tick budget, in nanoseconds (paper Section II).
+BUDGET_NS = int(params.TICK_SECONDS * 1e9)
+
+#: Environment variable naming the crash-dump directory.  Unset (the
+#: default) disables postmortem bundles entirely.
+CRASH_DIR_ENV = "REPRO_CRASH_DIR"
+
+#: Ring columns, in storage order.  ``tick`` is the engine's own tick
+#: (lane-local pass index on the batched engine); ``*_ns`` are
+#: durations; ``spikes`` / ``messages`` are this tick's counts (message
+#: counter deltas are computed by the recorder); ``active_fraction`` is
+#: the activity-gated update fraction (1.0 on dense paths) and
+#: ``occupancy`` the batch-lane occupancy (0.0 off the batched engine).
+FLIGHT_FIELDS = (
+    "tick",
+    "wall_ns",
+    "spikes",
+    "messages",
+    "active_fraction",
+    "occupancy",
+    "deliver_ns",
+    "integrate_ns",
+    "update_ns",
+    "route_ns",
+)
+
+_F = {name: i for i, name in enumerate(FLIGHT_FIELDS)}
+
+
+class FlightRecorder:
+    """Fixed-size ring of per-tick telemetry rows.
+
+    One :meth:`record` call per tick writes one preallocated row —
+    no Python object churn, no growth, safe to leave enabled on every
+    long-lived engine.  Reads (:meth:`rows`, :meth:`summary`,
+    :meth:`to_json`, :meth:`dump`) reconstruct chronological order from
+    the write cursor; a concurrent reader (the telemetry HTTP thread)
+    sees at worst one torn in-flight row, never a crash.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        require(capacity >= 1, f"flight capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._rows = np.zeros((self.capacity, len(FLIGHT_FIELDS)), dtype=np.float64)
+        self.recorded = 0  # total rows ever written (>= capacity: overwrite)
+        self._last_messages = 0
+        self._wall_sum_ns = 0.0  # running wall-time sum over retained rows
+
+    def __len__(self) -> int:
+        return min(self.recorded, self.capacity)
+
+    # -- write (the per-tick hot path) -------------------------------------
+    def record(
+        self,
+        tick: int,
+        wall_ns: int,
+        spikes: int,
+        messages_total: int,
+        active_fraction: float = 1.0,
+        occupancy: float = 0.0,
+        deliver_ns: int = 0,
+        integrate_ns: int = 0,
+        update_ns: int = 0,
+        route_ns: int = 0,
+    ) -> float:
+        """Record one tick and return the updated real-time factor.
+
+        *messages_total* is the engine's cumulative message counter;
+        the recorder stores the per-tick delta (a counter that moved
+        backwards — a lane reset, a fresh run — restarts the baseline
+        rather than going negative).  Returning the windowed real-time
+        factor saves the per-tick hook a second call.
+        """
+        delta = messages_total - self._last_messages
+        if delta < 0:
+            delta = messages_total
+        self._last_messages = messages_total
+        slot = self.recorded % self.capacity
+        if self.recorded >= self.capacity:  # evicting: keep window sum exact
+            self._wall_sum_ns -= self._rows[slot, 1]
+        self._wall_sum_ns += wall_ns
+        self._rows[slot] = (
+            tick, wall_ns, spikes, delta, active_fraction, occupancy,
+            deliver_ns, integrate_ns, update_ns, route_ns,
+        )
+        self.recorded += 1
+        wall_sum = self._wall_sum_ns
+        if wall_sum <= 0.0:
+            return float("inf")
+        n = self.recorded
+        if n > self.capacity:
+            n = self.capacity
+        return n * BUDGET_NS / wall_sum
+
+    # -- read ---------------------------------------------------------------
+    def real_time_factor(self) -> float:
+        """Real-time factor over the retained window, O(1).
+
+        Biological seconds simulated per wall-clock second: 1.0 means
+        the engine is holding the paper's 1 ms tick budget exactly.
+        Maintained incrementally so the per-tick hook stays cheap.
+        """
+        n = len(self)
+        if n == 0:
+            return 0.0
+        if self._wall_sum_ns <= 0.0:
+            return float("inf")
+        return (n * params.TICK_SECONDS) / (self._wall_sum_ns * 1e-9)
+
+    def rows(self, last: int | None = None) -> np.ndarray:
+        """Retained rows in chronological order, optionally the tail.
+
+        Returns a ``(n, len(FLIGHT_FIELDS))`` float64 copy.
+        """
+        n = len(self)
+        if n == 0:
+            return np.zeros((0, len(FLIGHT_FIELDS)), dtype=np.float64)
+        if self.recorded > self.capacity:
+            start = self.recorded % self.capacity
+            out = np.concatenate([self._rows[start:], self._rows[:start]])
+        else:
+            out = self._rows[:n].copy()
+        if last is not None and last < out.shape[0]:
+            out = out[-int(last):]
+        return out
+
+    def column(self, name: str, last: int | None = None) -> np.ndarray:
+        """One field's values over the retained window."""
+        return self.rows(last)[:, _F[name]]
+
+    def summary(self, last: int | None = None) -> dict:
+        """Aggregate view of the retained window.
+
+        Well-defined on an empty ring (all zeros / compliant), mirroring
+        the StreamReport zero-tick guards: no division ever raises.
+        """
+        rows = self.rows(last)
+        n = rows.shape[0]
+        if n == 0:
+            return {
+                "ticks": 0,
+                "wall_seconds": 0.0,
+                "mean_tick_ms": 0.0,
+                "max_tick_ms": 0.0,
+                "last_tick_ms": 0.0,
+                "budget_ratio_last": 0.0,
+                "budget_ratio_max": 0.0,
+                "budget_compliance": 1.0,
+                "real_time_factor": 0.0,
+                "spikes_per_second": 0.0,
+                "messages_per_second": 0.0,
+                "spikes": 0,
+                "messages": 0,
+                "active_fraction_mean": 0.0,
+                "occupancy_last": 0.0,
+            }
+        wall = rows[:, _F["wall_ns"]]
+        wall_total_s = float(wall.sum()) * 1e-9
+        spikes = float(rows[:, _F["spikes"]].sum())
+        messages = float(rows[:, _F["messages"]].sum())
+        return {
+            "ticks": n,
+            "wall_seconds": wall_total_s,
+            "mean_tick_ms": float(wall.mean()) * 1e-6,
+            "max_tick_ms": float(wall.max()) * 1e-6,
+            "last_tick_ms": float(wall[-1]) * 1e-6,
+            "budget_ratio_last": float(wall[-1]) / BUDGET_NS,
+            "budget_ratio_max": float(wall.max()) / BUDGET_NS,
+            "budget_compliance": float(np.count_nonzero(wall <= BUDGET_NS)) / n,
+            "real_time_factor": (
+                (n * params.TICK_SECONDS) / wall_total_s
+                if wall_total_s > 0.0 else float("inf")
+            ),
+            "spikes_per_second": spikes / wall_total_s if wall_total_s else 0.0,
+            "messages_per_second": messages / wall_total_s if wall_total_s else 0.0,
+            "spikes": int(spikes),
+            "messages": int(messages),
+            "active_fraction_mean": float(rows[:, _F["active_fraction"]].mean()),
+            "occupancy_last": float(rows[-1, _F["occupancy"]]),
+        }
+
+    def to_json(self, last: int | None = None) -> dict:
+        """JSON-ready snapshot: schema, rows, summary, ring state."""
+        rows = self.rows(last)
+        return {
+            "fields": list(FLIGHT_FIELDS),
+            "budget_ns": BUDGET_NS,
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": max(0, self.recorded - self.capacity),
+            "rows": rows.tolist(),
+            "summary": self.summary(last),
+        }
+
+    # -- dump ---------------------------------------------------------------
+    def dump(self, directory: str, prefix: str = "flight") -> tuple[str, str]:
+        """Write the ring as ``<prefix>.npz`` + ``<prefix>.json``.
+
+        The ``.npz`` holds the chronological row matrix plus the field
+        names; the ``.json`` holds the summary and ring metadata.
+        Returns the two paths.
+        """
+        os.makedirs(directory, exist_ok=True)
+        npz_path = os.path.join(directory, f"{prefix}.npz")
+        json_path = os.path.join(directory, f"{prefix}.json")
+        np.savez_compressed(
+            npz_path,
+            rows=self.rows(),
+            fields=np.array(FLIGHT_FIELDS),
+            budget_ns=np.int64(BUDGET_NS),
+        )
+        doc = self.to_json()
+        doc.pop("rows")  # bulk data lives in the .npz
+        with open(json_path, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        return npz_path, json_path
+
+
+# -- crash dumps ------------------------------------------------------------
+
+_dump_seq = 0
+
+
+def crash_dump_dir() -> str | None:
+    """The configured crash-dump directory, or None when disabled."""
+    return os.environ.get(CRASH_DIR_ENV) or None
+
+
+def write_crash_dump(
+    obs,
+    reason: str,
+    *,
+    detail: str = "",
+    exc: BaseException | None = None,
+    sanitize_report=None,
+    crash_dir: str | None = None,
+) -> str | None:
+    """Write a postmortem bundle; return its path (None when disabled).
+
+    The bundle is a directory ``crash-<timestamp>-<pid>-<seq>/`` under
+    *crash_dir* (default: ``$REPRO_CRASH_DIR``; unset disables dumps)
+    containing:
+
+    * ``manifest.json`` — reason, detail/traceback, timestamps, the
+      flight summary;
+    * ``flight.npz`` + ``flight.json`` — the flight ring (when *obs*
+      carries a recorder);
+    * ``metrics.json`` — the metric registry snapshot;
+    * ``trace.json`` — the span ring as a Chrome trace;
+    * ``sanitize.json`` — the sanitizer report, when one was armed.
+
+    Never raises: a dump failure is logged and swallowed — postmortems
+    must not mask the original error.
+    """
+    global _dump_seq
+    crash_dir = crash_dir or crash_dump_dir()
+    if crash_dir is None:
+        return None
+    if exc is not None and getattr(exc, "_crash_dumped", False):
+        # Already bundled closer to the failure (e.g. the parallel
+        # engine's worker-failure path); don't write a duplicate as the
+        # exception propagates through wrapping runtimes.
+        return None
+    if exc is not None:
+        try:
+            exc._crash_dumped = True
+        except AttributeError:  # exceptions with __slots__
+            pass
+    try:
+        _dump_seq += 1
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+        bundle = os.path.join(
+            crash_dir, f"crash-{stamp}-{os.getpid()}-{_dump_seq}"
+        )
+        os.makedirs(bundle, exist_ok=True)
+        files = ["manifest.json"]
+        manifest: dict = {
+            "reason": reason,
+            "detail": detail,
+            "created": stamp,
+            "pid": os.getpid(),
+        }
+        if exc is not None:
+            manifest["exception"] = "".join(
+                _traceback.format_exception(type(exc), exc, exc.__traceback__)
+            )
+        if obs is not None:
+            flight = getattr(obs, "flight", None)
+            if flight is not None:
+                flight.dump(bundle)
+                files += ["flight.npz", "flight.json"]
+                manifest["flight_summary"] = flight.summary()
+            obs.write_metrics_json(os.path.join(bundle, "metrics.json"))
+            obs.export_chrome_trace(os.path.join(bundle, "trace.json"))
+            files += ["metrics.json", "trace.json"]
+            obs.metrics.counter("repro_crash_dumps_total").inc()
+        if sanitize_report is not None:
+            with open(os.path.join(bundle, "sanitize.json"), "w",
+                      encoding="utf-8") as f:
+                f.write(sanitize_report.render_json())
+                f.write("\n")
+            files.append("sanitize.json")
+        manifest["files"] = files
+        with open(os.path.join(bundle, "manifest.json"), "w",
+                  encoding="utf-8") as f:
+            json.dump(manifest, f, indent=2)
+            f.write("\n")
+        log.error("obs.crash_dump", path=bundle, reason=reason)
+        return bundle
+    except OSError as err:  # pragma: no cover - disk-full / perms paths
+        log.warning("obs.crash_dump_failed", reason=reason, error=str(err))
+        return None

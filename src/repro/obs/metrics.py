@@ -89,6 +89,21 @@ CATALOGUE: dict[str, tuple[str, str]] = {
     "repro_input_events_total": ("counter", "Rate-coded input spike events."),
     "repro_output_spikes_total": ("counter", "Output spikes delivered to sinks."),
     "repro_wall_seconds_total": ("counter", "Streaming-session wall-clock seconds."),
+    "repro_rtf": (
+        "gauge", "Real-time factor over the flight window: biological "
+                 "seconds simulated per wall-clock second (1.0 = the "
+                 "paper's real-time 1 ms tick)."),
+    "repro_tick_budget_ratio": (
+        "gauge", "Last tick's wall time as a fraction of the 1 ms "
+                 "real-time budget (<= 1 means real time)."),
+    "repro_session_wait_seconds": (
+        "histogram", "Serving SLO: session submit -> lane admission wait."),
+    "repro_session_latency_seconds": (
+        "histogram", "Serving SLO: session submit -> finalize latency."),
+    "repro_crash_dumps_total": (
+        "counter", "Postmortem crash-dump bundles written."),
+    "repro_telemetry_requests_total": (
+        "counter", "Telemetry HTTP requests served (label: endpoint)."),
 }
 
 #: The deterministic event subset: identical across engines for the
@@ -111,11 +126,39 @@ def _labels_key(labels: dict) -> tuple:
     return tuple(sorted(labels.items()))
 
 
+def _escape_help(text: str) -> str:
+    """Escape a HELP string per the Prometheus text exposition format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value) -> str:
+    """Escape one label value per the Prometheus text exposition format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _render_labels(key: tuple) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in key)
     return "{" + inner + "}"
+
+
+def _exposition_name(name: str, kind: str) -> str:
+    """The sample name in the text exposition.
+
+    Counters carry the ``_total`` suffix consistently: families
+    registered without it are suffixed at export time, so scrapes never
+    see a bare counter name (the JSON snapshot keeps the registered
+    name — it is a stable API asserted by the cross-engine tests).
+    """
+    if kind == "counter" and not name.endswith("_total"):
+        return name + "_total"
+    return name
 
 
 @dataclass
@@ -176,6 +219,19 @@ class MetricFamily:
         """Set the absolute value (gauges, and counter re-publication)."""
         self._values[_labels_key(labels)] = value
 
+    def set_unlabeled(self, value) -> None:
+        """:meth:`set` for the empty label set, skipping key building.
+
+        The per-tick hot gauges (budget ratio, real-time factor) write
+        once per simulated millisecond; this shaves the ``**labels``
+        plumbing off that path.
+        """
+        self._values[()] = value
+
+    def value_unlabeled(self):
+        """:meth:`value` for the empty label set (hot-path read)."""
+        return self._values.get((), 0)
+
     def set_max(self, value, **labels) -> None:
         """Raise the value to *value* if larger (high-watermark gauges)."""
         key = _labels_key(labels)
@@ -197,8 +253,13 @@ class MetricFamily:
         return self._values.get(_labels_key(labels), 0)
 
     def items(self):
-        """Iterate (labels_key, value) pairs in insertion order."""
-        return self._values.items()
+        """(labels_key, value) pairs in insertion order.
+
+        Returns a list copy so exporters on another thread (the
+        telemetry HTTP server) never race a concurrent label-set
+        insertion into a "dictionary changed size" error.
+        """
+        return list(self._values.items())
 
 
 class MetricsRegistry:
@@ -245,7 +306,7 @@ class MetricsRegistry:
         identical snapshots.
         """
         out: dict = {}
-        for family in self._families.values():
+        for family in self.families():
             for key, value in family.items():
                 sample = family.name + _render_labels(key)
                 if isinstance(value, _HistogramState):
@@ -259,28 +320,36 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=False)
 
     def to_prometheus(self) -> str:
-        """The registry in the Prometheus text exposition format."""
+        """The registry in the Prometheus text exposition format.
+
+        HELP text and label values are escaped per the format spec
+        (``\\`` / ``\\n``, plus ``\\"`` in label values), and counters
+        are emitted with a consistent ``_total`` suffix.  Iteration is
+        over list copies, so a scrape racing engine writes sees a
+        slightly stale but well-formed exposition.
+        """
         lines: list[str] = []
-        for family in self._families.values():
+        for family in self.families():
+            name = _exposition_name(family.name, family.kind)
             if family.help:
-                lines.append(f"# HELP {family.name} {family.help}")
-            lines.append(f"# TYPE {family.name} {family.kind}")
+                lines.append(f"# HELP {name} {_escape_help(family.help)}")
+            lines.append(f"# TYPE {name} {family.kind}")
             for key, value in family.items():
                 if isinstance(value, _HistogramState):
                     cumulative = 0
                     for bound, count in zip(family.buckets, value.counts):
                         cumulative += count
                         labels = _render_labels(key + (("le", repr(float(bound))),))
-                        lines.append(f"{family.name}_bucket{labels} {cumulative}")
+                        lines.append(f"{name}_bucket{labels} {cumulative}")
                     labels = _render_labels(key + (("le", "+Inf"),))
                     lines.append(
-                        f"{family.name}_bucket{labels} {cumulative + value.counts[-1]}"
+                        f"{name}_bucket{labels} {cumulative + value.counts[-1]}"
                     )
                     base = _render_labels(key)
-                    lines.append(f"{family.name}_sum{base} {value.total}")
-                    lines.append(f"{family.name}_count{base} {value.n}")
+                    lines.append(f"{name}_sum{base} {value.total}")
+                    lines.append(f"{name}_count{base} {value.n}")
                 else:
-                    lines.append(f"{family.name}{_render_labels(key)} {value}")
+                    lines.append(f"{name}{_render_labels(key)} {value}")
         return "\n".join(lines) + "\n"
 
 

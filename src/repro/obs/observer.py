@@ -12,6 +12,7 @@ attached — the default — the instrumentation cost is a single
 
 from __future__ import annotations
 
+from repro.obs.flight import BUDGET_NS, FlightRecorder
 from repro.obs.metrics import (
     EVENT_METRICS,
     MetricsRegistry,
@@ -74,12 +75,17 @@ class _SpanHandle:
 class Observer:
     """One observability session: trace buffer + metrics registry."""
 
-    def __init__(self, *, enabled: bool = True, trace_capacity: int = 65536) -> None:
+    def __init__(self, *, enabled: bool = True, trace_capacity: int = 65536,
+                 flight_capacity: int = 4096) -> None:
         self.enabled = enabled
         self.trace = TraceBuffer(capacity=trace_capacity)
         self.metrics = MetricsRegistry()
+        self.flight = FlightRecorder(flight_capacity) if flight_capacity else None
         self._phase_counter = self.metrics.counter("repro_phase_seconds_total")
         self._tick_hist = self.metrics.histogram("repro_tick_seconds")
+        self._budget_gauge = self.metrics.gauge("repro_tick_budget_ratio")
+        self._rtf_gauge = self.metrics.gauge("repro_rtf")
+        self._occupancy_gauge = self.metrics.gauge("repro_batch_occupancy")
 
     @property
     def active(self) -> bool:
@@ -116,6 +122,46 @@ class Observer:
         end = now_ns()
         self.trace.add("tick", begin_ns, end, tid=tid, attrs={"tick": tick})
         self._tick_hist.observe((end - begin_ns) * 1e-9)
+
+    # -- flight recorder ---------------------------------------------------
+    def flight_tick(
+        self,
+        tick: int,
+        begin_ns: int,
+        end_ns: int,
+        spikes: int,
+        messages_total: int,
+        active_fraction: float = 1.0,
+        occupancy: float | None = None,
+        deliver_ns: int = 0,
+        integrate_ns: int = 0,
+        update_ns: int = 0,
+        route_ns: int = 0,
+    ) -> None:
+        """Record one tick into the flight ring + live SLO gauges.
+
+        The single per-engine hook: called once at the end of each
+        engine tick with integer-nanosecond timestamps from ``now_ns``
+        (keeping float arithmetic out of the integer kernels).  Sets
+        ``repro_tick_budget_ratio`` (this tick's wall time over the
+        1 ms budget) and ``repro_rtf`` (real-time factor over the
+        retained flight window).  *occupancy* defaults to the current
+        ``repro_batch_occupancy`` gauge, so serving lanes show up
+        without the engine threading it through.
+        """
+        flight = self.flight
+        if flight is None:
+            return
+        if occupancy is None:
+            occupancy = self._occupancy_gauge.value_unlabeled()
+        wall_ns = end_ns - begin_ns
+        rtf = flight.record(
+            tick, wall_ns, spikes, messages_total,
+            active_fraction, occupancy,
+            deliver_ns, integrate_ns, update_ns, route_ns,
+        )
+        self._budget_gauge.set_unlabeled(wall_ns / BUDGET_NS)
+        self._rtf_gauge.set_unlabeled(rtf)
 
     # -- metrics -----------------------------------------------------------
     def publish_counters(self, counters) -> None:

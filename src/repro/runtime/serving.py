@@ -32,11 +32,15 @@ import numpy as np
 
 from repro.compass.batched import BatchedCompassSimulator
 from repro.compass.compile import CompiledNetwork, compile_network
+from repro.core import params
 from repro.core.inputs import InputSchedule
 from repro.core.network import Network
 from repro.core.prng import derive_stream_seed
 from repro.core.record import SpikeRecord
+from repro.obs.flight import write_crash_dump
 from repro.obs.observer import Observer, active_observer
+from repro.obs.server import TelemetryServer
+from repro.obs.trace import now_ns
 from repro.utils.validation import require
 
 
@@ -123,6 +127,9 @@ class Session:
     lane: int | None = None
     ticks_done: int = 0
     record: SpikeRecord | None = None
+    submitted_ns: int = 0
+    admitted_ns: int = 0
+    finalized_ns: int = 0
     _ticks: list = field(default_factory=list, repr=False)
     _cores: list = field(default_factory=list, repr=False)
     _neurons: list = field(default_factory=list, repr=False)
@@ -131,6 +138,20 @@ class Session:
     def done(self) -> bool:
         """Whether the session has finished and holds its record."""
         return self.record is not None
+
+    @property
+    def wait_seconds(self) -> float:
+        """SLO: submit -> lane admission wait (0.0 until admitted)."""
+        if not self.admitted_ns:
+            return 0.0
+        return (self.admitted_ns - self.submitted_ns) * 1e-9
+
+    @property
+    def latency_seconds(self) -> float:
+        """SLO: submit -> finalize latency (0.0 until finished)."""
+        if not self.finalized_ns:
+            return 0.0
+        return (self.finalized_ns - self.submitted_ns) * 1e-9
 
 
 class ModelServer:
@@ -152,8 +173,13 @@ class ModelServer:
         *,
         cache: CompiledModelCache | None = None,
         obs: Observer | None = None,
+        telemetry_port: int | None = None,
     ) -> None:
         require(n_lanes >= 1, f"n_lanes must be >= 1, got {n_lanes}")
+        if telemetry_port is not None and obs is None:
+            # Live endpoints need an observer feeding them; create one
+            # before the engine so its tick loop records into it.
+            obs = Observer()
         self.obs = obs
         self.cache = cache
         compiled = cache.get(network) if cache is not None else compile_network(network)
@@ -165,7 +191,28 @@ class ModelServer:
         self._free: deque[int] = deque(range(n_lanes))
         self._completed: list[Session] = []
         self._n_submitted = 0
+        self._failed = False
+        self._pass_wall_ns = 0
+        self.telemetry: TelemetryServer | None = None
+        if telemetry_port is not None:
+            self.telemetry = TelemetryServer(
+                obs, port=telemetry_port,
+                liveness={"engine": lambda: not self._failed},
+            )
         self._publish_serving_metrics()
+
+    def close(self) -> None:
+        """Shut down the telemetry server (idempotent)."""
+        if self.telemetry is not None:
+            self.telemetry.close()
+            self.telemetry = None
+
+    def __enter__(self) -> "ModelServer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     # -- metrics -----------------------------------------------------------
     def _publish_serving_metrics(self) -> None:
@@ -212,6 +259,7 @@ class ModelServer:
             inputs=inputs,
             n_ticks=int(n_ticks),
             seed=int(seed),
+            submitted_ns=now_ns(),
         )
         self._n_submitted += 1
         self._pending.append(session)
@@ -220,12 +268,18 @@ class ModelServer:
 
     def _admit(self) -> None:
         """Move pending sessions into free lanes (FIFO, lowest lane first)."""
+        obs = active_observer(self.obs)
         while self._free and self._pending:
             lane = self._free.popleft()
             session = self._pending.popleft()
             self.engine.reset_lane(lane, seed=session.seed, inputs=session.inputs)
             session.lane = lane
+            session.admitted_ns = now_ns()
             self._active[lane] = session
+            if obs is not None:
+                obs.metrics.histogram("repro_session_wait_seconds").observe(
+                    session.wait_seconds
+                )
         self._publish_serving_metrics()
 
     def _finalize(self, session: Session) -> None:
@@ -243,9 +297,15 @@ class ModelServer:
             empty = np.zeros(0, dtype=np.int64)
             session.record = SpikeRecord.from_arrays(empty, empty, empty, counters)
         session._ticks = session._cores = session._neurons = []
+        session.finalized_ns = now_ns()
         del self._active[lane]
         self._free.append(lane)
         self._completed.append(session)
+        obs = active_observer(self.obs)
+        if obs is not None:
+            obs.metrics.histogram("repro_session_latency_seconds").observe(
+                session.latency_seconds
+            )
 
     # -- advancement -------------------------------------------------------
     def step(self) -> int:
@@ -256,7 +316,20 @@ class ModelServer:
         """
         if not self._active:
             return 0
-        lanes, ticks, cores, neurons = self.engine.step_arrays()
+        begin = now_ns()
+        try:
+            lanes, ticks, cores, neurons = self.engine.step_arrays()
+        except Exception as err:
+            # Leave a postmortem behind before surfacing the failure;
+            # /health flips to "failed" via the engine liveness probe.
+            self._failed = True
+            write_crash_dump(
+                self.obs, "serving_step_failed",
+                detail=f"pass={self.engine.passes}", exc=err,
+                sanitize_report=self.engine.sanitize_report,
+            )
+            raise
+        self._pass_wall_ns += now_ns() - begin
         finished = []
         for lane, session in self._active.items():
             if lanes.size:
@@ -293,21 +366,52 @@ class ModelServer:
     # -- introspection -----------------------------------------------------
     @property
     def occupancy(self) -> float:
-        """Fraction of lanes holding an active session."""
+        """Fraction of lanes holding an active session.
+
+        Safe at any point in the lifecycle, including before the first
+        :meth:`step` (0.0 with nothing admitted).
+        """
+        if not self.n_lanes:  # defensive: constructor requires >= 1
+            return 0.0
         return len(self._active) / self.n_lanes
 
     def stats(self) -> dict:
-        """Server snapshot: queue depths, passes, throughput totals."""
+        """Server snapshot: queue depths, passes, throughput, SLO rates.
+
+        Safe before the first :meth:`step` — the derived rates carry
+        the same zero-pass guards as ``StreamReport`` (no passes ->
+        0.0; passes with no measurable wall time -> ``inf``), so a
+        freshly constructed server never raises from a stats scrape.
+        """
+        passes = self.engine.passes
+        wall_s = self._pass_wall_ns * 1e-9
+        lane_ticks = sum(s.n_ticks for s in self._completed) + sum(
+            s.ticks_done for s in self._active.values()
+        )
         out = {
             "n_lanes": self.n_lanes,
             "pending": len(self._pending),
             "active": len(self._active),
             "completed": len(self._completed),
             "submitted": self._n_submitted,
-            "passes": self.engine.passes,
-            "lane_ticks_served": sum(s.n_ticks for s in self._completed)
-            + sum(s.ticks_done for s in self._active.values()),
+            "passes": passes,
+            "lane_ticks_served": lane_ticks,
             "occupancy": self.occupancy,
+            "wall_seconds": wall_s,
+            "mean_pass_seconds": (
+                0.0 if not passes else (wall_s / passes)
+            ),
+            "lane_ticks_per_second": (
+                0.0 if not lane_ticks
+                else (lane_ticks / wall_s if wall_s > 0.0 else float("inf"))
+            ),
+            "real_time_factor": (
+                0.0 if not passes
+                else (
+                    (passes * params.TICK_SECONDS) / wall_s
+                    if wall_s > 0.0 else float("inf")
+                )
+            ),
         }
         if self.cache is not None:
             out["cache"] = self.cache.info()

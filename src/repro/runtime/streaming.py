@@ -29,7 +29,10 @@ from repro.compass.engine import select_engine
 from repro.core import params
 from repro.core.inputs import InputSchedule
 from repro.core.network import Network
+from repro.obs.flight import write_crash_dump
 from repro.obs.observer import NULL_SPAN, Observer, active_observer
+from repro.obs.server import TelemetryServer
+from repro.obs.trace import now_ns
 from repro.utils.validation import require
 
 
@@ -108,6 +111,7 @@ class StreamingRuntime:
         seed: int = 0,
         engine: str = "auto",
         obs: Observer | None = None,
+        telemetry_port: int | None = None,
     ) -> None:
         """Wrap *simulator* (or build one) in the streaming loop.
 
@@ -124,6 +128,8 @@ class StreamingRuntime:
         trace covers frames and tick phases end to end.
         """
         require(ticks_per_frame >= 1, "need at least one tick per frame")
+        if telemetry_port is not None and obs is None:
+            obs = Observer()
         self.obs = obs
         if isinstance(simulator, (Network, CompiledNetwork)):
             simulator = select_engine(simulator, engine, obs=obs)
@@ -132,18 +138,43 @@ class StreamingRuntime:
         self.ticks_per_frame = ticks_per_frame
         self.max_rate = max_rate
         self.seed = seed
+        # Engines marked _records_flight feed the shared observer's
+        # flight ring themselves; the runtime records rows only when
+        # wrapping an engine that does not (the reference simulator, or
+        # a simulator carrying a different observer).
+        self._flight_self = not (
+            getattr(simulator, "_records_flight", False)
+            and getattr(simulator, "obs", None) is obs
+        )
+        self.telemetry: TelemetryServer | None = None
+        if telemetry_port is not None:
+            self.telemetry = TelemetryServer(obs, port=telemetry_port)
 
-    def _tick(self, sink, tick_cursor: int, report: StreamReport) -> None:
+    def close(self) -> None:
+        """Shut down the telemetry server (idempotent)."""
+        if self.telemetry is not None:
+            self.telemetry.close()
+            self.telemetry = None
+
+    def _tick(self, sink, tick_cursor: int, report: StreamReport,
+              obs: Observer | None = None) -> None:
         """Advance one tick, preferring the array-returning hot path.
 
         Engines exposing ``step_arrays()`` (the sparse and parallel
         expressions) stay vectorized end to end: per-spike Python tuples
         are materialized only when a *sink* actually consumes them.
+        With an active *obs* and an engine that does not feed the flight
+        ring itself (the reference simulator), the runtime records the
+        whole-tick flight row here.
         """
+        flight_obs = obs if (obs is not None and self._flight_self) else None
+        if flight_obs is not None:
+            begin = now_ns()
         step_arrays = getattr(self.simulator, "step_arrays", None)
         if step_arrays is not None:
             tick, core_ids, neurons = step_arrays()
-            report.output_spikes += int(core_ids.size)
+            n_spikes = int(core_ids.size)
+            report.output_spikes += n_spikes
             if sink is not None:
                 sink(
                     tick_cursor,
@@ -152,11 +183,18 @@ class StreamingRuntime:
                         for cc, nn in zip(core_ids, neurons)
                     ],
                 )
-            return
-        spikes = self.simulator.step()
-        report.output_spikes += len(spikes)
-        if sink is not None:
-            sink(tick_cursor, spikes)
+        else:
+            spikes = self.simulator.step()
+            n_spikes = len(spikes)
+            report.output_spikes += n_spikes
+            if sink is not None:
+                sink(tick_cursor, spikes)
+        if flight_obs is not None:
+            counters = getattr(self.simulator, "counters", None)
+            flight_obs.flight_tick(
+                tick_cursor, begin, now_ns(), n_spikes,
+                getattr(counters, "messages", 0),
+            )
 
     def run(
         self,
@@ -174,29 +212,38 @@ class StreamingRuntime:
         obs = active_observer(self.obs)
         start = time.perf_counter()
         tick_cursor = 0
-        for frame_index, frame in source.frames():
-            with (obs.span("frame", frame=frame_index)
-                  if obs is not None else NULL_SPAN):
-                schedule = InputSchedule()
-                report.input_events += rate_code_frame(
-                    frame,
-                    self.input_pins,
-                    schedule,
-                    start_tick=tick_cursor,
-                    ticks=self.ticks_per_frame,
-                    max_rate=self.max_rate,
-                    seed=self.seed,
-                )
-                self.simulator.load_inputs(schedule)
-                for _ in range(self.ticks_per_frame):
-                    self._tick(sink, tick_cursor, report)
-                    tick_cursor += 1
-                    report.ticks += 1
-                report.frames += 1
-        for _ in range(drain_ticks):
-            self._tick(sink, tick_cursor, report)
-            tick_cursor += 1
-            report.ticks += 1
+        try:
+            for frame_index, frame in source.frames():
+                with (obs.span("frame", frame=frame_index)
+                      if obs is not None else NULL_SPAN):
+                    schedule = InputSchedule()
+                    report.input_events += rate_code_frame(
+                        frame,
+                        self.input_pins,
+                        schedule,
+                        start_tick=tick_cursor,
+                        ticks=self.ticks_per_frame,
+                        max_rate=self.max_rate,
+                        seed=self.seed,
+                    )
+                    self.simulator.load_inputs(schedule)
+                    for _ in range(self.ticks_per_frame):
+                        self._tick(sink, tick_cursor, report, obs)
+                        tick_cursor += 1
+                        report.ticks += 1
+                    report.frames += 1
+            for _ in range(drain_ticks):
+                self._tick(sink, tick_cursor, report, obs)
+                tick_cursor += 1
+                report.ticks += 1
+        except Exception as err:
+            # Postmortem before surfacing: the stream's flight ring and
+            # metric snapshot survive the failed session.
+            write_crash_dump(
+                self.obs, "streaming_run_failed",
+                detail=f"tick={tick_cursor}", exc=err,
+            )
+            raise
         report.wall_seconds = time.perf_counter() - start
         if obs is not None:
             metrics = obs.metrics

@@ -1,0 +1,212 @@
+"""Tests for the flight recorder and crash-dump bundles (repro.obs.flight)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.compass.fast import FastCompassSimulator
+from repro.core.builders import poisson_inputs, random_network
+from repro.obs import Observer
+from repro.obs.flight import (
+    BUDGET_NS,
+    FLIGHT_FIELDS,
+    FlightRecorder,
+    write_crash_dump,
+)
+
+
+class TestFlightRecorder:
+    def test_empty_ring_is_well_defined(self):
+        rec = FlightRecorder(capacity=8)
+        assert len(rec) == 0
+        assert rec.rows().shape == (0, len(FLIGHT_FIELDS))
+        assert rec.real_time_factor() == 0.0
+        summary = rec.summary()
+        assert summary["ticks"] == 0
+        assert summary["budget_compliance"] == 1.0
+        assert summary["real_time_factor"] == 0.0
+
+    def test_record_and_read_back(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record(0, 500_000, spikes=3, messages_total=10,
+                   deliver_ns=100, integrate_ns=200, update_ns=150,
+                   route_ns=50)
+        rec.record(1, 2_000_000, spikes=1, messages_total=14)
+        rows = rec.rows()
+        assert rows.shape == (2, len(FLIGHT_FIELDS))
+        assert rows[:, 0].tolist() == [0.0, 1.0]       # tick
+        assert rows[:, 1].tolist() == [500_000.0, 2_000_000.0]  # wall_ns
+        assert rows[:, 2].tolist() == [3.0, 1.0]       # spikes
+        # messages column stores per-tick deltas of the cumulative total
+        assert rows[:, 3].tolist() == [10.0, 4.0]
+
+    def test_message_counter_reset_restarts_baseline(self):
+        rec = FlightRecorder(capacity=4)
+        rec.record(0, 1000, 0, messages_total=50)
+        rec.record(0, 1000, 0, messages_total=3)  # lane reset: total fell
+        assert rec.rows()[:, 3].tolist() == [50.0, 3.0]
+
+    def test_ring_overwrites_oldest(self):
+        rec = FlightRecorder(capacity=4)
+        for t in range(10):
+            rec.record(t, 1000 * (t + 1), spikes=t, messages_total=0)
+        assert len(rec) == 4
+        assert rec.recorded == 10
+        rows = rec.rows()
+        assert rows[:, 0].tolist() == [6.0, 7.0, 8.0, 9.0]
+        assert rec.rows(last=2)[:, 0].tolist() == [8.0, 9.0]
+        assert rec.column("spikes").tolist() == [6.0, 7.0, 8.0, 9.0]
+
+    def test_windowed_real_time_factor_tracks_eviction(self):
+        rec = FlightRecorder(capacity=4)
+        for _ in range(4):
+            rec.record(0, 2 * BUDGET_NS, 0, 0)  # half real time
+        assert rec.real_time_factor() == pytest.approx(0.5)
+        for _ in range(4):
+            rec.record(0, BUDGET_NS // 2, 0, 0)  # evicts the slow rows
+        assert rec.real_time_factor() == pytest.approx(2.0)
+
+    def test_summary_budget_accounting(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record(0, BUDGET_NS // 2, spikes=2, messages_total=5)
+        rec.record(1, 3 * BUDGET_NS, spikes=0, messages_total=5)
+        s = rec.summary()
+        assert s["ticks"] == 2
+        assert s["budget_compliance"] == pytest.approx(0.5)
+        assert s["budget_ratio_last"] == pytest.approx(3.0)
+        assert s["budget_ratio_max"] == pytest.approx(3.0)
+        assert s["max_tick_ms"] == pytest.approx(3.0)
+        assert s["spikes"] == 2 and s["messages"] == 5
+
+    def test_to_json_shape(self):
+        rec = FlightRecorder(capacity=4)
+        rec.record(0, 1000, 1, 2)
+        doc = rec.to_json()
+        assert doc["fields"] == list(FLIGHT_FIELDS)
+        assert doc["budget_ns"] == BUDGET_NS
+        assert doc["capacity"] == 4 and doc["recorded"] == 1
+        assert doc["dropped"] == 0
+        assert len(doc["rows"]) == 1
+        json.dumps(doc)  # must be JSON-serializable as-is
+
+    def test_dump_writes_npz_and_json(self, tmp_path):
+        rec = FlightRecorder(capacity=8)
+        for t in range(3):
+            rec.record(t, 1000, t, t)
+        npz_path, json_path = rec.dump(str(tmp_path))
+        with np.load(npz_path) as data:
+            assert data["rows"].shape == (3, len(FLIGHT_FIELDS))
+            assert list(data["fields"]) == list(FLIGHT_FIELDS)
+            assert int(data["budget_ns"]) == BUDGET_NS
+        doc = json.loads((tmp_path / "flight.json").read_text())
+        assert doc["summary"]["ticks"] == 3
+        assert "rows" not in doc  # bulk data lives in the .npz
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+
+class TestObserverFlightTick:
+    def test_engine_hook_populates_ring_and_gauges(self):
+        net = random_network(n_cores=3, n_axons=12, n_neurons=12, seed=5)
+        ins = poisson_inputs(net, 10, 400.0, seed=1)
+        obs = Observer()
+        sim = FastCompassSimulator(net, obs=obs)
+        sim.run(10, ins)
+        assert len(obs.flight) == 10
+        rows = obs.flight.rows()
+        assert rows[:, 0].tolist() == [float(t) for t in range(10)]
+        assert (rows[:, 1] > 0).all()  # every tick took wall time
+        # spikes column totals the engine's spike counter
+        assert int(rows[:, 2].sum()) == sim.counters.spikes
+        assert int(rows[:, 3].sum()) == sim.counters.messages
+        assert float(obs.metrics.gauge("repro_rtf").value()) > 0.0
+        assert float(obs.metrics.gauge("repro_tick_budget_ratio").value()) > 0.0
+        # per-phase durations sum to no more than the whole tick
+        phases = rows[:, 6:10].sum(axis=1)
+        assert (phases <= rows[:, 1]).all()
+
+    def test_flight_capacity_zero_disables_recording(self):
+        net = random_network(n_cores=2, n_axons=8, n_neurons=8, seed=6)
+        obs = Observer(flight_capacity=0)
+        assert obs.flight is None
+        sim = FastCompassSimulator(net, obs=obs)
+        sim.run(5, poisson_inputs(net, 5, 300.0, seed=2))
+        assert obs.metrics.gauge("repro_rtf").value() == 0
+
+    def test_disabled_observer_records_nothing(self):
+        net = random_network(n_cores=2, n_axons=8, n_neurons=8, seed=7)
+        obs = Observer(enabled=False)
+        sim = FastCompassSimulator(net, obs=obs)
+        sim.run(5, poisson_inputs(net, 5, 300.0, seed=2))
+        assert len(obs.flight) == 0
+
+
+class TestCrashDumps:
+    def test_disabled_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CRASH_DIR", raising=False)
+        assert write_crash_dump(Observer(), "unit-test") is None
+
+    def test_bundle_layout(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CRASH_DIR", str(tmp_path))
+        obs = Observer()
+        obs.flight_tick(0, 0, 1_000_000, 2, 4)
+        try:
+            raise RuntimeError("distinctive-crash-detail")
+        except RuntimeError as err:
+            bundle = write_crash_dump(obs, "unit-test", detail="d", exc=err)
+        assert bundle is not None
+        manifest = json.loads((tmp_path / bundle.split("/")[-1] /
+                               "manifest.json").read_text())
+        assert manifest["reason"] == "unit-test"
+        assert "distinctive-crash-detail" in manifest["exception"]
+        assert manifest["flight_summary"]["ticks"] == 1
+        for name in ("flight.npz", "flight.json", "metrics.json",
+                     "trace.json"):
+            assert (tmp_path / bundle.split("/")[-1] / name).exists()
+        assert obs.metrics.counter("repro_crash_dumps_total").value() == 1
+
+    def test_no_observer_writes_manifest_only(self, tmp_path):
+        bundle = write_crash_dump(None, "bare", crash_dir=str(tmp_path))
+        files = sorted(p.name for p in
+                       (tmp_path / bundle.split("/")[-1]).iterdir())
+        assert files == ["manifest.json"]
+
+    def test_marked_exception_is_not_dumped_twice(self, tmp_path):
+        err = RuntimeError("once")
+        first = write_crash_dump(None, "first", exc=err,
+                                 crash_dir=str(tmp_path))
+        second = write_crash_dump(None, "second", exc=err,
+                                  crash_dir=str(tmp_path))
+        assert first is not None and second is None
+        assert len(list(tmp_path.iterdir())) == 1
+
+    def test_worker_kill_produces_bundle_with_flight_ring(
+            self, tmp_path, monkeypatch):
+        # The acceptance-criterion path: a killed parallel worker leaves
+        # a postmortem bundle holding a non-empty flight ring.
+        from repro.compass.parallel import (
+            ParallelCompassSimulator,
+            WorkerFailedError,
+        )
+
+        monkeypatch.setenv("REPRO_CRASH_DIR", str(tmp_path))
+        net = random_network(n_cores=4, connectivity=0.6, seed=41)
+        obs = Observer()
+        sim = ParallelCompassSimulator(net, n_workers=2, obs=obs)
+        sim.step()  # one clean tick so the flight ring is non-empty
+        sim._procs[0].kill()
+        sim._procs[0].join(timeout=5)
+        with pytest.raises(WorkerFailedError):
+            for _ in range(3):
+                sim.step()
+        bundles = [p for p in tmp_path.iterdir() if p.name.startswith("crash-")]
+        assert len(bundles) == 1
+        manifest = json.loads((bundles[0] / "manifest.json").read_text())
+        assert manifest["reason"].startswith("worker_failed")
+        with np.load(bundles[0] / "flight.npz") as data:
+            assert data["rows"].shape[0] >= 1  # the ring is non-empty
+        assert (bundles[0] / "metrics.json").exists()
+        assert (bundles[0] / "trace.json").exists()

@@ -14,6 +14,7 @@ import pytest
 
 from repro.core.counters import EventCounters
 from repro.obs import (
+    CATALOGUE,
     EVENT_METRICS,
     PHASES,
     MetricsRegistry,
@@ -138,6 +139,59 @@ class TestExporters:
         assert doc["repro_ticks_total"] == 5
         assert doc['repro_phase_seconds_total{phase="route"}'] == 0.75
         assert doc["repro_tick_seconds"]["count"] == 2
+
+
+class TestExporterHardening:
+    def test_help_and_label_value_escaping_golden(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_paths_total",
+                        help='Back\\slash,\nnewline, and "quotes".')
+        c.inc(2, path="C:\\tmp", note='line1\nline2 "x"')
+        expected = "\n".join([
+            '# HELP repro_paths_total Back\\\\slash,\\nnewline, '
+            'and "quotes".',
+            "# TYPE repro_paths_total counter",
+            'repro_paths_total{note="line1\\nline2 \\"x\\"",'
+            'path="C:\\\\tmp"} 2',
+            "",
+        ])
+        assert reg.to_prometheus() == expected
+
+    def test_counter_total_suffix_normalized(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_custom_events", help="Custom counter.").inc(3)
+        text = reg.to_prometheus()
+        assert "# HELP repro_custom_events_total Custom counter." in text
+        assert "# TYPE repro_custom_events_total counter" in text
+        assert "repro_custom_events_total 3" in text
+        assert "repro_custom_events 3" not in text
+        # the JSON snapshot keeps the registered name (stable API)
+        assert reg.snapshot()["repro_custom_events"] == 3
+
+    def test_suffix_untouched_for_gauges_and_histograms(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_depth").set(4)
+        reg.histogram("repro_lag", buckets=(1.0,)).observe(0.5)
+        text = reg.to_prometheus()
+        assert "repro_depth 4" in text
+        assert "repro_depth_total" not in text
+        assert "repro_lag_bucket" in text
+        assert "repro_lag_total" not in text
+
+    def test_catalogue_counters_all_carry_total(self):
+        for name, (kind, _) in CATALOGUE.items():
+            if kind == "counter":
+                assert name.endswith("_total"), name
+
+    def test_concurrent_label_insertion_survives_export(self):
+        # items() hands back copies, so a scrape racing engine writes
+        # never dies on "dictionary changed size during iteration".
+        reg = MetricsRegistry()
+        family = reg.counter("repro_phase_seconds_total")
+        family.inc(1, phase="deliver")
+        for key, _ in family.items():
+            family.inc(1, phase=f"new-{key}")
+        assert "repro_phase_seconds_total" in reg.to_prometheus()
 
 
 class TestPublishCounters:
@@ -321,6 +375,16 @@ class TestObserver:
             pass
         assert len(obs.trace) == 0
 
+    def test_disabled_observer_phase_seconds_empty_never_raises(self):
+        seconds = Observer(enabled=False).phase_seconds()
+        assert set(seconds) == set(PHASES) | {"synapse_neuron", "network"}
+        assert all(v == 0.0 for v in seconds.values())
+
+    def test_disabled_observer_event_snapshot_empty_never_raises(self):
+        snap = Observer(enabled=False).event_snapshot()
+        assert set(snap) == set(EVENT_METRICS)
+        assert all(v == 0 for v in snap.values())
+
     def test_module_switch_silences_all(self):
         obs = Observer()
         assert is_enabled()
@@ -405,6 +469,21 @@ class TestStructuredLog:
         try:
             get_logger("repro.test").debug("fine_grained", x=1)
             assert "fine_grained x=1" in stream.getvalue()
+        finally:
+            monkeypatch.undo()
+            configure(force=True)
+
+    def test_level_from_environment_filters_below(self, monkeypatch):
+        stream = io.StringIO()
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "ERROR")
+        configure(stream=stream, force=True)
+        try:
+            log = get_logger("repro.test")
+            log.warning("suppressed_by_env")
+            log.error("surfaced_by_env")
+            text = stream.getvalue()
+            assert "suppressed_by_env" not in text
+            assert "surfaced_by_env" in text
         finally:
             monkeypatch.undo()
             configure(force=True)

@@ -152,6 +152,52 @@ class TestModelServer:
         with pytest.raises(ValueError, match="n_ticks"):
             server.submit(None, 0)
 
+    def test_stats_and_occupancy_safe_before_first_step(self):
+        # Zero-pass guard (mirrors the StreamReport zero-tick guard): a
+        # freshly constructed server must answer every stats scrape.
+        server = ModelServer(small_net(), n_lanes=4)
+        assert server.occupancy == 0.0
+        stats = server.stats()
+        assert stats["passes"] == 0
+        assert stats["occupancy"] == 0.0
+        assert stats["wall_seconds"] == 0.0
+        assert stats["mean_pass_seconds"] == 0.0
+        assert stats["lane_ticks_per_second"] == 0.0
+        assert stats["real_time_factor"] == 0.0
+        # ...including with sessions queued but not yet stepped
+        server.submit(None, 5)
+        stats = server.stats()
+        assert stats["active"] == 1 and stats["passes"] == 0
+        assert stats["real_time_factor"] == 0.0
+
+    def test_stats_rates_populate_after_run(self):
+        net = small_net()
+        server = ModelServer(net, n_lanes=2)
+        server.submit(poisson_inputs(net, 10, 300.0, seed=1), 10)
+        server.run()
+        stats = server.stats()
+        assert stats["passes"] == 10
+        assert stats["wall_seconds"] > 0.0
+        assert stats["mean_pass_seconds"] > 0.0
+        assert stats["lane_ticks_per_second"] > 0.0
+        assert stats["real_time_factor"] > 0.0
+
+    def test_session_slo_timestamps_and_histograms(self):
+        net = small_net()
+        obs = Observer()
+        server = ModelServer(net, n_lanes=1, obs=obs)
+        first = server.submit(None, 5)
+        queued = server.submit(None, 5)  # waits for the single lane
+        assert first.submitted_ns > 0 and first.admitted_ns >= first.submitted_ns
+        assert queued.admitted_ns == 0 and queued.wait_seconds == 0.0
+        server.run()
+        assert queued.admitted_ns >= first.finalized_ns
+        assert queued.wait_seconds > 0.0
+        assert first.latency_seconds >= first.wait_seconds
+        snap = obs.metrics.snapshot()
+        assert snap["repro_session_wait_seconds"]["count"] == 2
+        assert snap["repro_session_latency_seconds"]["count"] == 2
+
     def test_serving_metrics_published(self):
         net = small_net()
         obs = Observer()
