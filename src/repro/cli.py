@@ -9,7 +9,9 @@ Commands:
 * ``fig8``          — BG/Q strong-scaling table;
 * ``equivalence``   — run the one-to-one equivalence regressions;
 * ``future``        — Section VII system projections;
-* ``simulate``      — run a model file on a chosen expression;
+* ``simulate`` / ``run`` — run a model on a chosen expression, with
+  optional periodic checkpoints and ``--resume``;
+* ``checkpoint``    — inspect a checkpoint container;
 * ``serve``         — serve concurrent sessions on the batched engine;
 * ``characterize``  — simulate one recurrent sweep point and report;
 * ``lint``          — static model checker / determinism source lint;
@@ -146,10 +148,11 @@ def _cmd_report(args) -> int:
 def _cmd_simulate(args) -> int:
     from repro.compass.engine import run_engine
     from repro.hardware.energy import EnergyModel
-    from repro.io.model_files import load_network
 
-    network = load_network(args.model)
+    network = _resolve_model(args.model)
     workers = args.workers if args.workers == "auto" else int(args.workers)
+    if args.resume or args.checkpoint_every:
+        return _simulate_checkpointed(args, network, workers)
     record = run_engine(
         network, args.ticks, engine=args.expression, n_ranks=args.ranks,
         n_workers=workers,
@@ -167,6 +170,83 @@ def _cmd_simulate(args) -> int:
 
         write_aer_file(args.output, record_to_aer(record))
         print(f"  wrote {record.n_spikes} output events to {args.output}")
+    return 0
+
+
+def _simulate_checkpointed(args, network, workers) -> int:
+    """The stepped simulate path: periodic checkpoints and/or --resume.
+
+    Drives the selected engine tick by tick (instead of one-shot
+    ``run_engine``) so checkpoints can be captured mid-run and a
+    resumed run continues from the checkpoint's tick up to ``--ticks``
+    total — bit-identical to an uninterrupted run.
+    """
+    import os
+
+    from repro.compass.engine import select_engine
+    from repro.io.checkpoint import EngineCheckpoint
+
+    sim = select_engine(
+        network, args.expression, n_ranks=args.ranks, n_workers=workers,
+    )
+    if getattr(sim, "snapshot", None) is None:
+        print(f"expression {args.expression!r} does not support "
+              "checkpointing (needs snapshot()/restore())", file=sys.stderr)
+        return 1
+    start_tick = 0
+    if args.resume:
+        ckpt = EngineCheckpoint.load(args.resume, network)
+        sim.restore(ckpt)
+        start_tick = int(ckpt.tick)
+        print(f"resumed {args.resume} at tick {start_tick}")
+    ckpt_dir = args.checkpoint_dir or "."
+    step_arrays = getattr(sim, "step_arrays", None)
+    events: list[tuple[int, int, int]] = []
+    for done in range(start_tick + 1, args.ticks + 1):
+        if step_arrays is not None:
+            tick, core_ids, locals_ = step_arrays()
+            events.extend(
+                (tick, int(cc), int(nn)) for cc, nn in zip(core_ids, locals_)
+            )
+        else:
+            events.extend(sim.step())
+        if args.checkpoint_every and done % args.checkpoint_every == 0:
+            path = os.path.join(ckpt_dir, f"ckpt-{done}.npz")
+            n_bytes = sim.snapshot().save(path)
+            print(f"  checkpoint at tick {done}: {path} ({n_bytes} bytes)")
+    close = getattr(sim, "close", None)
+    if close is not None:
+        close()
+    c = sim.counters
+    print(f"{network.name or args.model}: {network.n_cores} cores, "
+          f"ticks {start_tick}..{args.ticks} on {args.expression}")
+    print(f"  spikes: {c.spikes}  synaptic events: {c.synaptic_events}  "
+          f"mean rate: {c.mean_firing_rate_hz:.1f} Hz")
+    if args.output:
+        from repro.core.record import SpikeRecord
+        from repro.io.aer import record_to_aer, write_aer_file
+
+        record = SpikeRecord.from_events(events, c)
+        write_aer_file(args.output, record_to_aer(record))
+        print(f"  wrote {record.n_spikes} output events "
+              f"(ticks {start_tick}..{args.ticks}) to {args.output}")
+    return 0
+
+
+def _cmd_checkpoint_inspect(args) -> int:
+    import json
+
+    from repro.io.checkpoint import load_checkpoint
+
+    info = load_checkpoint(args.path).describe()
+    if args.json:
+        print(json.dumps(info, indent=2))
+        return 0
+    counters = info.pop("counters", {})
+    rows = [[key, value] for key, value in info.items()]
+    rows += [[f"counters.{key}", value] for key, value in counters.items()]
+    print(render_table(["field", "value"], rows,
+                       title=f"checkpoint: {args.path}"))
     return 0
 
 
@@ -504,8 +584,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     from repro.compass.engine import ENGINES
 
-    ps = sub.add_parser("simulate")
-    ps.add_argument("model", help="path to a .npz model file")
+    ps = sub.add_parser("simulate", aliases=["run"])
+    ps.add_argument("model",
+                    help="builtin network name (see `repro lint --builtin`) "
+                         "or path to a .npz model file")
     ps.add_argument("--ticks", type=int, default=100)
     ps.add_argument("--expression", choices=list(ENGINES), default="auto",
                     help="kernel expression to run (auto = sparse fast path)")
@@ -514,7 +596,24 @@ def build_parser() -> argparse.ArgumentParser:
                     help="worker processes for the parallel engine "
                          "('auto' sizes to the host and network)")
     ps.add_argument("--output", help="write output spikes to this AER file")
+    ps.add_argument("--checkpoint-every", type=int, default=None,
+                    help="write a checkpoint every N ticks (docs/checkpoint.md)")
+    ps.add_argument("--checkpoint-dir", default=None,
+                    help="directory for periodic checkpoints (default: cwd)")
+    ps.add_argument("--resume", default=None, metavar="CKPT",
+                    help="resume from this checkpoint .npz up to --ticks total")
     ps.set_defaults(fn=_cmd_simulate)
+
+    pk = sub.add_parser(
+        "checkpoint", help="checkpoint utilities (docs/checkpoint.md)"
+    )
+    ksub = pk.add_subparsers(dest="checkpoint_command", required=True)
+    ki = ksub.add_parser("inspect",
+                         help="print a checkpoint container's header")
+    ki.add_argument("path", help="path to a checkpoint .npz")
+    ki.add_argument("--json", action="store_true",
+                    help="emit the summary as JSON")
+    ki.set_defaults(fn=_cmd_checkpoint_inspect)
 
     pl = sub.add_parser(
         "lint",

@@ -438,6 +438,94 @@ class BatchedCompassSimulator:
         """Alias for :meth:`aggregate_counters` (engine-common surface)."""
         return self.aggregate_counters()
 
+    # -- checkpointing -----------------------------------------------------
+    def snapshot_lane(self, lane: int):
+        """One lane's complete dynamic state as an EngineCheckpoint.
+
+        The lane's ring slice is rotated into canonical slot order and
+        its stat tallies packaged as standalone counters, so the
+        checkpoint restores onto any engine (a standalone fast run
+        resumed from a preempted serving lane is bit-identical).
+        """
+        from repro.io.checkpoint import (
+            EngineCheckpoint, cached_model_digest, canonical_ring, copy_pending,
+        )
+
+        require(0 <= lane < self.n_replicas, f"lane {lane} out of range")
+        if self._san is not None:
+            self._san.set_context(self.passes, "checkpoint")
+            self._san.note(("batch", "v"), "R")
+        tick = int(self.lane_tick[lane])
+        raw = np.array(self.buffers[:, lane, :], dtype=bool, copy=True)
+        return EngineCheckpoint(
+            network_name=self.network.name or "",
+            model_digest=cached_model_digest(self),
+            seed=int(self.seeds[lane]),
+            tick=tick,
+            v=np.array(self.v[lane], dtype=np.int64, copy=True),
+            ring=canonical_ring(raw, tick),
+            pending=copy_pending(self._inputs[lane]),
+            counters=self.lane_counters(lane),
+        )
+
+    def restore_lane(self, lane: int, ckpt) -> None:
+        """Load an EngineCheckpoint into one lane (serving readmission).
+
+        The inverse of :meth:`snapshot_lane`: membrane, ring slice,
+        lane tick, seed, staged inputs, and stat tallies are all
+        overwritten, and the activity gate's lane state is rebuilt from
+        the restored membranes.  Validates the checkpoint's network
+        name + model digest first (TN602 on mismatch).
+        """
+        from repro.io.checkpoint import copy_pending, engine_ring
+
+        require(0 <= lane < self.n_replicas, f"lane {lane} out of range")
+        ckpt.validate_against(self.network)
+        require(
+            ckpt.v.size == self.compiled.n_neurons,
+            f"checkpoint has {ckpt.v.size} neurons, "
+            f"engine has {self.compiled.n_neurons}",
+        )
+        if self._san is not None:
+            self._san.set_context(self.passes, "checkpoint")
+            self._san.note(("batch", "v"), "W")
+        tick = int(ckpt.tick)
+        self.v[lane] = np.asarray(ckpt.v, dtype=np.int64)
+        self.buffers[:, lane, :] = engine_ring(
+            np.asarray(ckpt.ring, dtype=bool), tick
+        )
+        self.lane_tick[lane] = tick
+        self.seeds[lane] = int(ckpt.seed)
+        self._inputs[lane] = copy_pending(ckpt.pending)
+        ec = ckpt.counters if ckpt.counters is not None else EventCounters()
+        self._deliveries[lane] = ec.deliveries
+        self._syn_events[lane] = ec.synaptic_events
+        self._spikes[lane] = ec.spikes
+        self._neuron_updates[lane] = ec.neuron_updates
+        self._active_updates[lane] = ec.active_neuron_updates
+        self._saturations[lane] = ec.membrane_saturations
+        self._messages[lane] = ec.messages
+        self._max_core_events[lane] = ec.max_core_events_per_tick
+        self._events_per_core[lane] = 0
+        per_core = np.asarray(ec.synaptic_events_per_core, dtype=np.int64)
+        n = min(per_core.size, self._events_per_core.shape[1])
+        self._events_per_core[lane, :n] = per_core[:n]
+        if self._gate is not None:
+            self._gate.reset_lane(lane, self.v[lane])
+
+    def snapshot(self) -> list:
+        """Whole-engine snapshot: one EngineCheckpoint per lane."""
+        return [self.snapshot_lane(b) for b in range(self.n_replicas)]
+
+    def restore(self, ckpts) -> None:
+        """Restore every lane from a :meth:`snapshot` list."""
+        require(
+            len(ckpts) == self.n_replicas,
+            f"got {len(ckpts)} lane checkpoints for {self.n_replicas} lanes",
+        )
+        for b, ckpt in enumerate(ckpts):
+            self.restore_lane(b, ckpt)
+
     # -- tick path ---------------------------------------------------------
     def _advance(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Advance every lane one tick; return per-spike arrays.

@@ -40,6 +40,7 @@ from repro.core.network import Network
 from repro.core.record import SpikeRecord
 from repro.obs.observer import NULL_SPAN, Observer, active_observer
 from repro.obs.trace import PHASES, now_ns
+from repro.utils.validation import require
 
 
 def stoch_synapse_events(
@@ -488,6 +489,61 @@ class FastCompassSimulator:
                 self._input_by_tick[tick] = np.concatenate(
                     [np.asarray(staged, dtype=np.int64), axons]
                 )
+
+    # -- checkpointing -----------------------------------------------------
+    def snapshot(self):
+        """Capture the complete dynamic state as an engine checkpoint.
+
+        The returned :class:`~repro.io.checkpoint.EngineCheckpoint` is in
+        engine-neutral coordinates (flat membranes, canonical-slot-order
+        delivery ring, absolute-tick pending inputs), so it restores onto
+        any engine — this one, the reference simulator, a batch lane —
+        with bit-identical behaviour thereafter.
+        """
+        from repro.io.checkpoint import (
+            EngineCheckpoint, cached_model_digest, canonical_ring, copy_pending,
+        )
+
+        return EngineCheckpoint(
+            network_name=self.network.name or "",
+            model_digest=cached_model_digest(self),
+            seed=int(self.network.seed),
+            tick=int(self.tick),
+            v=self.v.copy(),
+            ring=canonical_ring(self.buffers, self.tick),
+            pending=copy_pending(self._input_by_tick),
+            counters=self.counters.copy(),
+        )
+
+    def restore(self, ckpt) -> None:
+        """Restore an engine checkpoint (from any engine); bit-exact resume.
+
+        Validates the checkpoint's network name + model digest (``TN602``
+        on mismatch) and that the PRNG stream seed matches this engine's
+        network seed (a batch lane running a *derived* session seed must
+        be restored onto a batch lane, not here).  The activity gate is
+        rebuilt from the restored membranes — its state is purely
+        derived, so it never travels in the checkpoint.
+        """
+        from repro.io.checkpoint import engine_ring, copy_pending
+
+        ckpt.validate_against(self.network)
+        require(
+            int(ckpt.seed) == int(self.network.seed),
+            f"checkpoint carries PRNG stream seed {ckpt.seed}, this engine "
+            f"runs the network seed {self.network.seed} (restore "
+            "derived-seed session checkpoints onto a batch lane)",
+        )
+        self.tick = int(ckpt.tick)
+        self.v = np.array(ckpt.v, dtype=np.int64, copy=True)
+        self.buffers = engine_ring(
+            np.asarray(ckpt.ring, dtype=bool), self.tick
+        )
+        self._input_by_tick = copy_pending(ckpt.pending)
+        self.counters = ckpt.counters.copy()
+        self.counters.ensure_cores(self.compiled.n_cores)
+        if self.gated:
+            self._gate = ActivityGate(self.compiled, self.v)
 
     # -- tick phases -------------------------------------------------------
     def _synapse_phase(

@@ -21,7 +21,9 @@ of MPI ranks:
   rank owns a ``DELAY_SLOTS x n_axons`` delivery ring slab plus
   per-tick spike / outgoing / stats regions with small headers, and the
   pipes carry only the tick number in each direction (the barrier /
-  control channel).
+  control channel) — plus, between ticks, the snapshot/restore control
+  tuples that ship each rank's process-local membrane vector for
+  :meth:`ParallelCompassSimulator.snapshot`.
 
 Wire format per rank (all shared, coordinator-created):
 
@@ -93,6 +95,8 @@ from repro.utils.validation import require
 _STOP = -1  # control-channel stop sentinel (any tick is >= 0)
 _ERR = "__error__"  # worker -> coordinator: (tag, rank, traceback text)
 _SAN = "__sanitize__"  # worker -> coordinator: (tag, access events) at stop
+_SNAP = "__snapshot__"  # coordinator <-> worker: (tag,) / (tag, local v)
+_RESTORE = "__restore__"  # coordinator <-> worker: (tag, local v) / (tag, True)
 
 log = get_logger("repro.compass.parallel")
 
@@ -235,6 +239,21 @@ def _worker_main(
                     strip.release()
                 conn.close()
                 return
+            if isinstance(tick, tuple):
+                # Checkpoint control messages, handled between ticks
+                # (the worker is parked here whenever the coordinator
+                # holds the barrier).  The membrane vector is the only
+                # process-local state, so it travels over the control
+                # pipe; everything else lives in the shared regions the
+                # coordinator can already see.
+                if tick[0] == _SNAP:
+                    conn.send((_SNAP, np.asarray(v, dtype=np.int64).copy()))
+                elif tick[0] == _RESTORE:
+                    v = np.asarray(tick[1], dtype=np.int64).copy()
+                    if gated:
+                        gate = ActivityGate(part, v)
+                    conn.send((_RESTORE, True))
+                continue
 
             if rec is not None:
                 rec.barrier("recv", "coord", tick)
@@ -373,8 +392,13 @@ class ParallelCompassSimulator:
         gated: bool | str = "auto",
         sanitize: bool | None = None,
         sanitize_fault=None,
+        checkpoint_every: int | None = None,
     ) -> None:
         self.obs = obs
+        self.checkpoint_every = checkpoint_every
+        #: Most recent periodic :meth:`snapshot` (``checkpoint_every``);
+        #: attached to the crash-dump bundle when a worker dies.
+        self.last_checkpoint = None
         self.sanitize = sanitize_enabled(sanitize)
         self.sanitize_fault = resolve_fault(sanitize_fault)
         self.sanitize_report = None
@@ -646,6 +670,12 @@ class ParallelCompassSimulator:
         emitted_tick = self.tick
         self.tick += 1
         c.ticks = self.tick
+        if self.checkpoint_every and self.tick % self.checkpoint_every == 0:
+            with (obs.span("checkpoint", tick=self.tick)
+                  if obs is not None else NULL_SPAN):
+                self.last_checkpoint = self.snapshot()
+            if obs is not None:
+                obs.metrics.counter("repro_checkpoints_total").inc()
         if obs is not None:
             # The coordinator's own row: one span over the whole tick
             # (scatter + worker barrier + gather); workers' phase spans
@@ -726,6 +756,7 @@ class ParallelCompassSimulator:
         write_crash_dump(
             self.obs, f"worker_failed rank={rank}", detail=detail, exc=err,
             sanitize_report=self.sanitize_report,
+            checkpoint=self.last_checkpoint,
         )
         raise err
 
@@ -733,6 +764,128 @@ class ParallelCompassSimulator:
         """Advance one tick; return spikes as (tick, core, neuron) tuples."""
         tick, core_ids, neurons = self.step_arrays()
         return [(tick, int(cc), int(nn)) for cc, nn in zip(core_ids, neurons)]
+
+    # -- checkpointing -----------------------------------------------------
+    def _control(self, rank: int, payload):
+        """One control-pipe round trip with *rank*, failing fast on death."""
+        conn = self._conns[rank]
+        proc = self._procs[rank]
+        try:
+            conn.send(payload)
+        except (BrokenPipeError, OSError):
+            self._worker_failed(rank, "control pipe closed unexpectedly")
+        while True:
+            try:
+                if conn.poll(0.1):
+                    msg = conn.recv()
+                    break
+            except (EOFError, OSError):
+                self._worker_failed(rank, "control pipe closed unexpectedly")
+            if not proc.is_alive():
+                self._worker_failed(
+                    rank,
+                    f"worker process died without a reply "
+                    f"(exitcode {proc.exitcode})",
+                )
+        if isinstance(msg, tuple) and msg and msg[0] == _ERR:
+            self._worker_failed(rank, str(msg[2]))
+        return msg
+
+    def snapshot(self):
+        """Gather every rank's state into one global EngineCheckpoint.
+
+        Runs at the inter-tick barrier (every worker parked in
+        ``conn.recv``): membrane vectors arrive over the control pipes,
+        ring slabs are read directly from shared memory, and both are
+        assembled into global coordinates, so the checkpoint restores
+        onto *any* engine — the fast path, a batched lane, or another
+        parallel pool with a different worker count.
+        """
+        from repro.io.checkpoint import (
+            EngineCheckpoint, cached_model_digest, canonical_ring,
+        )
+
+        if self._closed:
+            raise RuntimeError(
+                "ParallelCompassSimulator is closed; snapshot() needs a "
+                "live worker pool"
+            )
+        if not self._spawned:
+            self._spawn()
+        c = self.compiled
+        san = self._san
+        if san is not None:
+            san.set_context(self.tick, "snapshot")
+        v_global = np.zeros(c.n_neurons, dtype=np.int64)
+        ring_global = np.zeros((params.DELAY_SLOTS, c.n_axons), dtype=bool)
+        for rank, part in enumerate(self.partitioned.partitions):
+            msg = self._control(rank, (_SNAP,))
+            v_global[part.neuron_global] = np.asarray(msg[1], dtype=np.int64)
+            ring_global[:, part.axon_global] = self._rings[rank][:, :]
+        pending: dict[int, np.ndarray] = {}
+        for t, events in self._future_inputs.items():
+            pending[int(t)] = np.asarray(
+                [
+                    int(self.partitioned.partitions[rank].axon_global[local])
+                    for rank, local in events
+                ],
+                dtype=np.int64,
+            )
+        return EngineCheckpoint(
+            network_name=self.network.name or "",
+            model_digest=cached_model_digest(self),
+            seed=int(self.network.seed),
+            tick=int(self.tick),
+            v=v_global,
+            ring=canonical_ring(ring_global, self.tick),
+            pending=pending,
+            counters=self.counters.copy(),
+        )
+
+    def restore(self, ckpt) -> None:
+        """Load a global EngineCheckpoint into the worker pool.
+
+        The inverse of :meth:`snapshot`, valid for a checkpoint taken
+        on any engine: each rank receives its membrane slice over the
+        control pipe (rebuilding its activity gate), ring slabs are
+        rewritten in place, and the pending-input staging is re-split
+        by owning rank.  Validates name + model digest first (TN602).
+        """
+        from repro.io.checkpoint import engine_ring
+
+        ckpt.validate_against(self.network)
+        require(
+            int(ckpt.seed) == int(self.network.seed),
+            f"checkpoint seed {ckpt.seed} does not match network seed "
+            f"{self.network.seed} (a derived-seed batch-lane checkpoint "
+            "cannot resume as a standalone run)",
+        )
+        require(
+            ckpt.v.size == self.compiled.n_neurons,
+            f"checkpoint has {ckpt.v.size} neurons, "
+            f"network has {self.compiled.n_neurons}",
+        )
+        if self._closed or not self._spawned:
+            self._spawn()
+        san = self._san
+        if san is not None:
+            san.set_context(int(ckpt.tick), "restore")
+        self.tick = int(ckpt.tick)
+        raw = engine_ring(np.asarray(ckpt.ring, dtype=bool), self.tick)
+        v_global = np.asarray(ckpt.v, dtype=np.int64)
+        for rank, part in enumerate(self.partitioned.partitions):
+            self._rings[rank][:, :] = raw[:, part.axon_global]
+            self._control(rank, (_RESTORE, v_global[part.neuron_global].copy()))
+        self._future_inputs = {}
+        rank_of = self.partitioned.rank_of_axon
+        local_of = self.partitioned.local_axon_of_global
+        for t, axons in ckpt.pending.items():
+            self._future_inputs[int(t)] = [
+                (int(rank_of[ga]), int(local_of[ga]))
+                for ga in np.asarray(axons, dtype=np.int64)
+            ]
+        self.counters = ckpt.counters.copy()
+        self.counters.ensure_cores(self.compiled.n_cores)
 
     def run(self, n_ticks: int, inputs: InputSchedule | None = None) -> SpikeRecord:
         """Run *n_ticks*, shut the workers down, and return the record.

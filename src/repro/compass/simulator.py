@@ -122,6 +122,80 @@ class CompassSimulator:
         for core, axon in self._input_by_tick.pop(self.tick, ()):
             self.axon_buffers[core][self.tick % params.DELAY_SLOTS, axon] = True
 
+    # -- checkpointing -------------------------------------------------------
+    def snapshot(self):
+        """Capture the complete dynamic state as an engine checkpoint.
+
+        The per-core membrane slices and delay rings are flattened into
+        the engine-neutral global coordinates of
+        :class:`~repro.io.checkpoint.EngineCheckpoint`, so the snapshot
+        restores onto any engine (fast, parallel, a batch lane) as well
+        as back onto this one.
+        """
+        from repro.io.checkpoint import (
+            EngineCheckpoint, cached_model_digest, canonical_ring,
+        )
+
+        c = self.compiled
+        ring = np.zeros((params.DELAY_SLOTS, c.n_axons), dtype=bool)
+        for core_id, buf in enumerate(self.axon_buffers):
+            ring[:, c.axon_base[core_id]:c.axon_base[core_id + 1]] = buf
+        pending: dict[int, np.ndarray] = {}
+        for tick, events in self._input_by_tick.items():
+            pending[int(tick)] = np.asarray(
+                [int(c.axon_base[core]) + int(axon) for core, axon in events],
+                dtype=np.int64,
+            )
+        return EngineCheckpoint(
+            network_name=self.network.name or "",
+            model_digest=cached_model_digest(self),
+            seed=int(self.network.seed),
+            tick=int(self.tick),
+            v=np.concatenate(self.membranes).astype(np.int64)
+            if self.membranes else np.zeros(0, dtype=np.int64),
+            ring=canonical_ring(ring, self.tick),
+            pending=pending,
+            counters=self.counters.copy(),
+        )
+
+    def restore(self, ckpt) -> None:
+        """Restore an engine checkpoint (from any engine); bit-exact resume.
+
+        Validates network name + model digest (``TN602`` on mismatch)
+        and the PRNG stream seed, then scatters the flat state back into
+        the per-core membrane and delay-ring layout.
+        """
+        from repro.io.checkpoint import engine_ring
+        from repro.utils.validation import require
+
+        ckpt.validate_against(self.network)
+        require(
+            int(ckpt.seed) == int(self.network.seed),
+            f"checkpoint carries PRNG stream seed {ckpt.seed}, this engine "
+            f"runs the network seed {self.network.seed} (restore "
+            "derived-seed session checkpoints onto a batch lane)",
+        )
+        c = self.compiled
+        self.tick = int(ckpt.tick)
+        v = np.asarray(ckpt.v, dtype=np.int64)
+        self.membranes = [
+            v[c.neuron_base[i]:c.neuron_base[i + 1]].copy()
+            for i in range(c.n_cores)
+        ]
+        raw = engine_ring(np.asarray(ckpt.ring, dtype=bool), self.tick)
+        self.axon_buffers = [
+            raw[:, c.axon_base[i]:c.axon_base[i + 1]].copy()
+            for i in range(c.n_cores)
+        ]
+        self._input_by_tick = {}
+        for tick, axons in ckpt.pending.items():
+            events = self._input_by_tick.setdefault(int(tick), [])
+            for ga in np.asarray(axons, dtype=np.int64):
+                core = int(c.core_of_axon[ga])
+                events.append((core, int(ga - c.axon_base[core])))
+        self.counters = ckpt.counters.copy()
+        self.counters.ensure_cores(c.n_cores)
+
     # -- one tick --------------------------------------------------------------
     def step(self) -> list[tuple[int, int, int]]:
         """Advance the network one tick; return spikes (tick, core, neuron)."""

@@ -75,6 +75,23 @@ class EventCounters:
             return 0.0
         return self.synaptic_events / self.ticks
 
+    def copy(self) -> "EventCounters":
+        """An independent deep copy (checkpoint snapshot/restore)."""
+        dup = EventCounters(
+            ticks=self.ticks,
+            synaptic_events=self.synaptic_events,
+            spikes=self.spikes,
+            deliveries=self.deliveries,
+            neuron_updates=self.neuron_updates,
+            active_neuron_updates=self.active_neuron_updates,
+            hops=self.hops,
+            messages=self.messages,
+            membrane_saturations=self.membrane_saturations,
+            max_core_events_per_tick=self.max_core_events_per_tick,
+        )
+        dup.synaptic_events_per_core = self.synaptic_events_per_core.copy()
+        return dup
+
     def merge(self, other: "EventCounters") -> None:
         """Accumulate *other*'s tallies into this counter (rank merge).
 

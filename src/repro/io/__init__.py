@@ -11,6 +11,9 @@ from repro.io.aer import (
 )
 from repro.io.checkpoint import (
     Checkpoint,
+    EngineCheckpoint,
+    load_checkpoint,
+    model_digest,
     restore_simulator,
     snapshot_simulator,
 )
@@ -32,6 +35,9 @@ __all__ = [
     "schedule_from_aer",
     "write_aer_file",
     "Checkpoint",
+    "EngineCheckpoint",
+    "load_checkpoint",
+    "model_digest",
     "restore_simulator",
     "snapshot_simulator",
     "composition_graph",

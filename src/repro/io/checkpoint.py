@@ -1,28 +1,411 @@
-"""Simulator checkpointing: snapshot and resume mid-run.
+"""Engine-agnostic checkpointing: bit-exact snapshot and resume.
 
 Long regressions (the paper's ran up to 100M ticks / 27.7 hours) need
-restartability.  A :class:`Checkpoint` captures everything that defines
-future behaviour — tick index, membrane potentials, in-flight axon
-events (the 16-slot delay buffers), and not-yet-injected inputs — so a
-restored simulator continues *bit-exactly*: the spikes after resume
-equal the spikes of an uninterrupted run.  Works for both the Compass
-and TrueNorth expressions (they share the state layout by co-design).
+restartability, and the serving runtime needs lane preemption.  Because
+every stochastic draw in the kernel is a pure function of (seed,
+purpose, core, tick, unit) — counter-based PRNG, no mutable generator
+state — the *entire* future of a run is determined by a small state
+vector: the tick index, the flat membrane potentials, the in-flight
+delivery ring, the not-yet-injected inputs, and the cumulative event
+counters.  An :class:`EngineCheckpoint` captures exactly that vector in
+engine-neutral coordinates (global neuron / global axon indices, the
+delivery ring rotated so row *k* holds the events due at ``tick + k``),
+so a checkpoint taken on any engine restores onto any other — fast →
+batched lane, parallel → fast — and the resumed run is bit-identical
+to an uninterrupted one: same spikes, same membranes, same counters.
+
+On disk a checkpoint is a versioned ``.npz`` container (mirroring
+:mod:`repro.io.model_files`: arrays plus a JSON ``__header__``, no
+pickle anywhere) keyed by the source network's :func:`model_digest`.
+Restoring validates both the network name and the digest, so a
+checkpoint can never be silently replayed into a different model —
+mismatches raise :class:`~repro.lint.diagnostics.LintError` with a
+``TN602`` diagnostic.  Version-0 pickle blobs from the original
+checkpoint layer are detected by magic and rejected loudly (``TN601``).
+
+The legacy :class:`Checkpoint` (per-core membrane/buffer lists for the
+reference simulators) remains for the TrueNorth/Compass reference
+expressions, now carried in the same container format.
 """
 
 from __future__ import annotations
 
 import copy
-import pickle
-from dataclasses import dataclass
+import hashlib
+import io
+import json
+import os
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
+from repro.core import params
+from repro.core.counters import EventCounters
+from repro.lint.diagnostics import Diagnostic, LintError, Severity
 from repro.utils.validation import require
 
+#: Container format version.  "Version 0" retroactively names the
+#: original unversioned pickle blob, which is rejected with TN601.
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: The scalar EventCounters fields, in serialization order.
+_COUNTER_SCALARS = (
+    "ticks",
+    "synaptic_events",
+    "spikes",
+    "deliveries",
+    "neuron_updates",
+    "active_neuron_updates",
+    "hops",
+    "messages",
+    "membrane_saturations",
+    "max_core_events_per_tick",
+)
+
+#: Leading byte of every pickle protocol >= 2 frame (the v0 format).
+_PICKLE_MAGIC = b"\x80"
+
+
+def model_digest(network) -> str:
+    """Content hash of a network's dynamics: cores + seed, order exact.
+
+    Two networks with equal digests produce identical compiled
+    artifacts and identical simulations, so the digest is a safe
+    compiled-network cache key across distinct model objects and the
+    identity a checkpoint is validated against on restore.  Accepts a
+    :class:`~repro.core.network.Network` or anything wrapping one under
+    a ``.network`` attribute (a ``CompiledNetwork``, an engine).  The
+    display name is excluded — it does not affect dynamics.
+    """
+    inner = getattr(network, "network", None)
+    net = network if inner is None else inner
+    h = hashlib.sha256()
+    h.update(f"seed={net.seed};cores={len(net.cores)};".encode())
+    for core in net.cores:
+        for f in sorted(fields(core), key=lambda f: f.name):
+            arr = np.ascontiguousarray(getattr(core, f.name))
+            h.update(f"{f.name}:{arr.dtype.str}:{arr.shape};".encode())
+            h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def cached_model_digest(engine) -> str:
+    """:func:`model_digest` of *engine*'s network, memoized on the network.
+
+    An engine's network is frozen once compiled, so the sha-256 walk
+    over every core's parameters — tens of milliseconds at paper scale
+    — is paid once per model (shared by every engine built over it),
+    keeping periodic snapshots on the hot path cheap.
+    """
+    net = getattr(engine, "network", engine)
+    inner = getattr(net, "network", None)
+    if inner is not None:  # unwrap a CompiledNetwork
+        net = inner
+    digest = getattr(net, "_model_digest_cache", None)
+    if digest is None:
+        digest = model_digest(net)
+        net._model_digest_cache = digest
+    return digest
+
+
+def _format_error(message: str) -> LintError:
+    """A TN601 checkpoint-container-format failure as a LintError."""
+    return LintError(
+        [Diagnostic(
+            code="TN601", severity=Severity.ERROR, message=message,
+            hint="re-create the checkpoint with snapshot()/EngineCheckpoint.save",
+        )],
+        subject="checkpoint file",
+    )
+
+
+def _identity_error(message: str) -> LintError:
+    """A TN602 checkpoint/network identity mismatch as a LintError."""
+    return LintError(
+        [Diagnostic(
+            code="TN602", severity=Severity.ERROR, message=message,
+            hint="restore a checkpoint only into the network it was taken "
+                 "from (matching name and model digest)",
+        )],
+        subject="checkpoint",
+    )
+
+
+def check_identity(network_name: str, digest: str, network) -> None:
+    """Raise TN602 unless *network* matches the checkpoint identity."""
+    inner = getattr(network, "network", None)
+    net = network if inner is None else inner
+    if (network_name or "") != (net.name or ""):
+        raise _identity_error(
+            f"checkpoint was taken from network {network_name!r}, "
+            f"refusing to restore into {net.name!r}"
+        )
+    if digest:
+        actual = model_digest(net)
+        if actual != digest:
+            raise _identity_error(
+                f"model digest mismatch: checkpoint {digest[:12]}… vs "
+                f"network {actual[:12]}… — same name, different dynamics"
+            )
+
+
+# -- delivery-ring canonicalization -----------------------------------------
+
+def canonical_ring(raw: np.ndarray, tick: int) -> np.ndarray:
+    """Rotate an engine delivery ring into canonical slot order.
+
+    Engines index their ring by absolute tick (``tick % DELAY_SLOTS``);
+    the canonical form is engine-neutral: row *k* holds the events due
+    at ``tick + k``.  Returns a copy.
+    """
+    return np.roll(raw, -(int(tick) % params.DELAY_SLOTS), axis=0)
+
+
+def engine_ring(canonical: np.ndarray, tick: int) -> np.ndarray:
+    """Invert :func:`canonical_ring` back to absolute-tick slot order."""
+    return np.roll(canonical, int(tick) % params.DELAY_SLOTS, axis=0)
+
+
+def copy_pending(pending: dict) -> dict:
+    """Deep-copy a ``{tick: global-axon array}`` staging map.
+
+    Staged arrays may be shared read-only views (the fast engine's
+    input cache), so every value is materialized as a fresh int64 array.
+    """
+    return {
+        int(tick): np.array(axons, dtype=np.int64, copy=True)
+        for tick, axons in pending.items()
+    }
+
+
+# -- counter (de)serialization ----------------------------------------------
+
+def _counters_to_header(counters: EventCounters) -> dict:
+    return {name: int(getattr(counters, name)) for name in _COUNTER_SCALARS}
+
+
+def _counters_from_header(doc: dict, per_core: np.ndarray) -> EventCounters:
+    counters = EventCounters(
+        **{name: int(doc.get(name, 0)) for name in _COUNTER_SCALARS}
+    )
+    counters.synaptic_events_per_core = np.asarray(per_core, dtype=np.int64).copy()
+    return counters
+
+
+def _pack_pending(pending: dict) -> dict[str, np.ndarray]:
+    """Flatten a ``{tick: axon array}`` map into three flat arrays."""
+    ticks = sorted(int(t) for t in pending)
+    offsets = np.zeros(len(ticks) + 1, dtype=np.int64)
+    chunks = []
+    for i, t in enumerate(ticks):
+        arr = np.asarray(pending[t], dtype=np.int64).ravel()
+        offsets[i + 1] = offsets[i] + arr.size
+        chunks.append(arr)
+    flat = (np.concatenate(chunks) if chunks
+            else np.zeros(0, dtype=np.int64))
+    return {
+        "pending_ticks": np.asarray(ticks, dtype=np.int64),
+        "pending_offsets": offsets,
+        "pending_axons": flat,
+    }
+
+
+def _unpack_pending(data) -> dict[int, np.ndarray]:
+    ticks = np.asarray(data["pending_ticks"], dtype=np.int64)
+    offsets = np.asarray(data["pending_offsets"], dtype=np.int64)
+    flat = np.asarray(data["pending_axons"], dtype=np.int64)
+    return {
+        int(t): flat[offsets[i]:offsets[i + 1]].copy()
+        for i, t in enumerate(ticks)
+    }
+
+
+def _load_container(data, expected_kind: str) -> dict:
+    """Validate a loaded npz's header; return the parsed header dict."""
+    if "__header__" not in data:
+        raise _format_error("not a repro checkpoint file (missing header)")
+    header = json.loads(bytes(data["__header__"].tobytes()).decode("utf-8"))
+    version = header.get("format_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise _format_error(
+            f"unsupported checkpoint format version {version} "
+            f"(this build reads version {CHECKPOINT_FORMAT_VERSION})"
+        )
+    kind = header.get("kind")
+    if kind != expected_kind:
+        raise _format_error(
+            f"checkpoint kind {kind!r} does not match expected "
+            f"{expected_kind!r}"
+        )
+    return header
+
+
+def _reject_pickle(head: bytes, where: str) -> None:
+    if head[:1] == _PICKLE_MAGIC:
+        raise _format_error(
+            f"{where} is a version-0 pickle checkpoint; the pickle "
+            "format is unversioned and unsafe and is no longer read"
+        )
+
+
+def _open_npz(blob: bytes, where: str):
+    _reject_pickle(blob, where)
+    try:
+        return np.load(io.BytesIO(blob), allow_pickle=False)
+    except (ValueError, OSError) as err:
+        raise _format_error(f"{where} is not a checkpoint container: {err}") from err
+
+
+# -- the engine-agnostic checkpoint -----------------------------------------
+
+@dataclass
+class EngineCheckpoint:
+    """One engine's (or one batch lane's) complete dynamic state.
+
+    Everything is in *global* coordinates, independent of the engine
+    that produced it: ``v`` is the flat membrane vector in compiled
+    neuron order, ``ring`` the delivery buffer in canonical slot order
+    (row *k* = events due at ``tick + k``) over global axon indices,
+    ``pending`` the not-yet-injected input staging keyed by absolute
+    tick, and ``counters`` the cumulative event tallies.  ``seed`` is
+    the PRNG stream seed governing draws from ``tick`` onwards (the
+    network seed for standalone runs, the per-session derived seed for
+    a batch lane).
+    """
+
+    network_name: str
+    model_digest: str
+    seed: int
+    tick: int
+    v: np.ndarray
+    ring: np.ndarray
+    pending: dict[int, np.ndarray]
+    counters: EventCounters = field(default_factory=EventCounters)
+
+    def validate_against(self, network) -> None:
+        """Raise ``TN602`` unless *network* is the checkpoint's model."""
+        check_identity(self.network_name, self.model_digest, network)
+
+    def copy(self) -> "EngineCheckpoint":
+        """An independent deep copy."""
+        return EngineCheckpoint(
+            network_name=self.network_name,
+            model_digest=self.model_digest,
+            seed=int(self.seed),
+            tick=int(self.tick),
+            v=np.array(self.v, dtype=np.int64, copy=True),
+            ring=np.array(self.ring, dtype=bool, copy=True),
+            pending=copy_pending(self.pending),
+            counters=self.counters.copy(),
+        )
+
+    # -- serialization ------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize to the versioned npz container (no pickle).
+
+        The delivery ring is bit-packed (one bit per axon-slot) and the
+        container is written uncompressed: periodic checkpointing sits
+        on the engine hot path, and at paper scale the zlib pass costs
+        more wall time than the whole snapshot it would shrink.
+        """
+        ring = np.asarray(self.ring, dtype=bool)
+        header = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "kind": "engine",
+            "network_name": self.network_name,
+            "model_digest": self.model_digest,
+            "seed": int(self.seed),
+            "tick": int(self.tick),
+            "n_axons": int(ring.shape[1]) if ring.ndim == 2 else 0,
+            "counters": _counters_to_header(self.counters),
+        }
+        arrays = {
+            "v": np.asarray(self.v, dtype=np.int64),
+            "ring_packed": np.packbits(ring, axis=1),
+            "counters_per_core": np.asarray(
+                self.counters.synaptic_events_per_core, dtype=np.int64
+            ),
+            **_pack_pending(self.pending),
+        }
+        arrays["__header__"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        )
+        buf = io.BytesIO()
+        np.savez(buf, **arrays)
+        return buf.getvalue()
+
+    @staticmethod
+    def from_bytes(blob: bytes) -> "EngineCheckpoint":
+        """Deserialize; rejects v0 pickle blobs and foreign files loudly."""
+        with _open_npz(blob, "checkpoint data") as data:
+            header = _load_container(data, "engine")
+            n_axons = int(header.get("n_axons", 0))
+            ring = np.unpackbits(
+                np.asarray(data["ring_packed"], dtype=np.uint8),
+                axis=1, count=n_axons,
+            ).astype(bool)
+            return EngineCheckpoint(
+                network_name=header.get("network_name", ""),
+                model_digest=header.get("model_digest", ""),
+                seed=int(header.get("seed", 0)),
+                tick=int(header["tick"]),
+                v=np.asarray(data["v"], dtype=np.int64).copy(),
+                ring=ring,
+                pending=_unpack_pending(data),
+                counters=_counters_from_header(
+                    header.get("counters", {}), data["counters_per_core"]
+                ),
+            )
+
+    def save(self, path) -> int:
+        """Write the container to *path*; return the byte count."""
+        blob = self.to_bytes()
+        directory = os.path.dirname(os.fspath(path))
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "wb") as f:
+            f.write(blob)
+        return len(blob)
+
+    @staticmethod
+    def load(path, network=None) -> "EngineCheckpoint":
+        """Read a container from *path*, validating against *network*.
+
+        With *network* given (a Network or CompiledNetwork), the
+        checkpoint's name + model digest are checked before it is
+        returned — the loud guard against restoring into the wrong
+        model.
+        """
+        with open(path, "rb") as f:
+            blob = f.read()
+        ckpt = EngineCheckpoint.from_bytes(blob)
+        if network is not None:
+            ckpt.validate_against(network)
+        return ckpt
+
+    def describe(self) -> dict:
+        """Inspection summary (the ``repro checkpoint inspect`` view)."""
+        return {
+            "kind": "engine",
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "network_name": self.network_name,
+            "model_digest": self.model_digest,
+            "seed": int(self.seed),
+            "tick": int(self.tick),
+            "n_neurons": int(self.v.size),
+            "n_axons": int(self.ring.shape[1]) if self.ring.ndim == 2 else 0,
+            "delay_slots": int(self.ring.shape[0]) if self.ring.ndim == 2 else 0,
+            "in_flight_events": int(np.count_nonzero(self.ring)),
+            "pending_input_ticks": len(self.pending),
+            "counters": _counters_to_header(self.counters),
+        }
+
+
+# -- the legacy per-core checkpoint (reference simulators) ------------------
 
 @dataclass
 class Checkpoint:
-    """Snapshot of a simulator's dynamic state."""
+    """Snapshot of a reference simulator's dynamic state (per-core lists)."""
 
     tick: int
     membranes: list
@@ -30,29 +413,141 @@ class Checkpoint:
     pending_inputs: dict
     network_name: str
     n_cores: int
+    model_digest: str = ""
+    counters: EventCounters | None = None
 
     def to_bytes(self) -> bytes:
-        """Serialize for storage (pickle of plain arrays/dicts)."""
-        return pickle.dumps(
-            {
-                "tick": self.tick,
-                "membranes": self.membranes,
-                "axon_buffers": self.axon_buffers,
-                "pending_inputs": self.pending_inputs,
-                "network_name": self.network_name,
-                "n_cores": self.n_cores,
-            }
+        """Serialize to the versioned npz container (no pickle)."""
+        pending_ticks = sorted(int(t) for t in self.pending_inputs)
+        pairs = []
+        offsets = np.zeros(len(pending_ticks) + 1, dtype=np.int64)
+        for i, t in enumerate(pending_ticks):
+            events = [(int(c), int(a)) for c, a in self.pending_inputs[t]]
+            offsets[i + 1] = offsets[i] + len(events)
+            pairs.extend(events)
+        counters = self.counters if self.counters is not None else EventCounters()
+        header = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "kind": "legacy",
+            "network_name": self.network_name,
+            "model_digest": self.model_digest,
+            "n_cores": int(self.n_cores),
+            "tick": int(self.tick),
+            "has_counters": self.counters is not None,
+            "counters": _counters_to_header(counters),
+        }
+        arrays: dict[str, np.ndarray] = {
+            "pending_ticks": np.asarray(pending_ticks, dtype=np.int64),
+            "pending_offsets": offsets,
+            "pending_pairs": (
+                np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+            ),
+            "counters_per_core": np.asarray(
+                counters.synaptic_events_per_core, dtype=np.int64
+            ),
+        }
+        for i, mem in enumerate(self.membranes):
+            arrays[f"mem{i}"] = np.asarray(mem, dtype=np.int64)
+        for i, buf in enumerate(self.axon_buffers):
+            arrays[f"buf{i}"] = np.asarray(buf, dtype=bool)
+        arrays["__header__"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
         )
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **arrays)
+        return buf.getvalue()
 
     @staticmethod
-    def from_bytes(data: bytes) -> "Checkpoint":
-        """Deserialize a checkpoint."""
-        payload = pickle.loads(data)
-        return Checkpoint(**payload)
+    def from_bytes(blob: bytes) -> "Checkpoint":
+        """Deserialize; rejects v0 pickle blobs loudly."""
+        with _open_npz(blob, "checkpoint data") as data:
+            header = _load_container(data, "legacy")
+            n_cores = int(header["n_cores"])
+            ticks = np.asarray(data["pending_ticks"], dtype=np.int64)
+            offsets = np.asarray(data["pending_offsets"], dtype=np.int64)
+            pairs = np.asarray(data["pending_pairs"], dtype=np.int64)
+            pending = {
+                int(t): [
+                    (int(c), int(a))
+                    for c, a in pairs[offsets[i]:offsets[i + 1]]
+                ]
+                for i, t in enumerate(ticks)
+            }
+            counters = None
+            if header.get("has_counters"):
+                counters = _counters_from_header(
+                    header.get("counters", {}), data["counters_per_core"]
+                )
+            return Checkpoint(
+                tick=int(header["tick"]),
+                membranes=[
+                    np.asarray(data[f"mem{i}"], dtype=np.int64).copy()
+                    for i in range(n_cores)
+                ],
+                axon_buffers=[
+                    np.asarray(data[f"buf{i}"], dtype=bool).copy()
+                    for i in range(n_cores)
+                ],
+                pending_inputs=pending,
+                network_name=header.get("network_name", ""),
+                n_cores=n_cores,
+                model_digest=header.get("model_digest", ""),
+                counters=counters,
+            )
 
+    def save(self, path) -> int:
+        """Write the container to *path*; return the byte count."""
+        blob = self.to_bytes()
+        directory = os.path.dirname(os.fspath(path))
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "wb") as f:
+            f.write(blob)
+        return len(blob)
+
+    def describe(self) -> dict:
+        """Inspection summary (the ``repro checkpoint inspect`` view)."""
+        counters = self.counters if self.counters is not None else EventCounters()
+        return {
+            "kind": "legacy",
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "network_name": self.network_name,
+            "model_digest": self.model_digest,
+            "tick": int(self.tick),
+            "n_cores": int(self.n_cores),
+            "n_neurons": int(sum(m.size for m in self.membranes)),
+            "pending_input_ticks": len(self.pending_inputs),
+            "counters": _counters_to_header(counters),
+        }
+
+
+def load_checkpoint(path):
+    """Load either checkpoint kind from *path* by its header.
+
+    Returns an :class:`EngineCheckpoint` or a legacy :class:`Checkpoint`
+    depending on the container's ``kind`` field; v0 pickle blobs and
+    foreign files raise ``TN601``.
+    """
+    with open(path, "rb") as f:
+        blob = f.read()
+    _reject_pickle(blob, os.fspath(path))
+    with _open_npz(blob, os.fspath(path)) as data:
+        if "__header__" not in data:
+            raise _format_error("not a repro checkpoint file (missing header)")
+        header = json.loads(bytes(data["__header__"].tobytes()).decode("utf-8"))
+    kind = header.get("kind")
+    if kind == "engine":
+        return EngineCheckpoint.from_bytes(blob)
+    if kind == "legacy":
+        return Checkpoint.from_bytes(blob)
+    raise _format_error(f"unknown checkpoint kind {kind!r}")
+
+
+# -- reference-simulator snapshot/restore -----------------------------------
 
 def snapshot_simulator(sim) -> Checkpoint:
     """Capture the dynamic state of a Compass or TrueNorth simulator."""
+    counters = getattr(sim, "counters", None)
     return Checkpoint(
         tick=sim.tick,
         membranes=[v.copy() for v in sim.membranes],
@@ -60,20 +555,27 @@ def snapshot_simulator(sim) -> Checkpoint:
         pending_inputs=copy.deepcopy(sim._input_by_tick),
         network_name=sim.network.name,
         n_cores=sim.network.n_cores,
+        model_digest=model_digest(sim.network),
+        counters=counters.copy() if counters is not None else None,
     )
 
 
 def restore_simulator(sim, checkpoint: Checkpoint) -> None:
     """Load *checkpoint* into a freshly constructed simulator.
 
-    The simulator must wrap the same network the checkpoint was taken
-    from (same core count; the network configuration itself is immutable
-    and stored separately via :mod:`repro.io.model_files`).
+    The simulator must wrap the *same* network the checkpoint was taken
+    from: the core count is checked structurally, and the network name
+    plus model digest are validated (``TN602`` on mismatch), so a
+    checkpoint can no longer be replayed into a different same-shaped
+    network to silently produce garbage.
     """
     require(
         sim.network.n_cores == checkpoint.n_cores,
         f"checkpoint is for {checkpoint.n_cores} cores, "
         f"simulator has {sim.network.n_cores}",
+    )
+    check_identity(
+        checkpoint.network_name, checkpoint.model_digest, sim.network
     )
     for current, saved in zip(sim.membranes, checkpoint.membranes):
         require(current.shape == saved.shape, "membrane shape mismatch")
@@ -81,3 +583,6 @@ def restore_simulator(sim, checkpoint: Checkpoint) -> None:
     sim.membranes = [np.asarray(v).copy() for v in checkpoint.membranes]
     sim.axon_buffers = [np.asarray(b).copy() for b in checkpoint.axon_buffers]
     sim._input_by_tick = copy.deepcopy(checkpoint.pending_inputs)
+    if checkpoint.counters is not None:
+        sim.counters = checkpoint.counters.copy()
+        sim.counters.ensure_cores(sim.network.n_cores)

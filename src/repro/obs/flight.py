@@ -281,6 +281,7 @@ def write_crash_dump(
     exc: BaseException | None = None,
     sanitize_report=None,
     crash_dir: str | None = None,
+    checkpoint=None,
 ) -> str | None:
     """Write a postmortem bundle; return its path (None when disabled).
 
@@ -294,7 +295,10 @@ def write_crash_dump(
       carries a recorder);
     * ``metrics.json`` — the metric registry snapshot;
     * ``trace.json`` — the span ring as a Chrome trace;
-    * ``sanitize.json`` — the sanitizer report, when one was armed.
+    * ``sanitize.json`` — the sanitizer report, when one was armed;
+    * ``checkpoint.npz`` — a restorable engine checkpoint (when the
+      caller holds one, e.g. a ``checkpoint_every`` engine/runtime), so
+      a crashed run can resume from the last good tick.
 
     Never raises: a dump failure is logged and swallowed — postmortems
     must not mask the original error.
@@ -347,6 +351,10 @@ def write_crash_dump(
                 f.write(sanitize_report.render_json())
                 f.write("\n")
             files.append("sanitize.json")
+        if checkpoint is not None and hasattr(checkpoint, "save"):
+            checkpoint.save(os.path.join(bundle, "checkpoint.npz"))
+            files.append("checkpoint.npz")
+            manifest["checkpoint_tick"] = int(checkpoint.tick)
         manifest["files"] = files
         with open(os.path.join(bundle, "manifest.json"), "w",
                   encoding="utf-8") as f:

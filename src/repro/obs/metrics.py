@@ -102,6 +102,10 @@ CATALOGUE: dict[str, tuple[str, str]] = {
         "histogram", "Serving SLO: session submit -> finalize latency."),
     "repro_crash_dumps_total": (
         "counter", "Postmortem crash-dump bundles written."),
+    "repro_checkpoints_total": (
+        "counter", "Engine checkpoints captured (periodic + preemption)."),
+    "repro_checkpoint_bytes_total": (
+        "counter", "Bytes of checkpoint data written to disk."),
     "repro_telemetry_requests_total": (
         "counter", "Telemetry HTTP requests served (label: endpoint)."),
 }

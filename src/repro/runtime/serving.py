@@ -24,9 +24,9 @@ The CLI front door is ``python -m repro serve``.
 
 from __future__ import annotations
 
-import hashlib
+import os
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -37,32 +37,16 @@ from repro.core.inputs import InputSchedule
 from repro.core.network import Network
 from repro.core.prng import derive_stream_seed
 from repro.core.record import SpikeRecord
+from repro.io.checkpoint import EngineCheckpoint, model_digest
 from repro.obs.flight import write_crash_dump
 from repro.obs.observer import Observer, active_observer
 from repro.obs.server import TelemetryServer
 from repro.obs.trace import now_ns
 from repro.utils.validation import require
 
-
-def model_digest(network: Network | CompiledNetwork) -> str:
-    """Content hash of a network's dynamics: cores + seed, order exact.
-
-    Two networks with equal digests produce identical compiled
-    artifacts and identical simulations, so the digest is a safe
-    compiled-network cache key across distinct model objects (two loads
-    of one ``.npz``, two builds of one generator).  The display name is
-    excluded — it does not affect dynamics.
-    """
-    inner = getattr(network, "network", None)
-    net = network if inner is None else inner
-    h = hashlib.sha256()
-    h.update(f"seed={net.seed};cores={len(net.cores)};".encode())
-    for core in net.cores:
-        for f in sorted(fields(core), key=lambda f: f.name):
-            arr = np.ascontiguousarray(getattr(core, f.name))
-            h.update(f"{f.name}:{arr.dtype.str}:{arr.shape};".encode())
-            h.update(arr.tobytes())
-    return h.hexdigest()
+__all__ = [
+    "CompiledModelCache", "ModelServer", "Session", "model_digest",
+]
 
 
 class CompiledModelCache:
@@ -130,9 +114,14 @@ class Session:
     submitted_ns: int = 0
     admitted_ns: int = 0
     finalized_ns: int = 0
+    preemptions: int = 0
     _ticks: list = field(default_factory=list, repr=False)
     _cores: list = field(default_factory=list, repr=False)
     _neurons: list = field(default_factory=list, repr=False)
+    # Preemption state: the lane checkpoint (or its on-disk path when
+    # the server has a checkpoint_dir) to restore from at readmission.
+    _checkpoint: EngineCheckpoint | None = field(default=None, repr=False)
+    _checkpoint_path: str | None = field(default=None, repr=False)
 
     @property
     def done(self) -> bool:
@@ -174,8 +163,10 @@ class ModelServer:
         cache: CompiledModelCache | None = None,
         obs: Observer | None = None,
         telemetry_port: int | None = None,
+        checkpoint_dir: str | None = None,
     ) -> None:
         require(n_lanes >= 1, f"n_lanes must be >= 1, got {n_lanes}")
+        self.checkpoint_dir = checkpoint_dir
         if telemetry_port is not None and obs is None:
             # Live endpoints need an observer feeding them; create one
             # before the engine so its tick loop records into it.
@@ -267,12 +258,31 @@ class ModelServer:
         return session
 
     def _admit(self) -> None:
-        """Move pending sessions into free lanes (FIFO, lowest lane first)."""
+        """Move pending sessions into free lanes (FIFO, lowest lane first).
+
+        A fresh session's lane is reset to tick 0 with the session
+        seed; a preempted session's lane is *restored* from its
+        checkpoint instead, so the resumed run continues mid-stream
+        with identical PRNG coordinates — bit-identical to a session
+        that was never preempted.
+        """
         obs = active_observer(self.obs)
         while self._free and self._pending:
             lane = self._free.popleft()
             session = self._pending.popleft()
-            self.engine.reset_lane(lane, seed=session.seed, inputs=session.inputs)
+            ckpt = session._checkpoint
+            if ckpt is None and session._checkpoint_path is not None:
+                ckpt = EngineCheckpoint.load(
+                    session._checkpoint_path, self.engine.network
+                )
+            if ckpt is not None:
+                self.engine.restore_lane(lane, ckpt)
+                session._checkpoint = None
+                session._checkpoint_path = None
+            else:
+                self.engine.reset_lane(
+                    lane, seed=session.seed, inputs=session.inputs
+                )
             session.lane = lane
             session.admitted_ns = now_ns()
             self._active[lane] = session
@@ -281,6 +291,50 @@ class ModelServer:
                     session.wait_seconds
                 )
         self._publish_serving_metrics()
+
+    def preempt(self, session_id: str) -> Session:
+        """Evict an active session, checkpointing its lane for later.
+
+        The lane's complete state (membranes, in-flight ring slice,
+        staged inputs, counters, lane tick) is captured as an
+        :class:`~repro.io.checkpoint.EngineCheckpoint` — written to
+        ``checkpoint_dir`` when the server has one, held in memory
+        otherwise — the lane is freed, and the session requeues at the
+        back of the pending queue.  On readmission the lane is restored
+        rather than reset, so the finished record is bit-identical to
+        an unpreempted run; only latency changes.  Accumulated spikes
+        stay on the session object throughout.
+        """
+        session = next(
+            (s for s in self._active.values() if s.session_id == session_id),
+            None,
+        )
+        require(
+            session is not None,
+            f"session {session_id!r} is not active (cannot preempt)",
+        )
+        lane = session.lane
+        ckpt = self.engine.snapshot_lane(lane)
+        obs = active_observer(self.obs)
+        if self.checkpoint_dir is not None:
+            path = os.path.join(
+                self.checkpoint_dir, f"{session.session_id}.npz"
+            )
+            n_bytes = ckpt.save(path)
+            session._checkpoint_path = path
+            if obs is not None:
+                obs.metrics.counter("repro_checkpoint_bytes_total").inc(n_bytes)
+        else:
+            session._checkpoint = ckpt
+        if obs is not None:
+            obs.metrics.counter("repro_checkpoints_total").inc()
+        session.preemptions += 1
+        session.lane = None
+        del self._active[lane]
+        self._free.append(lane)
+        self._pending.append(session)
+        self._publish_serving_metrics()
+        return session
 
     def _finalize(self, session: Session) -> None:
         """Seal a finished session's record and release its lane."""

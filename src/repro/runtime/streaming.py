@@ -16,6 +16,7 @@ This runtime reproduces that loop around either simulator expression:
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterator
@@ -112,6 +113,8 @@ class StreamingRuntime:
         engine: str = "auto",
         obs: Observer | None = None,
         telemetry_port: int | None = None,
+        checkpoint_every: int | None = None,
+        checkpoint_dir: str | None = None,
     ) -> None:
         """Wrap *simulator* (or build one) in the streaming loop.
 
@@ -126,11 +129,23 @@ class StreamingRuntime:
         uniform metric catalogue; when the runtime constructs the
         simulator itself, the same observer is threaded into it, so one
         trace covers frames and tick phases end to end.
+
+        With *checkpoint_every* (and an engine exposing ``snapshot()``),
+        the runtime captures an engine checkpoint every that many ticks
+        — written as ``ckpt-<tick>.npz`` under *checkpoint_dir* when one
+        is given, held in memory as :attr:`last_checkpoint` either way
+        — and a crashed stream's postmortem bundle carries the latest
+        one, so long sessions resume from the last good tick instead of
+        tick 0.
         """
         require(ticks_per_frame >= 1, "need at least one tick per frame")
         if telemetry_port is not None and obs is None:
             obs = Observer()
         self.obs = obs
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = checkpoint_dir
+        #: Most recent periodic checkpoint (None until the first one).
+        self.last_checkpoint = None
         if isinstance(simulator, (Network, CompiledNetwork)):
             simulator = select_engine(simulator, engine, obs=obs)
         self.simulator = simulator
@@ -155,6 +170,34 @@ class StreamingRuntime:
         if self.telemetry is not None:
             self.telemetry.close()
             self.telemetry = None
+
+    def _maybe_checkpoint(self, tick_cursor: int, obs: Observer | None) -> None:
+        """Capture a periodic checkpoint when the cadence says so.
+
+        No-op without ``checkpoint_every`` or on engines that do not
+        expose ``snapshot()`` (the reference per-core simulators expose
+        the legacy path instead).
+        """
+        if not self.checkpoint_every or tick_cursor % self.checkpoint_every:
+            return
+        snapshot = getattr(self.simulator, "snapshot", None)
+        if snapshot is None:
+            return
+        with (obs.span("checkpoint", tick=tick_cursor)
+              if obs is not None else NULL_SPAN):
+            ckpt = snapshot()
+        if not hasattr(ckpt, "save"):  # batched: a list of lane checkpoints
+            return
+        self.last_checkpoint = ckpt
+        n_bytes = 0
+        if self.checkpoint_dir is not None:
+            n_bytes = ckpt.save(
+                os.path.join(self.checkpoint_dir, f"ckpt-{tick_cursor}.npz")
+            )
+        if obs is not None:
+            obs.metrics.counter("repro_checkpoints_total").inc()
+            if n_bytes:
+                obs.metrics.counter("repro_checkpoint_bytes_total").inc(n_bytes)
 
     def _tick(self, sink, tick_cursor: int, report: StreamReport,
               obs: Observer | None = None) -> None:
@@ -231,17 +274,21 @@ class StreamingRuntime:
                         self._tick(sink, tick_cursor, report, obs)
                         tick_cursor += 1
                         report.ticks += 1
+                        self._maybe_checkpoint(tick_cursor, obs)
                     report.frames += 1
             for _ in range(drain_ticks):
                 self._tick(sink, tick_cursor, report, obs)
                 tick_cursor += 1
                 report.ticks += 1
+                self._maybe_checkpoint(tick_cursor, obs)
         except Exception as err:
             # Postmortem before surfacing: the stream's flight ring and
-            # metric snapshot survive the failed session.
+            # metric snapshot survive the failed session — with the
+            # latest periodic checkpoint alongside when one was taken.
             write_crash_dump(
                 self.obs, "streaming_run_failed",
                 detail=f"tick={tick_cursor}", exc=err,
+                checkpoint=self.last_checkpoint,
             )
             raise
         report.wall_seconds = time.perf_counter() - start

@@ -172,6 +172,12 @@ PARALLEL_PROTOCOL = TickProtocol(
                 Access("coordinator", "init", "w"),
                 Access("coordinator", "scatter", "w"),
                 Access("coordinator", "gather", "w"),
+                # Checkpointing: the coordinator reads every rank's ring
+                # at the inter-tick barrier (snapshot) and rewrites it
+                # on restore; workers are parked in conn.recv() both
+                # times, so the pipe edge still orders every access.
+                Access("coordinator", "other:snapshot", "r", ("snapshot",)),
+                Access("coordinator", "other:restore", "w", ("restore",)),
             ],
         ),
         "spikes": _spec(
@@ -221,6 +227,7 @@ BATCHED_PROTOCOL = TickProtocol(
                 Access("engine", "tick", "rw", ("deliver",)),
                 Access("engine", "tick", "w", ("route",)),
                 Access("engine", "reset", "w"),
+                Access("engine", "checkpoint", "rw"),
             ],
         ),
         "v": _spec(
@@ -229,6 +236,7 @@ BATCHED_PROTOCOL = TickProtocol(
                 Access("engine", "init", "w"),
                 Access("engine", "tick", "rw", ("update",)),
                 Access("engine", "reset", "w"),
+                Access("engine", "checkpoint", "rw"),
             ],
         ),
     },

@@ -18,8 +18,16 @@ from repro.io.aer import (
     schedule_from_aer,
     write_aer_file,
 )
-from repro.io.checkpoint import Checkpoint, restore_simulator, snapshot_simulator
+from repro.io.checkpoint import (
+    Checkpoint,
+    EngineCheckpoint,
+    load_checkpoint,
+    model_digest,
+    restore_simulator,
+    snapshot_simulator,
+)
 from repro.io.model_files import load_network, save_network
+from repro.lint.diagnostics import LintError
 
 
 class TestAER:
@@ -111,6 +119,18 @@ class TestModelFiles:
             save_network(tmp_path / "bad.npz", bad)
 
 
+def assert_counters_equal(got, want) -> None:
+    """Every EventCounters field equal, the per-core array included."""
+    from dataclasses import fields
+
+    for f in fields(want):
+        a, b = getattr(got, f.name), getattr(want, f.name)
+        if isinstance(b, np.ndarray):
+            np.testing.assert_array_equal(a, b, err_msg=f.name)
+        else:
+            assert a == b, f"{f.name}: {a} != {b}"
+
+
 class TestCheckpoint:
     @pytest.mark.parametrize("sim_cls", [TrueNorthSimulator, CompassSimulator])
     def test_resume_is_bit_exact(self, sim_cls):
@@ -136,6 +156,9 @@ class TestCheckpoint:
             part_events.extend(resumed.step())
 
         assert SpikeRecord.from_events(part_events) == SpikeRecord.from_events(full_events)
+        # Counters ride along in the checkpoint: the resumed run's
+        # event accounting matches the uninterrupted run exactly.
+        assert_counters_equal(resumed.counters, full_sim.counters)
 
     def test_checkpoint_serialization(self):
         net = random_network(n_cores=2, seed=3)
@@ -163,3 +186,94 @@ class TestCheckpoint:
         ckpt = snapshot_simulator(sim)
         sim.membranes[0][:] = 999
         assert not np.array_equal(sim.membranes[0], ckpt.membranes[0])
+
+
+class TestCheckpointIdentity:
+    def test_digest_mismatch_rejected(self):
+        # Same core count, different weights: the digest check (not the
+        # shape check) must catch it, with the TN602 diagnostic.
+        a = random_network(n_cores=2, seed=1)
+        b = random_network(n_cores=2, seed=2)
+        ckpt = snapshot_simulator(TrueNorthSimulator(a))
+        with pytest.raises(LintError, match="TN602"):
+            restore_simulator(TrueNorthSimulator(b), ckpt)
+
+    def test_network_name_mismatch_rejected(self):
+        from repro.core.network import Network
+
+        net = random_network(n_cores=2, seed=7)
+        net.name = "alpha"
+        renamed = Network(cores=net.cores, seed=net.seed, name="beta")
+        ckpt = snapshot_simulator(TrueNorthSimulator(net))
+        # Same digest (names are not part of the model identity hash),
+        # different declared name: previously silently accepted.
+        assert model_digest(net) == model_digest(renamed)
+        with pytest.raises(LintError, match="TN602"):
+            restore_simulator(TrueNorthSimulator(renamed), ckpt)
+
+    def test_matching_name_and_digest_accepted(self):
+        net = random_network(n_cores=2, seed=7)
+        net.name = "alpha"
+        sim = TrueNorthSimulator(net)
+        sim.load_inputs(poisson_inputs(net, 10, 300.0, seed=1))
+        for _ in range(4):
+            sim.step()
+        restore_simulator(TrueNorthSimulator(net), snapshot_simulator(sim))
+
+
+class TestCheckpointContainer:
+    def test_bytes_are_versioned_npz_not_pickle(self):
+        net = random_network(n_cores=2, seed=3)
+        sim = TrueNorthSimulator(net)
+        blob = snapshot_simulator(sim).to_bytes()
+        assert blob[:2] == b"PK"  # zip container (npz), not a pickle
+        assert not blob.startswith(b"\x80")
+
+    def test_v0_pickle_blob_rejected_loudly(self):
+        import pickle
+
+        blob = pickle.dumps({"tick": 3, "membranes": []})
+        with pytest.raises(LintError, match="TN601"):
+            Checkpoint.from_bytes(blob)
+        with pytest.raises(LintError, match="TN601"):
+            EngineCheckpoint.from_bytes(blob)
+
+    def test_v0_pickle_file_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "old.ckpt"
+        path.write_bytes(pickle.dumps({"tick": 3}))
+        with pytest.raises(LintError, match="TN601"):
+            load_checkpoint(path)
+
+    def test_garbage_bytes_rejected(self):
+        with pytest.raises(LintError, match="TN601"):
+            Checkpoint.from_bytes(b"not a checkpoint at all")
+
+    def test_counters_round_trip(self):
+        net = random_network(n_cores=2, seed=3)
+        sim = TrueNorthSimulator(net)
+        sim.load_inputs(poisson_inputs(net, 10, 500.0, seed=1))
+        for _ in range(6):
+            sim.step()
+        ckpt = snapshot_simulator(sim)
+        again = Checkpoint.from_bytes(ckpt.to_bytes())
+        assert again.counters is not None
+        assert_counters_equal(again.counters, sim.counters)
+
+    def test_file_round_trip_dispatches_by_kind(self, tmp_path):
+        net = random_network(n_cores=2, seed=3)
+        sim = TrueNorthSimulator(net)
+        path = tmp_path / "legacy.npz"
+        snapshot_simulator(sim).save(path)
+        loaded = load_checkpoint(path)
+        assert isinstance(loaded, Checkpoint)
+        assert loaded.n_cores == 2
+        assert loaded.model_digest == model_digest(net)
+
+    def test_describe_is_json_friendly(self):
+        import json
+
+        net = random_network(n_cores=2, seed=3)
+        ckpt = snapshot_simulator(TrueNorthSimulator(net))
+        json.dumps(ckpt.describe())
